@@ -1,0 +1,88 @@
+"""Performance benchmarks: simulator and analyzer throughput.
+
+These are true timing benchmarks (many rounds, meaningful statistics),
+complementing the table-regeneration benchmarks: they track the cost of
+replaying one large real trace (CONDUCT, ~175k references) under each
+policy, and of the one-pass sweep analyzers that make the full LRU/WS
+parameter sweeps affordable.
+"""
+
+import pytest
+
+from repro.experiments.runner import artifacts_for
+from repro.vm.analyzers import LRUSweep, WSSweep
+from repro.vm.policies import (
+    CDPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    OPTPolicy,
+    PFFPolicy,
+    WorkingSetPolicy,
+)
+from repro.vm.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def conduct_trace(warm_artifacts):
+    return artifacts_for("CONDUCT").trace
+
+
+def bench_replay_lru(benchmark, conduct_trace):
+    result = benchmark(simulate, conduct_trace, LRUPolicy(frames=32))
+    benchmark.extra_info["refs_per_sec"] = round(
+        conduct_trace.length / benchmark.stats.stats.mean
+    )
+    assert result.page_faults > 0
+
+
+def bench_replay_fifo(benchmark, conduct_trace):
+    benchmark(simulate, conduct_trace, FIFOPolicy(frames=32))
+
+
+def bench_replay_ws(benchmark, conduct_trace):
+    benchmark(simulate, conduct_trace, WorkingSetPolicy(tau=2000))
+
+
+def bench_replay_pff(benchmark, conduct_trace):
+    benchmark(simulate, conduct_trace, PFFPolicy(threshold=2000))
+
+
+def bench_replay_opt(benchmark, conduct_trace):
+    benchmark(simulate, conduct_trace, OPTPolicy(frames=32))
+
+
+def bench_replay_cd(benchmark, conduct_trace):
+    benchmark(simulate, conduct_trace, CDPolicy())
+
+
+def bench_lru_sweep_construction(benchmark, conduct_trace):
+    sweep = benchmark(LRUSweep, conduct_trace)
+    assert sweep.max_useful_frames > 100
+
+
+def bench_ws_sweep_construction(benchmark, conduct_trace):
+    benchmark(WSSweep, conduct_trace)
+
+
+def bench_ws_sweep_query(benchmark, conduct_trace):
+    sweep = WSSweep(conduct_trace)
+
+    def query():
+        sweep._cache.clear()
+        return sweep.result(2000)
+
+    benchmark(query)
+
+
+def bench_trace_generation(benchmark, warm_artifacts):
+    """End-to-end trace generation for a mid-size workload (TQL)."""
+    from repro.tracegen.interpreter import generate_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload("TQL")
+
+    def generate():
+        return generate_trace(workload.program(), symbols=workload.symbols())
+
+    trace = benchmark(generate)
+    benchmark.extra_info["refs"] = trace.length

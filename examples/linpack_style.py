@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Package-style code through the full pipeline: a LINPACK-flavored
+driver calling DGEFA/DGESL-like subroutines.
+
+The paper's benchmarks are library subroutines (MINPACK's fdjac2 and
+hybrj, EISPACK's tql2); this example shows the frontend handling the
+same structure: a main program CALLing factor/solve subroutines, which
+the inliner flattens before analysis, instrumentation, and simulation.
+
+Run:  python examples/linpack_style.py
+"""
+
+from repro import (
+    CDConfig,
+    CDPolicy,
+    LRUPolicy,
+    analyze_program,
+    generate_trace,
+    instrument_program,
+    parse_source,
+    simulate,
+)
+from repro.tracegen.interpreter import Interpreter
+
+SOURCE = """
+PROGRAM LINSYS
+PARAMETER (N = 48)
+DIMENSION A(N, N), B(N), X(N)
+C ---- build a diagonally dominant system with known solution ----
+DO 10 J = 1, N
+  DO 20 I = 1, N
+    A(I, J) = 1.0 / FLOAT(I + J)
+20 CONTINUE
+  A(J, J) = A(J, J) + FLOAT(N)
+  X(J) = FLOAT(J)
+10 CONTINUE
+CALL MATVEC(A, X, B)
+C ---- factor and solve; X is overwritten with the computed solution ----
+CALL GEFA(A)
+CALL GESL(A, B)
+C ---- residual check against the known solution ----
+ERR = 0.0
+DO 30 I = 1, N
+  ERR = ERR + ABS(B(I) - FLOAT(I))
+30 CONTINUE
+PRINT *, ERR
+END
+
+SUBROUTINE MATVEC(A, V, W)
+PARAMETER (N = 48)
+DIMENSION A(N, N), V(N), W(N)
+DO 10 I = 1, N
+  W(I) = 0.0
+10 CONTINUE
+DO 20 J = 1, N
+  DO 30 I = 1, N
+    W(I) = W(I) + A(I, J) * V(J)
+30 CONTINUE
+20 CONTINUE
+RETURN
+END
+
+SUBROUTINE GEFA(A)
+C Gaussian elimination without pivoting (the system is dominant),
+C column-oriented like LINPACK's dgefa
+PARAMETER (N = 48)
+DIMENSION A(N, N)
+DO 10 K = 1, N - 1
+  DO 20 I = K + 1, N
+    A(I, K) = A(I, K) / A(K, K)
+20 CONTINUE
+  DO 30 J = K + 1, N
+    T = A(K, J)
+    DO 40 I = K + 1, N
+      A(I, J) = A(I, J) - T * A(I, K)
+40  CONTINUE
+30 CONTINUE
+10 CONTINUE
+RETURN
+END
+
+SUBROUTINE GESL(A, B)
+C forward elimination then back substitution (LINPACK dgesl, job = 0)
+PARAMETER (N = 48)
+DIMENSION A(N, N), B(N)
+DO 10 K = 1, N - 1
+  DO 20 I = K + 1, N
+    B(I) = B(I) - A(I, K) * B(K)
+20 CONTINUE
+10 CONTINUE
+DO 30 K1 = 1, N
+  K = N + 1 - K1
+  B(K) = B(K) / A(K, K)
+  IF (K > 1) THEN
+    DO 40 I = 1, K - 1
+      B(I) = B(I) - A(I, K) * B(K)
+40  CONTINUE
+  ENDIF
+30 CONTINUE
+RETURN
+END
+"""
+
+
+def main() -> None:
+    program = parse_source(SOURCE)
+    analysis = analyze_program(program)
+    print(f"After inlining: {len(list(analysis.tree.nodes()))} loops, "
+          f"Δ = {analysis.tree.max_depth}, "
+          f"V = {analysis.program_virtual_size} pages\n")
+
+    # Verify the numerics: the solve recovers x = (1, 2, …, N).
+    interpreter = Interpreter(program)
+    interpreter.run()
+    residual = float(interpreter.scalars["ERR"])
+    print(f"Solution residual sum |x_i - i| = {residual:.3e}")
+    assert residual < 1e-6, "the linear solve failed"
+
+    plan = instrument_program(program, analysis=analysis)
+    trace = generate_trace(program, plan=plan)
+    print(trace.summary())
+
+    cd = simulate(trace, CDPolicy(CDConfig(pi_cap=2)))
+    lru = simulate(trace, LRUPolicy(frames=max(1, round(cd.mem_average))))
+    print(f"\nCD : {cd.describe()}")
+    print(f"LRU: {lru.describe()}")
+    print(
+        "\nElimination's localities shrink smoothly (the active trailing"
+        "\nsubmatrix), so fixed LRU nearly matches CD's fault count here —"
+        "\nbut CD releases memory as the localities shrink, finishing with"
+        f"\n{(lru.space_time - cd.space_time) / cd.space_time:+.1%} "
+        "space-time relative to LRU."
+    )
+
+
+if __name__ == "__main__":
+    main()

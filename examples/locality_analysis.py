@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's worked examples, reproduced: Figure 1 (hierarchical
+localities), Figure 2 (priority indexes), and the Figure-5 locality
+arithmetic, printed with the per-array contribution breakdown.
+
+Run:  python examples/locality_analysis.py
+"""
+
+from repro import analyze_program, parse_source
+
+FIGURE1 = """
+PROGRAM FIG1
+DIMENSION E(64, 10), F(64, 10), G(200, 10), H(200, 10)
+DO 10 I = 1, 10
+  DO 20 K = 1, 10
+    E(I, K) = F(I, K)
+20 CONTINUE
+  DO 30 K = 1, 200
+    G(K, I) = H(K, I)
+30 CONTINUE
+10 CONTINUE
+END
+"""
+
+FIGURE5 = """
+PROGRAM FIG5
+PARAMETER (N = 10)
+DIMENSION A(640), B(640), C(640), D(640), E(640), F(640)
+DIMENSION CC(64, N), DD(64, N)
+DO 40 I = 1, N
+  A(I) = B(I) + 1.0
+  DO 20 J = 1, N
+    C(J) = D(J) + CC(I, J) + DD(J, I)
+20 CONTINUE
+  DO 30 J = 1, N
+    E(J) = F(J)
+    DO 10 K = 1, N
+      E(K) = E(K) + F(J)
+10  CONTINUE
+30 CONTINUE
+40 CONTINUE
+END
+"""
+
+
+def show(source: str, headline: str) -> None:
+    print("=" * 72)
+    print(headline)
+    print("=" * 72)
+    analysis = analyze_program(parse_source(source))
+    for node in analysis.tree.nodes():
+        report = analysis.reports[node.loop_id]
+        pad = "  " * node.level
+        print(f"{pad}DO {node.var} (line {report.line}): "
+              f"Λ={report.level}  PI={report.priority_index}  "
+              f"X={report.virtual_size} pages"
+              f"{'' if report.forms_locality else '  (no locality: default)'}")
+        for c in report.contributions:
+            print(f"{pad}    {c.array:4s} -> {c.pages:3d} pages   "
+                  f"{c.order.value:11s} d={c.depth_difference}  [{c.rule}]")
+    print()
+
+
+def main() -> None:
+    show(FIGURE1, "Figure 1: row-wise E/F form the loop-10 locality; "
+                  "column-wise G/H form per-column localities in loop 30")
+    show(FIGURE5, "Figure 5: the paper's ALLOCATE-argument walkthrough "
+                  "(A,B->1; C,D,E,F->AVS; CC->N; DD->1)")
+    print("The paper's X1 for loop 4 sums to: 1+1 + 10+10+10+10 + 10 + 1 = 53")
+
+
+if __name__ == "__main__":
+    main()

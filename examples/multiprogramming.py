@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""CD in a multiprogramming environment — the evaluation the paper
+leaves as future work ("The performance of CD in a multiprogramming
+environment is still to be evaluated").
+
+Runs a mix of benchmark programs sharing one physical memory under
+round-robin scheduling, managed by CD (directive-driven allocation with
+the paper's swapping mechanism) and by WS with classical load control,
+across a range of memory sizes.
+
+Run:  python examples/multiprogramming.py
+"""
+
+from repro.experiments.runner import artifacts_for
+from repro.vm.multiprog import MultiprogSimulator
+
+MIX = ["TQL", "FDJAC", "HYBRJ"]
+
+
+def main() -> None:
+    traces = [(name, artifacts_for(name).trace) for name in MIX]
+    total_demand = sum(t.total_pages for _n, t in traces)
+    print(f"Workload mix: {', '.join(MIX)} "
+          f"(combined virtual space {total_demand} pages)\n")
+
+    header = (f"{'frames':>7}  {'policy':>6}  {'makespan':>10}  "
+              f"{'faults':>7}  {'swaps':>5}  {'util':>5}  {'thru':>6}")
+    print(header)
+    print("-" * len(header))
+    for frames in (96, 64, 48, 32):
+        for mode in ("cd", "ws"):
+            sim = MultiprogSimulator(traces, total_frames=frames, mode=mode)
+            result = sim.run()
+            print(f"{frames:>7}  {mode.upper():>6}  {result.makespan:>10}  "
+                  f"{result.total_faults:>7}  {result.swaps:>5}  "
+                  f"{result.mem_utilization:>5.2f}  {result.throughput:>6.3f}")
+    print()
+    print("CD uses the compiler's locality sizes to bound each process's")
+    print("allocation, so it avoids the working-set over-commitment that")
+    print("forces WS load control to swap under pressure.")
+
+
+if __name__ == "__main__":
+    main()

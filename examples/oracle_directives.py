@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""How good is the compiler's locality arithmetic?  Oracle study.
+
+Three CD runs over the same phased reference string:
+
+1. **Oracle directives** — ALLOCATE events sized *exactly* to each
+   phase's locality (the best any compiler could do);
+2. **Compiler directives** — the real pipeline on an equivalent
+   mini-FORTRAN program (Section-2 analysis + Algorithm 1);
+3. **No directives** — CD degenerates to its minimum allocation.
+
+LRU and WS at the oracle's average memory complete the picture.
+
+Run:  python examples/oracle_directives.py
+"""
+
+from repro import parse_source, instrument_program, generate_trace
+from repro.tracegen.synthetic import phased_localities, with_allocate_events
+from repro.vm.analyzers import WSSweep
+from repro.vm.policies import CDConfig, CDPolicy, LRUPolicy, WorkingSetPolicy
+from repro.vm.simulator import simulate
+
+# A program whose phases mirror the synthetic string below: a 20-page
+# row-order pass alternating with a 2-page vector pass, 4 rounds.
+SOURCE = """
+PROGRAM PHASES
+DIMENSION A(64, 20), V(128)
+DO 10 ROUND = 1, 4
+  DO 20 I = 1, 64
+    DO 30 J = 1, 20
+      A(I, J) = A(I, J) + 1.0
+30  CONTINUE
+20 CONTINUE
+  DO 40 K = 1, 128
+    V(K) = V(K) * 0.5
+40 CONTINUE
+10 CONTINUE
+END
+"""
+
+
+def main() -> None:
+    # --- oracle side: synthetic phases with exact ALLOCATE events ---
+    phases = [(20, 1280), (2, 128)] * 4
+    oracle_trace = with_allocate_events(phased_localities(phases), phases)
+    oracle = simulate(oracle_trace, CDPolicy())
+    bare = simulate(oracle_trace.without_directives(), CDPolicy())
+    frames = max(1, round(oracle.mem_average))
+    lru = simulate(oracle_trace.without_directives(), LRUPolicy(frames=frames))
+    tau = WSSweep(oracle_trace.without_directives()).tau_for_mem(oracle.mem_average)
+    ws = simulate(oracle_trace.without_directives(), WorkingSetPolicy(tau=tau))
+
+    print("Synthetic phased string (oracle ALLOCATE events):")
+    print(f"  CD + oracle     : MEM={oracle.mem_average:6.2f}  PF={oracle.page_faults}")
+    print(f"  CD, no events   : MEM={bare.mem_average:6.2f}  PF={bare.page_faults}")
+    print(f"  LRU @ {frames:3d} frames: MEM={lru.mem_average:6.2f}  PF={lru.page_faults}")
+    print(f"  WS  @ tau={tau:5d} : MEM={ws.mem_average:6.2f}  PF={ws.page_faults}")
+
+    # --- compiler side: the real pipeline on the equivalent program ---
+    program = parse_source(SOURCE)
+    plan = instrument_program(program)
+    trace = generate_trace(program, plan=plan)
+    compiled = simulate(trace, CDPolicy(CDConfig(pi_cap=2)))
+    lru2 = simulate(
+        trace, LRUPolicy(frames=max(1, round(compiled.mem_average)))
+    )
+    print("\nEquivalent mini-FORTRAN program (compiler directives, PI cap 2):")
+    print(f"  CD + compiler   : MEM={compiled.mem_average:6.2f}  PF={compiled.page_faults}")
+    print(f"  LRU, same memory: MEM={lru2.mem_average:6.2f}  PF={lru2.page_faults}")
+    print("\nThe compiler's Section-2 arithmetic lands close to the oracle:")
+    print("both shrink the allocation for the vector phase and grow it for")
+    print("the row-order pass, which a fixed LRU partition cannot do.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Full policy comparison on one benchmark: LRU fault/ST curves over all
+allocations, WS curves over the window grid, the CD operating points,
+and an ASCII plot of the space-time landscape.
+
+Run:  python examples/policy_comparison.py [WORKLOAD]   (default CONDUCT)
+"""
+
+import sys
+
+from repro.experiments.runner import artifacts_for
+from repro.vm.policies import CDConfig
+
+
+def ascii_curve(points, width=60, label="") -> str:
+    """One-line-per-point ASCII rendering of (x, y) pairs."""
+    ys = [y for _x, y in points]
+    top = max(ys)
+    lines = [f"{label} (peak {top:.2e})"]
+    for x, y in points:
+        bar = "#" * max(1, int(width * y / top))
+        lines.append(f"  {x:>6} | {bar} {y:.2e}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CONDUCT"
+    artifacts = artifacts_for(name)
+    trace = artifacts.trace
+    print(trace.summary())
+    print()
+
+    # CD operating points: one per directive-set choice.
+    print("CD operating points (directive sets by PI cap):")
+    for cap in (None, 2, 1):
+        result = artifacts.cd_result(CDConfig(pi_cap=cap))
+        print(f"  cap={str(cap):>4}: MEM={result.mem_average:7.2f}  "
+              f"PF={result.page_faults:6d}  ST={result.space_time:.3e}")
+    print()
+
+    # LRU sweep (stack-distance analysis: every allocation in one pass).
+    lru_points = []
+    v = artifacts.lru.max_useful_frames
+    for frames in sorted({1, 2, 4, 8, v // 8 or 3, v // 4 or 5, v // 2 or 7, v}):
+        if frames < 1:
+            continue
+        lru_points.append((frames, artifacts.lru.space_time(frames)))
+    print(ascii_curve(lru_points, label=f"LRU space-time vs allocation on {name}"))
+    print()
+
+    # WS sweep.
+    ws_points = []
+    for tau in artifacts.ws.default_taus(count=10):
+        ws_points.append((tau, artifacts.ws.space_time(tau)))
+    print(ascii_curve(ws_points, label=f"WS space-time vs window on {name}"))
+    print()
+
+    lru_best = artifacts.lru.min_space_time()
+    ws_best = artifacts.ws.min_space_time()
+    cd_best = artifacts.best_cd_result()
+    print("Minimum space-time by policy:")
+    print(f"  CD : {cd_best.space_time:.3e}  (cap={cd_best.parameter})")
+    print(f"  LRU: {lru_best.space_time:.3e}  (m={int(lru_best.parameter)})")
+    print(f"  WS : {ws_best.space_time:.3e}  (tau={int(ws_best.parameter)})")
+
+
+if __name__ == "__main__":
+    main()

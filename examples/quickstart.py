@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole pipeline on a small program.
+
+Parses a mini-FORTRAN kernel, analyzes its localities, inserts memory
+directives, executes it to get the page-reference trace, and replays the
+trace under CD, LRU, and WS at matched average memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CDConfig,
+    CDPolicy,
+    LRUPolicy,
+    WorkingSetPolicy,
+    analyze_program,
+    generate_trace,
+    instrument_program,
+    parse_source,
+    render_instrumented,
+    simulate,
+)
+from repro.vm.analyzers import WSSweep
+
+SOURCE = """
+PROGRAM DEMO
+PARAMETER (N = 64, M = 16)
+DIMENSION A(N, M), B(N, M), V(N)
+C fill the field column-wise, then smooth it, then row-reduce it
+DO 10 J = 1, M
+  DO 20 I = 1, N
+    A(I, J) = FLOAT(I + J)
+20 CONTINUE
+10 CONTINUE
+DO 30 ITER = 1, 4
+  DO 40 J = 1, M
+    DO 50 I = 2, N - 1
+      B(I, J) = 0.25 * (A(I-1, J) + 2.0 * A(I, J) + A(I+1, J))
+50  CONTINUE
+40 CONTINUE
+  DO 60 I = 1, N
+    S = 0.0
+    DO 70 J = 1, M
+      S = S + B(I, J)
+70  CONTINUE
+    V(I) = S
+60 CONTINUE
+30 CONTINUE
+END
+"""
+
+
+def main() -> None:
+    program = parse_source(SOURCE)
+
+    # 1. Source-level locality analysis (Section 2 of the paper).
+    analysis = analyze_program(program)
+    print(f"Loop nest depth Δ = {analysis.tree.max_depth}, "
+          f"virtual size V = {analysis.program_virtual_size} pages\n")
+    for node in analysis.tree.nodes():
+        report = analysis.reports[node.loop_id]
+        print(f"  {'  ' * node.level}DO {node.var}: level {report.level}, "
+              f"PI={report.priority_index}, locality X={report.virtual_size} pages")
+
+    # 2. Directive insertion (Algorithms 1 and 2).
+    plan = instrument_program(program, analysis=analysis)
+    print("\nInstrumented program (Figure-5c style):\n")
+    print(render_instrumented(program, plan))
+
+    # 3. Trace generation: actually run the numerics.
+    trace = generate_trace(program, plan=plan)
+    print(trace.summary())
+
+    # 4. Replay under the three policies at matched average memory.
+    cd = simulate(trace, CDPolicy(CDConfig(pi_cap=2)))
+    frames = max(1, round(cd.mem_average))
+    lru = simulate(trace, LRUPolicy(frames=frames))
+    tau = WSSweep(trace).tau_for_mem(cd.mem_average)
+    ws = simulate(trace, WorkingSetPolicy(tau=tau))
+
+    print("\nPolicy comparison at matched average memory:")
+    for result in (cd, lru, ws):
+        print(f"  {result.describe()}")
+    print(f"\nCD saved {lru.page_faults - cd.page_faults} faults vs LRU "
+          f"and {ws.page_faults - cd.page_faults} vs WS at the same memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Source-level locality analysis (Section 2 of the paper).
+
+The paper identifies six parameters for computing the virtual size of a
+program's current localities:
+
+====  =============================================================
+P     page size (system dependent) — :class:`PageConfig`
+Σ     array size from the DIMENSION statement — :class:`PageConfig`
+      derives AVS (array virtual size) and CVS (column virtual size)
+Δ     nest depth of the loop structure — :class:`looptree.LoopTree`
+X     number of distinct indexed variables — :mod:`reference_order`
+Θ     order of reference (row-wise / column-wise) — :mod:`reference_order`
+Λ     level at which arrays are referenced — :class:`looptree.LoopNode`
+====  =============================================================
+
+On top of these, :mod:`locality` computes the locality virtual size of
+every loop (the ``X`` argument of ALLOCATE directives) and
+:mod:`priority` implements Procedure 1 (Figure 2), the bottom-up priority
+index assignment.
+"""
+
+from repro.analysis.locality import (
+    Contribution,
+    LocalityAnalysis,
+    LocalityReport,
+    SizingStrategy,
+    analyze_program,
+)
+from repro.analysis.looptree import LoopNode, LoopTree
+from repro.analysis.parameters import PageConfig
+from repro.analysis.priority import assign_priority_indexes
+from repro.analysis.reference_order import (
+    ReferenceGroup,
+    ReferenceOrder,
+    classify_references,
+    expression_variables,
+    normalize_expression,
+)
+
+__all__ = [
+    "Contribution",
+    "LocalityAnalysis",
+    "LocalityReport",
+    "LoopNode",
+    "LoopTree",
+    "PageConfig",
+    "ReferenceGroup",
+    "ReferenceOrder",
+    "SizingStrategy",
+    "analyze_program",
+    "assign_priority_indexes",
+    "classify_references",
+    "expression_variables",
+    "normalize_expression",
+]

@@ -1,0 +1,212 @@
+"""Loop-nest structure: the Δ (nest depth) and Λ (reference level) parameters.
+
+A :class:`LoopTree` organizes every ``DO`` loop of a program into a forest
+mirroring the syntactic nesting.  Each :class:`LoopNode` records:
+
+* ``level`` — the paper's Λ: 1 for an outermost loop, increasing inward;
+* ``children`` — directly nested loops;
+* ``direct_statements`` — statements at this loop's own level (not inside
+  a deeper loop), which is where Algorithm 2 looks for arrays to LOCK;
+* ``direct_refs`` — the array references contained in those statements.
+
+``Δ`` (the nest depth of a loop structure) is the maximum level within
+the subtree of an outermost loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.frontend import ast
+
+
+@dataclass
+class LoopNode:
+    """One ``DO`` or ``DO WHILE`` loop within the loop forest."""
+
+    loop: "ast.Stmt"  # DoLoop or WhileLoop
+    level: int
+    parent: Optional["LoopNode"] = None
+    children: List["LoopNode"] = field(default_factory=list)
+    #: statements directly at this loop's level (loop bodies excluded)
+    direct_statements: List[ast.Stmt] = field(default_factory=list)
+    #: array references occurring in ``direct_statements`` plus the
+    #: loop-control expressions of immediate child loops
+    direct_refs: List[ast.ArrayRef] = field(default_factory=list)
+
+    @property
+    def loop_id(self) -> int:
+        return self.loop.loop_id
+
+    @property
+    def var(self) -> str:
+        """The index variable; empty for condition-controlled loops
+        (a WHILE loop drives no subscript directly)."""
+        return getattr(self.loop, "var", "")
+
+    @property
+    def is_while(self) -> bool:
+        return isinstance(self.loop, ast.WhileLoop)
+
+    @property
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    @property
+    def subtree_depth(self) -> int:
+        """Depth of the deepest loop in this subtree, counting this node
+        as 1 — equals the paper's Δ when evaluated on an outermost loop."""
+        if not self.children:
+            return 1
+        return 1 + max(child.subtree_depth for child in self.children)
+
+    def ancestors(self) -> Iterator["LoopNode"]:
+        """Enclosing loops from the immediate parent outward."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["LoopNode"]:
+        """All loops strictly inside this one, pre-order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def self_and_descendants(self) -> Iterator["LoopNode"]:
+        yield self
+        yield from self.descendants()
+
+    def path_down_to(self, other: "LoopNode") -> List["LoopNode"]:
+        """Nodes from ``self`` down to ``other`` inclusive.
+
+        Raises :class:`ValueError` when ``other`` is not in this subtree.
+        """
+        chain = [other]
+        node = other
+        while node is not self:
+            node = node.parent
+            if node is None:
+                raise ValueError(
+                    f"loop {other.loop_id} is not nested inside {self.loop_id}"
+                )
+            chain.append(node)
+        chain.reverse()
+        return chain
+
+    def all_refs(self) -> Iterator[ast.ArrayRef]:
+        """Array references anywhere within this loop (subtree included)."""
+        for node in self.self_and_descendants():
+            yield from node.direct_refs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LoopNode(id={self.loop_id}, var={self.var}, level={self.level}, "
+            f"children={len(self.children)})"
+        )
+
+
+class LoopTree:
+    """Forest of loop nests for one program."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.roots: List[LoopNode] = []
+        self.by_id: Dict[int, LoopNode] = {}
+        #: array references at program top level (outside every loop)
+        self.toplevel_refs: List[ast.ArrayRef] = []
+        self._build(program.body, parent=None)
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self, stmts: List[ast.Stmt], parent: Optional[LoopNode]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+                node = LoopNode(
+                    loop=stmt,
+                    level=(parent.level + 1) if parent else 1,
+                    parent=parent,
+                )
+                self.by_id[stmt.loop_id] = node
+                if parent is None:
+                    self.roots.append(node)
+                else:
+                    parent.children.append(node)
+                if isinstance(stmt, ast.DoLoop):
+                    # DO bounds evaluate once, at the *enclosing* level.
+                    control_refs = list(self._stmt_control_refs(stmt))
+                    if parent is None:
+                        self.toplevel_refs.extend(control_refs)
+                    else:
+                        parent.direct_refs.extend(control_refs)
+                else:
+                    # A WHILE condition re-evaluates every iteration: its
+                    # references belong to the loop's own level.
+                    node.direct_refs.extend(
+                        n
+                        for n in ast.walk_expressions(stmt.cond)
+                        if isinstance(n, ast.ArrayRef)
+                    )
+                self._build(stmt.body, parent=node)
+            elif isinstance(stmt, ast.IfBlock):
+                # Branch conditions and bodies stay at the current level.
+                for cond, _body in stmt.branches:
+                    if cond is not None:
+                        self._collect_refs_into(cond, parent)
+                for _cond, body in stmt.branches:
+                    self._build(body, parent)
+            elif isinstance(stmt, ast.LogicalIf):
+                self._collect_refs_into(stmt.cond, parent)
+                self._build([stmt.stmt], parent)
+            else:
+                if parent is not None:
+                    parent.direct_statements.append(stmt)
+                refs = list(ast.statement_array_refs(stmt))
+                if parent is None:
+                    self.toplevel_refs.extend(refs)
+                else:
+                    parent.direct_refs.extend(refs)
+
+    @staticmethod
+    def _stmt_control_refs(loop: ast.DoLoop) -> Iterator[ast.ArrayRef]:
+        for expr in (loop.start, loop.end, loop.step):
+            if expr is None:
+                continue
+            for node in ast.walk_expressions(expr):
+                if isinstance(node, ast.ArrayRef):
+                    yield node
+
+    def _collect_refs_into(self, expr: ast.Expr, parent: Optional[LoopNode]) -> None:
+        refs = [n for n in ast.walk_expressions(expr) if isinstance(n, ast.ArrayRef)]
+        if parent is None:
+            self.toplevel_refs.extend(refs)
+        else:
+            parent.direct_refs.extend(refs)
+
+    # -- queries -------------------------------------------------------------
+
+    def nodes(self) -> Iterator[LoopNode]:
+        """All loop nodes, pre-order across the forest."""
+        for root in self.roots:
+            yield from root.self_and_descendants()
+
+    @property
+    def max_depth(self) -> int:
+        """The paper's Δ for the deepest nest in the program (0 if no loops)."""
+        if not self.roots:
+            return 0
+        return max(root.subtree_depth for root in self.roots)
+
+    def nest_depth(self, node: LoopNode) -> int:
+        """Δ of the nest containing ``node`` (depth of its outermost root)."""
+        root = node
+        while root.parent is not None:
+            root = root.parent
+        return root.subtree_depth
+
+    def enclosing_vars(self, node: LoopNode) -> List[str]:
+        """Loop variables of ``node`` and all its ancestors (inner first)."""
+        names = [node.var]
+        names.extend(anc.var for anc in node.ancestors())
+        return names

@@ -1,0 +1,59 @@
+"""Procedure 1 (Figure 2): assigning priority indexes to loop levels.
+
+The paper's procedure scans the nest bottom-up:
+
+    With every inner loop in the nested loop structure DO
+        Assign PI = 1 to the inner most loop;
+        REPEAT
+            Next Outer Loop;
+            IF (PI is already assigned) THEN PI = maximum(PI+1, old PI)
+            ELSE PI = PI + 1;
+        UNTIL Outer Most Loop Is Encountered;
+
+which is equivalent to: the PI of a loop is the height of that loop in
+its nest — 1 for innermost loops, and ``1 + max(children PIs)``
+otherwise.  The outermost loop of a nest of depth Δ therefore gets
+``PI = Δ`` (properties (1) and (2) in the paper), and intermediate loops
+get their distance to the deepest innermost loop below them (property
+(3)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.looptree import LoopNode, LoopTree
+
+
+def assign_priority_indexes(tree: LoopTree) -> Dict[int, int]:
+    """Run Procedure 1 over the whole loop forest.
+
+    Returns a map from ``loop_id`` to the priority index PI.  Implemented
+    literally as the paper's bottom-up walk: starting from every
+    innermost loop, push ``PI+1`` outward, keeping the maximum when a
+    loop was already assigned by another inner chain.
+    """
+    pi: Dict[int, int] = {}
+    innermost = [node for node in tree.nodes() if node.is_innermost]
+    for leaf in innermost:
+        pi[leaf.loop_id] = max(pi.get(leaf.loop_id, 1), 1)
+        current = 1
+        node = leaf.parent
+        while node is not None:
+            current += 1
+            previous = pi.get(node.loop_id)
+            if previous is not None:
+                current = max(current, previous)
+            pi[node.loop_id] = current
+            node = node.parent
+    return pi
+
+
+def priority_of(node: LoopNode) -> int:
+    """PI of a single node computed structurally (height of the subtree).
+
+    Equivalent to :func:`assign_priority_indexes` for the same node; used
+    as a cross-check in tests and by callers that need one value without
+    building the full map.
+    """
+    return node.subtree_depth

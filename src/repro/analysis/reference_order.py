@@ -1,0 +1,207 @@
+"""The Θ (order of reference) and X (distinct indexes) parameters.
+
+Given an array reference such as ``A(I, J+1)`` inside a loop nest, this
+module determines:
+
+* which enclosing loop actually *drives* the reference (the innermost
+  enclosing loop whose variable occurs in a subscript) — the reference's
+  *effective level*, which may be higher than its syntactic level when a
+  loop does not index the array at all;
+* the order of reference Θ relative to the driving loop, under
+  column-major storage:
+
+  - **COLUMN_WISE** — the driving variable occurs in the row subscript
+    (consecutive iterations walk down a column, i.e. contiguous memory);
+  - **ROW_WISE** — the driving variable occurs in the column subscript
+    (consecutive iterations stride across columns);
+  - **DIAGONAL** — it occurs in both subscripts;
+  - **INVARIANT** — no enclosing loop variable occurs in any subscript
+    (the same element(s) are re-referenced);
+  - **SEQUENTIAL** — the vector analogue of COLUMN_WISE;
+
+* ``X`` — the number of distinct index expressions per subscript
+  position, computed over a *group* of references to the same array at
+  the same effective loop (the paper's "number of indexed variables used
+  to reference array elements").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.frontend import ast
+from repro.analysis.looptree import LoopNode, LoopTree
+
+
+class ReferenceOrder(enum.Enum):
+    """Θ: how consecutive iterations of the driving loop move through the
+    array, under column-major storage."""
+
+    SEQUENTIAL = "sequential"  # vector driven by a loop variable
+    COLUMN_WISE = "column-wise"
+    ROW_WISE = "row-wise"
+    DIAGONAL = "diagonal"
+    INVARIANT = "invariant"
+
+
+def expression_variables(expr: ast.Expr) -> Set[str]:
+    """Names of scalar variables occurring in ``expr``.
+
+    Intrinsic function names are excluded; variables inside call
+    arguments and nested array subscripts are included (they still vary
+    the reference).
+    """
+    names: Set[str] = set()
+    for node in ast.walk_expressions(expr):
+        if isinstance(node, ast.Var):
+            names.add(node.name)
+    return names
+
+
+def normalize_expression(expr: ast.Expr) -> str:
+    """Canonical text of an index expression, used to count distinct
+    indexes: ``I + 1`` and ``1+I`` normalize to the same string."""
+    if isinstance(expr, ast.Num):
+        return repr(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        inner = ",".join(normalize_expression(ix) for ix in expr.indices)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"(-{normalize_expression(expr.operand)})"
+    if isinstance(expr, ast.BinOp):
+        left = normalize_expression(expr.left)
+        right = normalize_expression(expr.right)
+        if expr.op in ("+", "*") and right < left:
+            left, right = right, left
+        return f"({left}{expr.op}{right})"
+    if isinstance(expr, ast.Call):
+        inner = ",".join(normalize_expression(a) for a in expr.args)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Compare):
+        return (
+            f"({normalize_expression(expr.left)}{expr.op}"
+            f"{normalize_expression(expr.right)})"
+        )
+    if isinstance(expr, ast.LogicalOp):
+        return (
+            f"({normalize_expression(expr.left)}{expr.op}"
+            f"{normalize_expression(expr.right)})"
+        )
+    if isinstance(expr, ast.LogicalLit):
+        return ".TRUE." if expr.value else ".FALSE."
+    raise TypeError(f"cannot normalize {type(expr).__name__}")  # pragma: no cover
+
+
+@dataclass
+class ReferenceGroup:
+    """All references to one array that are *driven by* one loop.
+
+    ``driver`` is the effective loop (innermost enclosing loop whose
+    variable occurs in a subscript); ``None`` means the references are
+    invariant within the whole nest under analysis.
+    """
+
+    array: str
+    rank: int
+    driver: Optional[LoopNode]
+    refs: List[ast.ArrayRef] = field(default_factory=list)
+    #: distinct normalized index expressions per subscript position
+    distinct_indexes: Tuple[Set[str], ...] = ()
+
+    @property
+    def order(self) -> ReferenceOrder:
+        if self.driver is None:
+            return ReferenceOrder.INVARIANT
+        if self.rank == 1:
+            return ReferenceOrder.SEQUENTIAL
+        var = self.driver.var
+        row_driven = any(
+            var in expression_variables(ref.indices[0]) for ref in self.refs
+        )
+        col_driven = any(
+            var in expression_variables(ref.indices[1]) for ref in self.refs
+        )
+        if row_driven and col_driven:
+            return ReferenceOrder.DIAGONAL
+        if row_driven:
+            return ReferenceOrder.COLUMN_WISE
+        return ReferenceOrder.ROW_WISE
+
+    @property
+    def x_row(self) -> int:
+        """X_r: distinct index expressions in the row subscript."""
+        return max(1, len(self.distinct_indexes[0]))
+
+    @property
+    def x_col(self) -> int:
+        """X_c: distinct index expressions in the column subscript
+        (1 for vectors, the paper's N = 1 convention)."""
+        if self.rank == 1:
+            return 1
+        return max(1, len(self.distinct_indexes[1]))
+
+    @property
+    def x_total(self) -> int:
+        """X: distinct full index tuples (upper bound on pages touched in
+        one iteration of the driving loop)."""
+        tuples = {
+            tuple(normalize_expression(ix) for ix in ref.indices)
+            for ref in self.refs
+        }
+        return max(1, len(tuples))
+
+
+def _effective_driver(
+    ref: ast.ArrayRef,
+    enclosing: Sequence[LoopNode],
+) -> Optional[LoopNode]:
+    """The innermost loop in ``enclosing`` (ordered outer→inner) whose
+    variable occurs in any subscript of ``ref``."""
+    used: Set[str] = set()
+    for ix in ref.indices:
+        used |= expression_variables(ix)
+    for node in reversed(enclosing):
+        if node.var in used:
+            return node
+    return None
+
+
+def classify_references(
+    tree: LoopTree,
+    scope: LoopNode,
+    ranks: Dict[str, int],
+) -> List[ReferenceGroup]:
+    """Group the array references inside ``scope`` by (array, driver).
+
+    ``ranks`` maps array names to their declared rank (1 or 2), from the
+    symbol table.  Each reference inside ``scope``'s subtree is assigned
+    to its *effective* driving loop: the innermost loop on the syntactic
+    path from ``scope`` to the reference whose variable occurs in a
+    subscript.  References driven by no loop in that path form INVARIANT
+    groups attached to ``driver=None``.
+    """
+    groups: Dict[Tuple[str, Optional[int]], ReferenceGroup] = {}
+    for node in scope.self_and_descendants():
+        path = scope.path_down_to(node)
+        for ref in node.direct_refs:
+            driver = _effective_driver(ref, path)
+            key = (ref.name, driver.loop_id if driver else None)
+            group = groups.get(key)
+            if group is None:
+                rank = ranks.get(ref.name, len(ref.indices))
+                group = ReferenceGroup(
+                    array=ref.name,
+                    rank=rank,
+                    driver=driver,
+                    refs=[],
+                    distinct_indexes=tuple(set() for _ in range(rank)),
+                )
+                groups[key] = group
+            group.refs.append(ref)
+            for position, ix in enumerate(ref.indices):
+                group.distinct_indexes[position].add(normalize_expression(ix))
+    return list(groups.values())

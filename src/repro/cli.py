@@ -1,0 +1,362 @@
+"""Command-line interface: ``python -m repro`` / ``cdmm``.
+
+Subcommands
+-----------
+
+``analyze <file|workload>``
+    Print the loop tree with Λ, Δ, PI, and locality sizes.
+
+``instrument <file|workload>``
+    Print the program with ALLOCATE/LOCK/UNLOCK directives interleaved
+    (Figure-5c style).
+
+``trace <file|workload>``
+    Generate the reference trace and print its summary.
+
+``simulate <file|workload> --policy …``
+    Replay the trace under one policy and print PF/MEM/ST.
+
+``table {1,2,3,4,zoo,locks,sizing}``
+    Regenerate one of the paper's tables or an ablation.
+
+``list``
+    List the bundled benchmark workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.locality import analyze_program
+from repro.directives import instrument_program, render_instrumented
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_source
+from repro.tracegen.interpreter import generate_trace
+from repro.vm.policies import (
+    CDConfig,
+    CDPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    OPTPolicy,
+    PFFPolicy,
+    WorkingSetPolicy,
+)
+from repro.vm.simulator import simulate
+from repro.workloads import all_workloads, get_workload
+
+
+def _load_program(spec: str):
+    """A workload name or a path to a mini-FORTRAN source file."""
+    path = Path(spec)
+    if path.exists():
+        return parse_source(path.read_text())
+    try:
+        return get_workload(spec).program()
+    except KeyError:
+        raise SystemExit(
+            f"error: {spec!r} is neither a file nor a bundled workload"
+        ) from None
+
+
+def _cmd_list(_args) -> int:
+    for w in all_workloads():
+        print(f"{w.name:8s} [{w.origin:8s}] {w.description}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    program = _load_program(args.program)
+    analysis = analyze_program(program)
+    if args.report:
+        from repro.analysis.explain import explain_program
+
+        print(explain_program(program, analysis=analysis), end="")
+        return 0
+    print(f"PROGRAM {program.name}: Δ = {analysis.tree.max_depth}, ", end="")
+    print(f"V = {analysis.program_virtual_size} pages")
+    for node in analysis.tree.nodes():
+        report = analysis.reports[node.loop_id]
+        indent = "  " * node.level
+        print(
+            f"{indent}DO {node.var} (line {report.line}): "
+            f"level Λ={report.level}, PI={report.priority_index}, "
+            f"X={report.virtual_size} pages"
+        )
+        if args.verbose:
+            for c in report.contributions:
+                print(
+                    f"{indent}    {c.array}: {c.pages} pages "
+                    f"[{c.order.value}, d={c.depth_difference}] ({c.rule})"
+                )
+    return 0
+
+
+def _cmd_instrument(args) -> int:
+    program = _load_program(args.program)
+    plan = instrument_program(program, with_locks=not args.no_locks)
+    print(render_instrumented(program, plan), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    program = _load_program(args.program)
+    plan = None
+    if args.directives:
+        plan = instrument_program(program)
+    trace = generate_trace(program, plan=plan)
+    print(trace.summary())
+    for array, pages in sorted(trace.footprint_by_array().items()):
+        first, count = trace.array_pages[array]
+        print(f"  {array:8s} pages {first}..{first + count - 1} ({pages} touched)")
+    return 0
+
+
+def _make_policy(args):
+    name = args.policy.upper()
+    if name == "LRU":
+        return LRUPolicy(frames=args.frames or 8)
+    if name == "FIFO":
+        return FIFOPolicy(frames=args.frames or 8)
+    if name == "CLOCK":
+        from repro.vm.policies import ClockPolicy
+
+        return ClockPolicy(frames=args.frames or 8)
+    if name == "OPT":
+        return OPTPolicy(frames=args.frames or 8)
+    if name == "WS":
+        return WorkingSetPolicy(tau=args.tau or 1000)
+    if name == "PFF":
+        return PFFPolicy(threshold=args.tau or 1000)
+    if name == "CD":
+        return CDPolicy(
+            CDConfig(pi_cap=args.pi_cap, memory_limit=args.memory_limit)
+        )
+    raise SystemExit(f"error: unknown policy {args.policy!r}")
+
+
+def _cmd_simulate(args) -> int:
+    program = _load_program(args.program)
+    plan = instrument_program(program, with_locks=args.locks)
+    trace = generate_trace(program, plan=plan)
+    policy = _make_policy(args)
+    result = simulate(trace, policy)
+    print(result.describe())
+    if result.swaps or result.denied_requests or result.lock_releases:
+        print(
+            f"  swaps={result.swaps} denied={result.denied_requests} "
+            f"lock_releases={result.lock_releases}"
+        )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    which = args.which.lower()
+    if which == "1":
+        from repro.experiments.table1 import render_table1
+
+        print(render_table1())
+    elif which == "2":
+        from repro.experiments.table2 import render_table2
+
+        print(render_table2())
+    elif which == "3":
+        from repro.experiments.table3 import render_table3
+
+        print(render_table3())
+    elif which == "4":
+        from repro.experiments.table4 import render_table4
+
+        print(render_table4())
+    elif which == "zoo":
+        from repro.experiments.ablations import render_policy_zoo
+
+        print(render_policy_zoo())
+    elif which == "locks":
+        from repro.experiments.ablations import render_lock_ablation
+
+        print(render_lock_ablation())
+    elif which == "sizing":
+        from repro.experiments.ablations import render_sizing_ablation
+
+        print(render_sizing_ablation())
+    elif which == "geometry":
+        from repro.experiments.geometry import render_geometry
+
+        print(render_geometry())
+    elif which == "multiprog":
+        from repro.experiments.multiprog_study import render_multiprog
+
+        print(render_multiprog())
+    elif which == "wsfamily":
+        from repro.experiments.ablations import render_ws_family
+
+        print(render_ws_family())
+    elif which == "control":
+        from repro.experiments.controllability import render_controllability
+
+        print(render_controllability())
+    elif which == "adaptive":
+        from repro.experiments.ablations import render_adaptive_study
+
+        print(render_adaptive_study())
+    else:
+        raise SystemExit(f"error: unknown table {args.which!r}")
+    return 0
+
+
+def _cmd_curves(args) -> int:
+    from repro.experiments.curves import policy_curves
+
+    curves = policy_curves(args.program)
+    if args.csv:
+        print(curves.to_csv(), end="")
+    else:
+        print(curves.render())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    """Regenerate every table and study, writing one file per artifact."""
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    from repro.experiments.table1 import render_table1
+    from repro.experiments.table2 import render_table2
+    from repro.experiments.table3 import render_table3
+    from repro.experiments.table4 import render_table4
+    from repro.experiments.ablations import (
+        render_adaptive_study,
+        render_lock_ablation,
+        render_policy_zoo,
+        render_sizing_ablation,
+        render_ws_family,
+    )
+    from repro.experiments.controllability import render_controllability
+    from repro.experiments.geometry import render_geometry
+    from repro.experiments.multiprog_study import render_multiprog
+
+    artifacts = [
+        ("table1.txt", render_table1),
+        ("table2.txt", render_table2),
+        ("table3.txt", render_table3),
+        ("table4.txt", render_table4),
+        ("ablation_zoo.txt", render_policy_zoo),
+        ("ablation_sizing.txt", render_sizing_ablation),
+        ("ablation_locks.txt", render_lock_ablation),
+        ("ablation_ws_family.txt", render_ws_family),
+        ("ablation_adaptive.txt", render_adaptive_study),
+        ("controllability.txt", render_controllability),
+        ("geometry.txt", render_geometry),
+        ("multiprogramming.txt", render_multiprog),
+    ]
+    for filename, render in artifacts:
+        text = render()
+        (out_dir / filename).write_text(text + "\n")
+        print(f"wrote {out_dir / filename}")
+        if args.show:
+            print(text)
+            print()
+    return 0
+
+
+def _cmd_bli(args) -> int:
+    from repro.directives import instrument_program
+    from repro.vm.bli import BLIAnalyzer, compare_with_predictions
+
+    program = _load_program(args.program)
+    plan = instrument_program(program)
+    trace = generate_trace(program, plan=plan)
+    analyzer = BLIAnalyzer(trace)
+    print(analyzer.summary())
+    print(compare_with_predictions(trace).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cdmm",
+        description=(
+            "Compiler Directed Memory Management (Malkawi & Patel, SOSP 1985)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads").set_defaults(
+        func=_cmd_list
+    )
+
+    p = sub.add_parser("analyze", help="source-level locality analysis")
+    p.add_argument("program", help="workload name or source file")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--report", action="store_true", help="emit a markdown analysis report"
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("instrument", help="show inserted directives")
+    p.add_argument("program")
+    p.add_argument("--no-locks", action="store_true")
+    p.set_defaults(func=_cmd_instrument)
+
+    p = sub.add_parser("trace", help="generate a reference trace")
+    p.add_argument("program")
+    p.add_argument("--directives", action="store_true")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("simulate", help="replay under one policy")
+    p.add_argument("program")
+    p.add_argument("--policy", default="CD")
+    p.add_argument("--frames", type=int, help="frames for LRU/FIFO/OPT")
+    p.add_argument("--tau", type=int, help="window for WS / threshold for PFF")
+    p.add_argument("--pi-cap", type=int, dest="pi_cap")
+    p.add_argument("--memory-limit", type=int, dest="memory_limit")
+    p.add_argument("--locks", action="store_true", help="execute LOCK/UNLOCK")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("table", help="regenerate a paper table or ablation")
+    p.add_argument(
+        "which",
+        help=(
+            "1, 2, 3, 4, zoo, locks, sizing, geometry, multiprog, "
+            "wsfamily, control, or adaptive"
+        ),
+    )
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser(
+        "bli", help="detect locality intervals and compare with predictions"
+    )
+    p.add_argument("program")
+    p.set_defaults(func=_cmd_bli)
+
+    p = sub.add_parser(
+        "curves", help="LRU/WS sweep series with CD operating points"
+    )
+    p.add_argument("program", help="bundled workload name")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+    p.set_defaults(func=_cmd_curves)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="regenerate every table and study into an output directory",
+    )
+    p.add_argument("-o", "--output", default="results", help="output directory")
+    p.add_argument("--show", action="store_true", help="also print each table")
+    p.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FrontendError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Memory directives (Section 3 of the paper).
+
+Three directives are modeled:
+
+``ALLOCATE ((PI1, X1) else (PI2, X2) else …)``
+    A prioritized list of memory requests sized to the localities of the
+    enclosing loop levels.  Inserted before every loop by Algorithm 1
+    (:mod:`allocate_insertion`).
+
+``LOCK (PJ, Y1, Y2, …)``
+    A soft pin on the current pages of arrays referenced in an outer
+    loop, inserted before each inner loop by Algorithm 2
+    (:mod:`lock_insertion`).
+
+``UNLOCK (Y1, Y2, …)``
+    Releases the pins; inserted at the end of each outermost loop.
+
+:func:`instrument_program` runs both algorithms and returns an
+:class:`InstrumentationPlan` the trace generator consults at run time;
+:func:`render_instrumented` prints the program with directives
+interleaved, Figure-5c style.
+"""
+
+from repro.directives.model import (
+    AllocateDirective,
+    AllocateRequest,
+    InstrumentationPlan,
+    LockDirective,
+    UnlockDirective,
+)
+from repro.directives.allocate_insertion import insert_allocate_directives
+from repro.directives.lock_insertion import insert_lock_directives
+from repro.directives.instrument import instrument_program
+from repro.directives.render import render_instrumented
+
+__all__ = [
+    "AllocateDirective",
+    "AllocateRequest",
+    "InstrumentationPlan",
+    "LockDirective",
+    "UnlockDirective",
+    "insert_allocate_directives",
+    "insert_lock_directives",
+    "instrument_program",
+    "render_instrumented",
+]

@@ -1,0 +1,76 @@
+"""Algorithm 1 (Figure 3): inserting ALLOCATE directives.
+
+A single top-down walk over the program maintains the argument list of
+the current memory directive as a stack: entering a loop appends its
+``(PI, X)`` pair; leaving a loop deletes it ("DELETE last two elements
+of the argument list" in the paper's list representation).  The MD
+inserted before a loop therefore carries the pairs of *all* enclosing
+loops plus its own — "The arguments of ALLOCATE at some level λ are
+carried out at all subsequent levels > λ", which lets requests denied
+for lack of space be retried at inner levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.locality import LocalityAnalysis
+from repro.analysis.looptree import LoopNode
+from repro.directives.model import AllocateDirective, AllocateRequest
+
+
+def insert_allocate_directives(
+    analysis: LocalityAnalysis,
+) -> Dict[int, AllocateDirective]:
+    """Run Algorithm 1 over the analyzed program.
+
+    Returns a map from ``loop_id`` to the ALLOCATE directive inserted
+    right before that loop.  Request sizes along one directive are made
+    non-increasing (outer ≥ inner) by raising an outer request to the
+    largest inner request below it: while the inner loop runs, the
+    program needs at least that much memory, so an outer-level grant must
+    cover it.  (The paper asserts ``X1 ≥ X2 ≥ …`` as an invariant of the
+    directive; the raise makes the invariant hold even when the calculus
+    sizes an inner locality larger than an enclosing estimate, e.g. a
+    conservatively-sized column walk.)
+    """
+    directives: Dict[int, AllocateDirective] = {}
+    for root in analysis.tree.roots:
+        _walk(root, [], analysis, directives)
+    return directives
+
+
+def _walk(
+    node: LoopNode,
+    stack: List[AllocateRequest],
+    analysis: LocalityAnalysis,
+    out: Dict[int, AllocateDirective],
+) -> None:
+    report = analysis.report_for(node.loop_id)
+    stack.append(
+        AllocateRequest(
+            priority_index=report.priority_index, pages=report.virtual_size
+        )
+    )
+    out[node.loop_id] = _directive_from_stack(node.loop_id, stack)
+    for child in node.children:
+        _walk(child, stack, analysis, out)
+    stack.pop()
+
+
+def _directive_from_stack(
+    loop_id: int, stack: List[AllocateRequest]
+) -> AllocateDirective:
+    # Enforce non-increasing X outer-to-inner by a suffix maximum: an
+    # outer request must be at least as large as any request inside it.
+    raised: List[AllocateRequest] = []
+    running_max = 0
+    for request in reversed(stack):
+        running_max = max(running_max, request.pages)
+        raised.append(
+            AllocateRequest(
+                priority_index=request.priority_index, pages=running_max
+            )
+        )
+    raised.reverse()
+    return AllocateDirective(loop_id=loop_id, requests=tuple(raised))

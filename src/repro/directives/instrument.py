@@ -1,0 +1,48 @@
+"""Combined instrumentation: run Algorithms 1 and 2 and build the plan."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.locality import LocalityAnalysis, SizingStrategy, analyze_program
+from repro.analysis.parameters import PageConfig
+from repro.directives.allocate_insertion import insert_allocate_directives
+from repro.directives.lock_insertion import insert_lock_directives
+from repro.directives.model import InstrumentationPlan
+from repro.frontend import ast
+from repro.frontend.symbols import SymbolTable
+
+
+def instrument_program(
+    program: ast.Program,
+    symbols: Optional[SymbolTable] = None,
+    page_config: Optional[PageConfig] = None,
+    strategy: SizingStrategy = SizingStrategy.ACTIVE_PAGE,
+    min_pages: int = 1,
+    with_locks: bool = True,
+    analysis: Optional[LocalityAnalysis] = None,
+) -> InstrumentationPlan:
+    """Produce the full directive placement for ``program``.
+
+    ``with_locks=False`` produces an ALLOCATE-only plan — the paper's
+    evaluation studies ALLOCATE ("The effectiveness of LOCK and UNLOCK
+    directives is not studied in this work"), so the experiment harness
+    uses this mode by default and the LOCK path is exercised by the
+    ablation benchmarks.
+
+    Passing a pre-built ``analysis`` avoids re-analyzing when the caller
+    already has one; the other analysis parameters are then ignored.
+    """
+    if analysis is None:
+        analysis = analyze_program(
+            program,
+            symbols=symbols,
+            page_config=page_config,
+            strategy=strategy,
+            min_pages=min_pages,
+        )
+    plan = InstrumentationPlan()
+    plan.allocates = insert_allocate_directives(analysis)
+    if with_locks:
+        plan.locks_before, plan.unlocks_after = insert_lock_directives(analysis)
+    return plan

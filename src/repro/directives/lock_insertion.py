@@ -1,0 +1,94 @@
+"""Algorithm 2 (Figure 4): inserting LOCK and UNLOCK directives.
+
+For each loop in a nest, the algorithm scans the loop body in statement
+order, collecting arrays referenced *directly at this level* (pages of
+these arrays may be re-referenced after an inner loop finishes and
+control branches back).  When the scan reaches an inner loop and some
+arrays were collected, a ``LOCK (PJ, …)`` is inserted immediately before
+that inner loop, with PJ the priority index of the *containing* loop.
+Arrays referenced after the last inner loop are not locked ("IF Loop
+Exit Is Found THEN SKIP Next INSERT").
+
+An ``UNLOCK`` listing every array locked anywhere in the nest is placed
+at the end of each outermost loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.locality import LocalityAnalysis
+from repro.analysis.looptree import LoopNode
+from repro.directives.model import LockDirective, UnlockDirective
+from repro.frontend import ast
+
+
+def insert_lock_directives(
+    analysis: LocalityAnalysis,
+) -> Tuple[Dict[int, LockDirective], Dict[int, UnlockDirective]]:
+    """Run Algorithm 2 over every loop nest of the analyzed program.
+
+    Returns ``(locks_before, unlocks_after)`` keyed by ``loop_id``:
+    ``locks_before[c]`` executes immediately before entering loop ``c``;
+    ``unlocks_after[r]`` executes right after the outermost loop ``r``
+    exits.
+    """
+    locks: Dict[int, LockDirective] = {}
+    unlocks: Dict[int, UnlockDirective] = {}
+    for root in analysis.tree.roots:
+        locked_in_nest: List[str] = []
+        for node in root.self_and_descendants():
+            _scan_loop_body(node, analysis, locks, locked_in_nest)
+        if locked_in_nest:
+            # Preserve first-lock order while removing duplicates.
+            seen = dict.fromkeys(locked_in_nest)
+            unlocks[root.loop_id] = UnlockDirective(
+                loop_id=root.loop_id, arrays=tuple(seen)
+            )
+    return locks, unlocks
+
+
+def _scan_loop_body(
+    node: LoopNode,
+    analysis: LocalityAnalysis,
+    locks: Dict[int, LockDirective],
+    locked_in_nest: List[str],
+) -> None:
+    """Scan one loop body in statement order (Algorithm 2's SEARCH)."""
+    if node.is_innermost:
+        return  # nothing to insert before — no inner loops
+    pj = analysis.report_for(node.loop_id).priority_index
+    pending: List[str] = []
+    for stmt in node.loop.body:
+        if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            if pending:
+                arrays = tuple(dict.fromkeys(pending))
+                locks[stmt.loop_id] = LockDirective(
+                    loop_id=stmt.loop_id, priority_index=pj, arrays=arrays
+                )
+                locked_in_nest.extend(arrays)
+                pending = []
+            continue
+        pending.extend(_arrays_in_statement(stmt))
+    # Anything left in ``pending`` was referenced after the last inner
+    # loop: the loop exit comes next, so the INSERT is skipped.
+
+
+def _arrays_in_statement(stmt: ast.Stmt) -> List[str]:
+    """Array names referenced by one statement (nested loops excluded —
+    they are scanned on their own)."""
+    names: List[str] = []
+    if isinstance(stmt, ast.IfBlock):
+        for cond, body in stmt.branches:
+            if cond is not None:
+                names.extend(
+                    n.name
+                    for n in ast.walk_expressions(cond)
+                    if isinstance(n, ast.ArrayRef)
+                )
+            for inner in body:
+                if not isinstance(inner, (ast.DoLoop, ast.WhileLoop)):
+                    names.extend(_arrays_in_statement(inner))
+        return names
+    names.extend(ref.name for ref in ast.statement_array_refs(stmt))
+    return names

@@ -1,0 +1,113 @@
+"""Data model for memory directives and the instrumentation plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class AllocateRequest:
+    """One ``(PI, X)`` element of an ALLOCATE argument list."""
+
+    priority_index: int  # PI — larger = outer loop = tried first
+    pages: int  # X — virtual size of the corresponding locality
+
+    def __post_init__(self) -> None:
+        if self.priority_index < 1:
+            raise ValueError("priority index must be >= 1")
+        if self.pages < 1:
+            raise ValueError("a request must ask for at least one page")
+
+
+@dataclass(frozen=True)
+class AllocateDirective:
+    """``ALLOCATE ((PI1,X1) else (PI2,X2) else …)`` before one loop.
+
+    Requests are ordered outermost-first: strictly decreasing PI and
+    non-increasing X, the invariants the paper states
+    (``PI1 > PI2 > …``, ``X1 ≥ X2 ≥ …``).
+    """
+
+    loop_id: int  # the loop this directive immediately precedes
+    requests: Tuple[AllocateRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("ALLOCATE needs at least one request")
+        for earlier, later in zip(self.requests, self.requests[1:]):
+            if earlier.priority_index <= later.priority_index:
+                raise ValueError("ALLOCATE PIs must be strictly decreasing")
+            if earlier.pages < later.pages:
+                raise ValueError("ALLOCATE request sizes must be non-increasing")
+
+    @property
+    def innermost(self) -> AllocateRequest:
+        """The last (smallest, highest-priority) request."""
+        return self.requests[-1]
+
+    def render(self) -> str:
+        """The paper's surface syntax for the directive."""
+        parts = " else ".join(
+            f"({r.priority_index},{r.pages})" for r in self.requests
+        )
+        return f"ALLOCATE ({parts})"
+
+
+@dataclass(frozen=True)
+class LockDirective:
+    """``LOCK (PJ, Y1, Y2, …)`` before one inner loop.
+
+    ``arrays`` names the arrays whose *current* pages the run-time
+    resolves and pins (the compiler cannot know page numbers statically;
+    the paper's Y_i are resolved when the directive executes).
+    """
+
+    loop_id: int  # the inner loop this directive immediately precedes
+    priority_index: int  # PJ of the loop containing the references
+    arrays: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.priority_index < 2:
+            # "Since there will be no pages locked in the inner most
+            # loop … the highest priority of locked pages is PJ = 2."
+            raise ValueError("LOCK PJ must be >= 2")
+        if not self.arrays:
+            raise ValueError("LOCK needs at least one array")
+
+    def render(self) -> str:
+        return f"LOCK ({self.priority_index},{','.join(self.arrays)})"
+
+
+@dataclass(frozen=True)
+class UnlockDirective:
+    """``UNLOCK (Y1, Y2, …)`` at the end of one outermost loop."""
+
+    loop_id: int  # the outermost loop this directive follows
+    arrays: Tuple[str, ...]
+
+    def render(self) -> str:
+        return f"UNLOCK ({','.join(self.arrays)})"
+
+
+@dataclass
+class InstrumentationPlan:
+    """Directive placement for one program.
+
+    The trace generator executes:
+
+    * ``allocates[loop_id]`` every time control is about to enter that
+      loop;
+    * ``locks_before[loop_id]`` immediately before entering that loop;
+    * ``unlocks_after[loop_id]`` right after that (outermost) loop exits.
+    """
+
+    allocates: Dict[int, AllocateDirective] = field(default_factory=dict)
+    locks_before: Dict[int, LockDirective] = field(default_factory=dict)
+    unlocks_after: Dict[int, UnlockDirective] = field(default_factory=dict)
+
+    @property
+    def directive_count(self) -> int:
+        return (
+            len(self.allocates) + len(self.locks_before) + len(self.unlocks_after)
+        )

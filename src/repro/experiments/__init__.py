@@ -1,0 +1,52 @@
+"""Experiment harness: regenerates every table of the paper's evaluation.
+
+* :mod:`runner` — per-workload cache of programs, analyses, directive
+  plans, traces, and LRU/WS sweeps;
+* :mod:`config` — the fourteen CD experiment rows (MAIN/MAIN1-3,
+  FDJAC/FDJAC1, TQL1/TQL2, and the six single-variant programs);
+* :mod:`table1` … :mod:`table4` — the four tables of Section 5;
+* :mod:`ablations` — the policy zoo, sizing-strategy and LOCK ablations
+  this reproduction adds;
+* :mod:`report` — plain-text table rendering.
+"""
+
+from repro.experiments.config import CDVariant, table1_rows, table2_rows, table34_rows
+from repro.experiments.runner import WorkloadArtifacts, artifacts_for, clear_cache
+from repro.experiments.report import format_table
+from repro.experiments.table1 import generate_table1
+from repro.experiments.table2 import generate_table2
+from repro.experiments.table3 import generate_table3
+from repro.experiments.table4 import generate_table4
+from repro.experiments.ablations import (
+    lock_ablation,
+    policy_zoo,
+    sizing_strategy_ablation,
+    ws_family_comparison,
+)
+from repro.experiments.controllability import controllability_study
+from repro.experiments.curves import policy_curves
+from repro.experiments.geometry import geometry_sweep
+from repro.experiments.multiprog_study import multiprog_study
+
+__all__ = [
+    "CDVariant",
+    "WorkloadArtifacts",
+    "artifacts_for",
+    "clear_cache",
+    "controllability_study",
+    "format_table",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "geometry_sweep",
+    "lock_ablation",
+    "multiprog_study",
+    "policy_curves",
+    "policy_zoo",
+    "sizing_strategy_ablation",
+    "table1_rows",
+    "table2_rows",
+    "table34_rows",
+    "ws_family_comparison",
+]

@@ -1,0 +1,162 @@
+"""The fourteen CD experiment rows of the paper's evaluation.
+
+"Programs MAIN, FDJAC and TQL were rerun with different sets of
+directives" (four sets for MAIN, two each for FDJAC and TQL).  A
+directive *set* is modeled by ``CDConfig.pi_cap``: the cap selects which
+level of the locality hierarchy the executed directives describe —
+``None`` honors the outermost (largest) requests, ``1`` only the
+innermost.  The base ``MAIN`` row additionally executes the LOCK/UNLOCK
+directives (the full directive set), which pins the outer-loop pages the
+inner-level allocation would otherwise churn.
+
+Single-variant programs run at ``pi_cap=2``: the mid-level sets, which
+are also what an OS under moderate contention would grant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.vm.policies import CDConfig
+
+
+@dataclass(frozen=True)
+class CDVariant:
+    """One experiment row: a workload replayed under one directive set."""
+
+    label: str  # row name as printed in the paper's tables
+    workload: str  # catalog name of the program
+    config: CDConfig
+    with_locks: bool = False  # execute LOCK/UNLOCK events too
+
+    def describe(self) -> str:
+        cap = self.config.pi_cap
+        level = "outermost" if cap is None else f"PI<={cap}"
+        locks = ", locks" if self.with_locks else ""
+        return f"{self.label}: {self.workload} with {level} directives{locks}"
+
+
+#: Table 1 rows — the directive-set study on MAIN, FDJAC and TQL.
+TABLE1_VARIANTS: List[CDVariant] = [
+    CDVariant("MAIN", "MAIN", CDConfig(pi_cap=2), with_locks=True),
+    CDVariant("MAIN1", "MAIN", CDConfig(pi_cap=None)),
+    CDVariant("MAIN2", "MAIN", CDConfig(pi_cap=2)),
+    CDVariant("MAIN3", "MAIN", CDConfig(pi_cap=1)),
+    CDVariant("FDJAC", "FDJAC", CDConfig(pi_cap=1)),
+    CDVariant("FDJAC1", "FDJAC", CDConfig(pi_cap=None)),
+    CDVariant("TQL1", "TQL", CDConfig(pi_cap=2)),
+    CDVariant("TQL2", "TQL", CDConfig(pi_cap=1)),
+]
+
+#: The six programs that appear with a single directive set.
+SINGLE_VARIANTS: List[CDVariant] = [
+    CDVariant("FIELD", "FIELD", CDConfig(pi_cap=2)),
+    CDVariant("INIT", "INIT", CDConfig(pi_cap=2)),
+    CDVariant("APPROX", "APPROX", CDConfig(pi_cap=2)),
+    CDVariant("HYBRJ", "HYBRJ", CDConfig(pi_cap=2)),
+    CDVariant("CONDUCT", "CONDUCT", CDConfig(pi_cap=2)),
+    CDVariant("HWSCRT", "HWSCRT", CDConfig(pi_cap=2)),
+]
+
+_BY_LABEL = {v.label: v for v in TABLE1_VARIANTS + SINGLE_VARIANTS}
+
+
+def variant(label: str) -> CDVariant:
+    """Look up one experiment row by its table label."""
+    try:
+        return _BY_LABEL[label.upper()]
+    except KeyError:
+        known = ", ".join(_BY_LABEL)
+        raise KeyError(f"unknown variant {label!r}; known: {known}") from None
+
+
+def table1_rows() -> List[CDVariant]:
+    """Rows of Table 1 (directive-set study)."""
+    return list(TABLE1_VARIANTS)
+
+
+def table2_rows() -> List[CDVariant]:
+    """Rows of Table 2 (minimal-ST comparison) in the paper's order."""
+    labels = ["MAIN3", "FDJAC", "FIELD", "INIT", "APPROX", "HYBRJ", "CONDUCT", "TQL1"]
+    return [variant(label) for label in labels]
+
+
+def table34_rows() -> List[CDVariant]:
+    """The fourteen rows of Tables 3 and 4, in the paper's order."""
+    labels = [
+        "MAIN",
+        "MAIN1",
+        "MAIN2",
+        "MAIN3",
+        "FDJAC",
+        "FDJAC1",
+        "FIELD",
+        "INIT",
+        "APPROX",
+        "HYBRJ",
+        "CONDUCT",
+        "TQL1",
+        "TQL2",
+        "HWSCRT",
+    ]
+    return [variant(label) for label in labels]
+
+
+def paper_reference_values() -> dict:
+    """The paper's published numbers, for EXPERIMENTS.md side-by-side
+    reporting (Table 1: (MEM, PF, ST×10⁻⁶))."""
+    return {
+        "table1": {
+            "MAIN": (1.62, 531, 3.39),
+            "MAIN1": (20.37, 144, 3.89),
+            "MAIN2": (12.23, 319, 10.6),
+            "MAIN3": (1.11, 652, 2.77),
+            "FDJAC": (2.47, 178, 1.46),
+            "FDJAC1": (3.11, 175, 2.04),
+            "TQL1": (2.48, 322, 2.84),
+            "TQL2": (2.02, 421, 3.063),
+        },
+        "table2": {  # (%ST LRU vs CD, %ST WS vs CD)
+            "MAIN3": (47, 17),
+            "FDJAC": (27, 39),
+            "FIELD": (23, 6),
+            "INIT": (133, 22),
+            "APPROX": (36, 58),
+            "HYBRJ": (31, 32),
+            "CONDUCT": (288, 32),
+            "TQL1": (7, 4),
+        },
+        "table3": {  # (ΔPF LRU, %ST LRU, ΔPF WS, %ST WS)
+            "MAIN": (1530, 146.3, 0, -4.7),
+            "MAIN1": (236, 338.87, 207, 316.45),
+            "MAIN2": (207, 35.5, 207, 19.8),
+            "MAIN3": (22665, 1585.9, 22665, 1585.9),
+            "FDJAC": (337, 115.75, 293, 91.1),
+            "FDJAC1": (53, -6.8, 296, 60.78),
+            "FIELD": (2643, 1538.9, 2, 18),
+            "INIT": (2287, 979.5, 775, 630),
+            "APPROX": (365, 54.3, 203, 83.5),
+            "HYBRJ": (317, 159.1, 283, 139.1),
+            "CONDUCT": (3477, 988.3, 1944, 1840.5),
+            "TQL1": (1017, 191.55, 958, 223.9),
+            "TQL2": (918, 170.6, 969, 214.4),
+            "HWSCRT": (4028, 1047.9, 4033, 2265.2),
+        },
+        "table4": {  # (%MEM LRU, %ST LRU, %MEM WS, %ST WS)
+            "MAIN": (150, 32, 14, -4.7),
+            "MAIN1": (170, 415.68, 72.5, 216.45),
+            "MAIN2": (88, 58, 80.5, 49.5),
+            "MAIN3": (170.3, 46.6, 64, 16.6),
+            "FDJAC": (102, 26.7, 123, 39),
+            "FDJAC1": (60.7, -9.3, 77, -0.3),
+            "FIELD": (106.8, 29.5, 53.4, 28),
+            "INIT": (171.2, 132.5, 151.8, 108.2),
+            "APPROX": (105.8, 36.2, 34.4, 77.9),
+            "HYBRJ": (41.5, 29.5, 82.3, 140),
+            "CONDUCT": (283.7, 324.6, 11.6, 36.1),
+            "TQL1": (61.3, 34.8, 86.4, 4.2),
+            "TQL2": (98, 25.2, 128.8, -3.3),
+            "HWSCRT": (442, 433.5, 124.6, 234.3),
+        },
+    }

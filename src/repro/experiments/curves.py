@@ -1,0 +1,122 @@
+"""Fault and space-time curves: the series underlying Tables 2–4.
+
+The paper's evaluation works from full LRU allocation sweeps and WS
+window sweeps ("the window size τ is varied between 1 and some integer
+K ≤ R … For LRU the memory allocated to a program is varied between 1
+and V").  This module materializes those series — PF(m), MEM(m), ST(m)
+for LRU and PF(τ), MEM(τ), ST(τ) for WS, with the CD operating points
+overlaid — as plain data rows, renderable as text or CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import artifacts_for
+from repro.vm.policies import CDConfig
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    policy: str
+    parameter: float  # frames for LRU, τ for WS, PI cap (−1 = ∞) for CD
+    mem: float
+    page_faults: int
+    space_time: float
+
+
+@dataclass
+class PolicyCurves:
+    """All series for one program."""
+
+    program: str
+    virtual_pages: int
+    points: List[CurvePoint]
+
+    def series(self, policy: str) -> List[CurvePoint]:
+        return [p for p in self.points if p.policy == policy]
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["program", "policy", "parameter", "mem", "page_faults", "space_time"]
+        )
+        for p in self.points:
+            writer.writerow(
+                [self.program, p.policy, p.parameter, f"{p.mem:.4f}",
+                 p.page_faults, f"{p.space_time:.1f}"]
+            )
+        return buffer.getvalue()
+
+    def render(self, max_rows_per_policy: int = 12) -> str:
+        rows = []
+        for policy in ("CD", "LRU", "WS"):
+            series = self.series(policy)
+            stride = max(1, len(series) // max_rows_per_policy)
+            for p in series[::stride]:
+                rows.append(
+                    (policy, p.parameter, round(p.mem, 2), p.page_faults,
+                     p.space_time)
+                )
+        return format_table(
+            ["policy", "param", "MEM", "PF", "ST"],
+            rows,
+            title=f"{self.program}: policy curves (V = {self.virtual_pages})",
+        )
+
+
+def policy_curves(
+    name: str,
+    lru_points: int = 24,
+    ws_points: int = 24,
+    cd_caps: Sequence[Optional[int]] = (None, 3, 2, 1),
+) -> PolicyCurves:
+    """Compute the LRU, WS, and CD series for one benchmark."""
+    artifacts = artifacts_for(name)
+    points: List[CurvePoint] = []
+    for cap in cd_caps:
+        result = artifacts.cd_result(CDConfig(pi_cap=cap))
+        points.append(
+            CurvePoint(
+                policy="CD",
+                parameter=-1.0 if cap is None else float(cap),
+                mem=result.mem_average,
+                page_faults=result.page_faults,
+                space_time=result.space_time,
+            )
+        )
+    v = max(artifacts.lru.max_useful_frames, 1)
+    stride = max(1, v // lru_points)
+    frames_values = sorted(set(list(range(1, v + 1, stride)) + [v]))
+    for frames in frames_values:
+        result = artifacts.lru.result(frames)
+        points.append(
+            CurvePoint(
+                policy="LRU",
+                parameter=float(frames),
+                mem=result.mem_average,
+                page_faults=result.page_faults,
+                space_time=result.space_time,
+            )
+        )
+    for tau in artifacts.ws.default_taus(count=ws_points):
+        result = artifacts.ws.result(tau)
+        points.append(
+            CurvePoint(
+                policy="WS",
+                parameter=float(tau),
+                mem=result.mem_average,
+                page_faults=result.page_faults,
+                space_time=result.space_time,
+            )
+        )
+    return PolicyCurves(
+        program=artifacts.name,
+        virtual_pages=artifacts.trace.total_pages,
+        points=points,
+    )

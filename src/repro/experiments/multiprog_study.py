@@ -1,0 +1,80 @@
+"""Multiprogramming study: CD vs WS load control across memory sizes.
+
+The experiment the paper defers ("The performance of CD in a
+multiprogramming environment is still to be evaluated"): a fixed mix of
+benchmark programs run to completion over a range of physical memory
+sizes under both managers, reporting makespan, faults, swaps, and
+memory utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import artifacts_for
+from repro.vm.multiprog import MultiprogSimulator
+
+DEFAULT_MIX = ("TQL", "FDJAC", "HYBRJ")
+
+
+@dataclass(frozen=True)
+class MultiprogRow:
+    mix: str
+    frames: int
+    mode: str
+    makespan: int
+    faults: int
+    swaps: int
+    utilization: float
+    throughput: float
+
+
+def multiprog_study(
+    mix: Sequence[str] = DEFAULT_MIX,
+    frame_counts: Sequence[int] = (96, 64, 48, 32),
+    quantum: int = 500,
+) -> List[MultiprogRow]:
+    """Run the mix under both managers at every memory size."""
+    traces = [(name, artifacts_for(name).trace) for name in mix]
+    mix_label = "+".join(mix)
+    rows: List[MultiprogRow] = []
+    for frames in frame_counts:
+        for mode in ("cd", "ws"):
+            result = MultiprogSimulator(
+                traces, total_frames=frames, mode=mode, quantum=quantum
+            ).run()
+            rows.append(
+                MultiprogRow(
+                    mix=mix_label,
+                    frames=frames,
+                    mode=mode.upper(),
+                    makespan=result.makespan,
+                    faults=result.total_faults,
+                    swaps=result.swaps,
+                    utilization=result.mem_utilization,
+                    throughput=result.throughput,
+                )
+            )
+    return rows
+
+
+def render_multiprog(rows: Optional[List[MultiprogRow]] = None) -> str:
+    rows = rows if rows is not None else multiprog_study()
+    return format_table(
+        ["frames", "mode", "makespan", "faults", "swaps", "util", "thru"],
+        [
+            (
+                r.frames,
+                r.mode,
+                r.makespan,
+                r.faults,
+                r.swaps,
+                round(r.utilization, 2),
+                round(r.throughput, 3),
+            )
+            for r in rows
+        ],
+        title=f"Multiprogramming: {rows[0].mix if rows else '?'} under CD vs WS",
+    )

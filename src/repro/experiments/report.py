@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get sensible precision, ints stay exact."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (first column left, rest right)."""
+    cells: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, value in enumerate(values):
+            if i == 0:
+                parts.append(value.ljust(widths[i]))
+            else:
+                parts.append(value.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,370 @@
+"""Abstract syntax tree for mini-FORTRAN programs.
+
+The node set is intentionally small: the paper's source-level analysis
+cares about loop structure, array declarations, and array index
+expressions, and the trace-generating interpreter additionally needs
+assignments, conditionals and arithmetic.
+
+Every node carries its 1-based source ``line`` so analysis results,
+inserted directives, and error messages can point back at the source.
+``DoLoop`` nodes additionally carry a ``loop_id`` that is unique within a
+program and stable across analysis passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expression nodes."""
+
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    """Numeric literal.  ``value`` is int or float."""
+
+    value: Union[int, float] = 0
+
+
+@dataclass
+class Var(Expr):
+    """Scalar variable reference (or loop index)."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    """Reference to an element of a declared array.
+
+    ``indices`` has one entry for a vector, two for a matrix; the paper
+    considers at most two-dimensional arrays.
+    """
+
+    name: str = ""
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic binary operation: ``+ - * / **``."""
+
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary ``-`` / ``+`` / ``.NOT.``."""
+
+    op: str = "-"
+    operand: Expr = None
+
+
+@dataclass
+class Compare(Expr):
+    """Relational comparison: ``< <= > >= == /=``."""
+
+    op: str = "<"
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class LogicalOp(Expr):
+    """Logical connective ``.AND.`` / ``.OR.``."""
+
+    op: str = ".AND."
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class LogicalLit(Expr):
+    """``.TRUE.`` or ``.FALSE.``."""
+
+    value: bool = True
+
+
+@dataclass
+class Call(Expr):
+    """Intrinsic function call such as ``SQRT(X)`` or ``MOD(I, 2)``."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statement nodes."""
+
+    line: int = 0
+    label: Optional[int] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a scalar or an array element."""
+
+    target: Union[Var, ArrayRef] = None
+    expr: Expr = None
+
+
+@dataclass
+class DoLoop(Stmt):
+    """A ``DO`` loop: labeled (``DO 10 I = …`` / ``10 CONTINUE``) or block
+    form (``DO I = …`` / ``ENDDO``)."""
+
+    var: str = ""
+    start: Expr = None
+    end: Expr = None
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    #: label of the terminating statement for labeled DO loops
+    end_label: Optional[int] = None
+    #: unique, stable identifier assigned by the parser (pre-order)
+    loop_id: int = -1
+
+
+@dataclass
+class WhileLoop(Stmt):
+    """``DO WHILE (cond) … ENDDO`` — condition-controlled iteration.
+
+    The condition re-evaluates before every iteration, so array
+    references in it belong to the loop's own level (unlike ``DO``
+    bounds, which evaluate once at entry).
+    """
+
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+    #: unique, stable identifier shared with DoLoop's numbering
+    loop_id: int = -1
+
+
+@dataclass
+class IfBlock(Stmt):
+    """Block ``IF (cond) THEN … [ELSEIF …] [ELSE …] ENDIF``.
+
+    ``branches`` is an ordered list of ``(condition, body)`` pairs; the
+    ``ELSE`` branch, when present, has condition ``None``.
+    """
+
+    branches: List[Tuple[Optional[Expr], List[Stmt]]] = field(default_factory=list)
+
+
+@dataclass
+class LogicalIf(Stmt):
+    """One-line logical ``IF (cond) statement``."""
+
+    cond: Expr = None
+    stmt: Stmt = None
+
+
+@dataclass
+class Continue(Stmt):
+    """A ``CONTINUE`` statement (possibly a labeled loop terminator)."""
+
+
+@dataclass
+class Stop(Stmt):
+    """``STOP`` — terminates execution."""
+
+
+@dataclass
+class CallStmt(Stmt):
+    """``CALL name(args)`` — subroutine invocation.
+
+    Only present between parsing and inline expansion: the inliner
+    (:mod:`repro.frontend.inline`) replaces every CallStmt with the
+    callee's body, so downstream passes never see one.
+    """
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    """``RETURN`` — leave the enclosing subroutine.
+
+    Accepted only as the final statement of a subroutine body (the
+    inliner has no jump target for early returns).
+    """
+
+
+@dataclass
+class ExitLoop(Stmt):
+    """``EXIT`` — leave the innermost enclosing loop (modern extension)."""
+
+
+@dataclass
+class Print(Stmt):
+    """``PRINT *, items`` / ``WRITE(*,*) items`` — list-directed output.
+
+    Output itself is discarded by the interpreter, but the items are
+    evaluated: printing ``A(I)`` references a page, exactly as in the
+    traced originals.
+    """
+
+    items: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ArrayDecl:
+    """One array declarator from a DIMENSION/REAL/INTEGER statement."""
+
+    name: str = ""
+    dims: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    """One ``PARAMETER (NAME = constant-expr)`` binding."""
+
+    name: str = ""
+    value: Expr = None
+    line: int = 0
+
+
+@dataclass
+class DataDecl:
+    """One ``DATA target /values/`` group (load-time initialization).
+
+    ``target`` is an array name (whole-array fill) or an element
+    reference with constant subscripts; ``values`` are the constants
+    after ``n*value`` repeat expansion.  Load-time initialization emits
+    no page references, consistent with the paper's "constants …
+    permanently resident" assumption.
+    """
+
+    target: Union[str, "ArrayRef"] = ""
+    values: List[Union[int, float]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Subroutine:
+    """A ``SUBROUTINE name(formals) … END`` unit, pre-inlining."""
+
+    name: str = ""
+    formals: List[str] = field(default_factory=list)
+    params: List[ParamDecl] = field(default_factory=list)
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    data: List[DataDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+    def formal_array_names(self) -> List[str]:
+        """Formals that carry a DIMENSION declaration (array arguments)."""
+        declared = {decl.name for decl in self.arrays}
+        return [f for f in self.formals if f in declared]
+
+
+@dataclass
+class Program:
+    """A complete mini-FORTRAN program unit."""
+
+    name: str = "MAIN"
+    params: List[ParamDecl] = field(default_factory=list)
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    data: List[DataDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+    def walk_statements(self) -> Iterator[Stmt]:
+        """Yield every statement in the program, depth first, pre-order."""
+        yield from _walk(self.body)
+
+    def loops(self) -> Iterator[DoLoop]:
+        """Yield every DO loop in the program in pre-order."""
+        for stmt in self.walk_statements():
+            if isinstance(stmt, DoLoop):
+                yield stmt
+
+
+def _walk(stmts: List[Stmt]) -> Iterator[Stmt]:
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (DoLoop, WhileLoop)):
+            yield from _walk(stmt.body)
+        elif isinstance(stmt, IfBlock):
+            for _cond, body in stmt.branches:
+                yield from _walk(body)
+        elif isinstance(stmt, LogicalIf):
+            yield from _walk([stmt.stmt])
+
+
+def walk_expressions(node: Union[Stmt, Expr]) -> Iterator[Expr]:
+    """Yield every expression node reachable from ``node`` (inclusive for
+    expression inputs), pre-order.
+
+    For statements, yields the expressions they directly contain but does
+    not descend into nested statements — pair with
+    :func:`Program.walk_statements` for whole-program traversals.
+    """
+    if isinstance(node, Expr):
+        yield node
+        if isinstance(node, ArrayRef):
+            for ix in node.indices:
+                yield from walk_expressions(ix)
+        elif isinstance(node, (BinOp, Compare, LogicalOp)):
+            yield from walk_expressions(node.left)
+            yield from walk_expressions(node.right)
+        elif isinstance(node, UnaryOp):
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                yield from walk_expressions(arg)
+        return
+    if isinstance(node, Assign):
+        yield from walk_expressions(node.target)
+        yield from walk_expressions(node.expr)
+    elif isinstance(node, DoLoop):
+        yield from walk_expressions(node.start)
+        yield from walk_expressions(node.end)
+        if node.step is not None:
+            yield from walk_expressions(node.step)
+    elif isinstance(node, WhileLoop):
+        yield from walk_expressions(node.cond)
+    elif isinstance(node, IfBlock):
+        for cond, _body in node.branches:
+            if cond is not None:
+                yield from walk_expressions(cond)
+    elif isinstance(node, LogicalIf):
+        yield from walk_expressions(node.cond)
+    elif isinstance(node, Print):
+        for item in node.items:
+            yield from walk_expressions(item)
+    elif isinstance(node, CallStmt):
+        for arg in node.args:
+            yield from walk_expressions(arg)
+
+
+def statement_array_refs(stmt: Stmt) -> Iterator[ArrayRef]:
+    """Yield the :class:`ArrayRef` expressions directly inside ``stmt``.
+
+    Does not descend into nested statements of a DoLoop/IfBlock (their
+    own statements are visited separately during program walks); for a
+    LogicalIf both the condition and the guarded statement are included.
+    """
+    for expr in walk_expressions(stmt):
+        if isinstance(expr, ArrayRef):
+            yield expr
+    if isinstance(stmt, LogicalIf):
+        yield from statement_array_refs(stmt.stmt)

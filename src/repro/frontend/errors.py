@@ -1,0 +1,37 @@
+"""Exception hierarchy for the mini-FORTRAN frontend.
+
+All frontend failures derive from :class:`FrontendError` so callers can
+catch a single type.  Every error carries the 1-based source line at which
+it was detected, which is also embedded in ``str(error)``.
+"""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all lexing/parsing/semantic errors."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.message = message
+        self.line = line
+        if line:
+            super().__init__(f"line {line}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not form a valid program."""
+
+
+class SemanticError(FrontendError):
+    """Raised for well-formed but meaningless programs.
+
+    Examples: referencing an undeclared array, a three-dimensional array
+    (the paper considers at most two dimensions), a ``DO`` terminator label
+    that never appears, or a ``PARAMETER`` that is not a constant.
+    """

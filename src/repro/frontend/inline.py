@@ -1,0 +1,398 @@
+"""CALL inlining: flattening multi-unit sources into one program.
+
+The paper analyzes whole numerical routines; real package code splits
+them across subroutines (FDJAC and HYBRJ are MINPACK subroutines, TQL an
+EISPACK one).  This module lets the mini language express that structure
+and reduces it to the single-unit form the analysis pipeline consumes:
+every ``CALL`` is replaced by the callee's body with
+
+* **array formals** bound by reference to the caller's arrays (the
+  actual must be a bare array name with the same declared shape);
+* **scalar formals** bound by reference when the actual is a scalar
+  variable, by value (a fresh temporary) when it is any other
+  expression — writes into by-value formals do not propagate back,
+  which is the documented restriction;
+* **locals** (scalars, arrays, PARAMETERs, DATA) renamed with a fresh
+  ``Z<n>_`` prefix and hoisted into the caller;
+* **labels** renumbered per expansion (two inlined copies of a labeled
+  DO loop must not share terminator labels);
+* a trailing ``RETURN`` stripped (early RETURN is rejected: the inliner
+  has no jump target for it).
+
+Recursion (direct or mutual) is rejected; nested calls inline
+recursively.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.frontend import ast
+from repro.frontend.errors import FrontendError
+from repro.frontend.symbols import eval_const_expr
+
+
+class InlineError(FrontendError):
+    """Raised when a CALL cannot be expanded."""
+
+
+class _NameAllocator:
+    """Fresh identifiers and labels, unique across the whole program."""
+
+    def __init__(self, program: ast.Program, subs: Dict[str, ast.Subroutine]):
+        self.used_names: Set[str] = set()
+        self.max_label = 0
+        self._scan_unit(program)
+        for sub in subs.values():
+            self._scan_unit(sub)
+        self._counter = 0
+
+    def _scan_unit(self, unit) -> None:
+        for decl in unit.arrays:
+            self.used_names.add(decl.name)
+        for param in unit.params:
+            self.used_names.add(param.name)
+        for stmt in _walk_all(unit.body):
+            if stmt.label is not None:
+                self.max_label = max(self.max_label, stmt.label)
+            if isinstance(stmt, ast.DoLoop):
+                self.used_names.add(stmt.var)
+                if stmt.end_label is not None:
+                    self.max_label = max(self.max_label, stmt.end_label)
+            for expr in _stmt_exprs(stmt):
+                for node in ast.walk_expressions(expr):
+                    if isinstance(node, ast.Var):
+                        self.used_names.add(node.name)
+                    elif isinstance(node, (ast.Call, ast.ArrayRef)):
+                        self.used_names.add(node.name)
+
+    def fresh_name(self, base: str) -> str:
+        while True:
+            self._counter += 1
+            candidate = f"Z{self._counter}_{base}"
+            if candidate not in self.used_names:
+                self.used_names.add(candidate)
+                return candidate
+
+    def fresh_label(self) -> int:
+        self.max_label += 10
+        return self.max_label
+
+
+def _walk_all(stmts: Sequence[ast.Stmt]):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            yield from _walk_all(stmt.body)
+        elif isinstance(stmt, ast.IfBlock):
+            for _cond, body in stmt.branches:
+                yield from _walk_all(body)
+        elif isinstance(stmt, ast.LogicalIf):
+            yield from _walk_all([stmt.stmt])
+
+
+def _stmt_exprs(stmt: ast.Stmt):
+    if isinstance(stmt, ast.Assign):
+        yield stmt.target
+        yield stmt.expr
+    elif isinstance(stmt, ast.DoLoop):
+        yield stmt.start
+        yield stmt.end
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, ast.WhileLoop):
+        yield stmt.cond
+    elif isinstance(stmt, ast.LogicalIf):
+        yield stmt.cond
+    elif isinstance(stmt, ast.IfBlock):
+        for cond, _body in stmt.branches:
+            if cond is not None:
+                yield cond
+    elif isinstance(stmt, ast.Print):
+        yield from stmt.items
+    elif isinstance(stmt, ast.CallStmt):
+        yield from stmt.args
+
+
+# --------------------------------------------------------------------------
+# Renaming
+# --------------------------------------------------------------------------
+
+
+def _rename_expr(expr: ast.Expr, mapping: Dict[str, str]) -> None:
+    for node in ast.walk_expressions(expr):
+        if isinstance(node, (ast.Var, ast.ArrayRef)):
+            if node.name in mapping:
+                node.name = mapping[node.name]
+        elif isinstance(node, ast.Call):
+            # Pre-resolution, formal-array references still look like
+            # calls; intrinsic names are never in the mapping.
+            if node.name in mapping:
+                node.name = mapping[node.name]
+
+
+def _rename_block(stmts: Sequence[ast.Stmt], mapping: Dict[str, str]) -> None:
+    for stmt in _walk_all(stmts):
+        if isinstance(stmt, ast.DoLoop) and stmt.var in mapping:
+            stmt.var = mapping[stmt.var]
+        if isinstance(stmt, ast.CallStmt) and stmt.name in mapping:
+            stmt.name = mapping[stmt.name]
+        for expr in _stmt_exprs(stmt):
+            _rename_expr(expr, mapping)
+
+
+def _relabel_block(stmts: Sequence[ast.Stmt], alloc: _NameAllocator) -> None:
+    label_map: Dict[int, int] = {}
+    for stmt in _walk_all(stmts):
+        if stmt.label is not None:
+            label_map.setdefault(stmt.label, alloc.fresh_label())
+            stmt.label = label_map[stmt.label]
+    for stmt in _walk_all(stmts):
+        if isinstance(stmt, ast.DoLoop) and stmt.end_label is not None:
+            if stmt.end_label not in label_map:  # pragma: no cover
+                raise InlineError(
+                    f"DO terminator label {stmt.end_label} lost in inlining",
+                    stmt.line,
+                )
+            stmt.end_label = label_map[stmt.end_label]
+
+
+# --------------------------------------------------------------------------
+# Local-name discovery
+# --------------------------------------------------------------------------
+
+
+def _scalar_names(sub: ast.Subroutine) -> Set[str]:
+    """Every scalar-variable name used in the subroutine body."""
+    names: Set[str] = set()
+    array_names = {d.name for d in sub.arrays}
+    param_names = {p.name for p in sub.params}
+    for stmt in _walk_all(sub.body):
+        if isinstance(stmt, ast.DoLoop):
+            names.add(stmt.var)
+        for expr in _stmt_exprs(stmt):
+            for node in ast.walk_expressions(expr):
+                if isinstance(node, ast.Var):
+                    names.add(node.name)
+    return names - array_names - param_names
+
+
+def _resolved_dims(
+    decl: ast.ArrayDecl, params: Dict[str, float]
+) -> Tuple[int, ...]:
+    return tuple(int(eval_const_expr(d, params)) for d in decl.dims)
+
+
+# --------------------------------------------------------------------------
+# Expansion
+# --------------------------------------------------------------------------
+
+
+def inline_program(
+    program: ast.Program,
+    subs: Dict[str, ast.Subroutine],
+    max_depth: int = 10,
+) -> ast.Program:
+    """Replace every CALL in ``program`` (recursively) with inlined
+    bodies; hoisted declarations are appended to the program."""
+    alloc = _NameAllocator(program, subs)
+    program.body = _inline_block(
+        program.body, program, subs, alloc, stack=(), max_depth=max_depth
+    )
+    return program
+
+
+def _inline_block(
+    stmts: List[ast.Stmt],
+    program: ast.Program,
+    subs: Dict[str, ast.Subroutine],
+    alloc: _NameAllocator,
+    stack: Tuple[str, ...],
+    max_depth: int,
+) -> List[ast.Stmt]:
+    result: List[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.CallStmt):
+            result.extend(
+                _expand_call(stmt, program, subs, alloc, stack, max_depth)
+            )
+            continue
+        if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            stmt.body = _inline_block(
+                stmt.body, program, subs, alloc, stack, max_depth
+            )
+        elif isinstance(stmt, ast.IfBlock):
+            stmt.branches = [
+                (
+                    cond,
+                    _inline_block(body, program, subs, alloc, stack, max_depth),
+                )
+                for cond, body in stmt.branches
+            ]
+        elif isinstance(stmt, ast.LogicalIf) and isinstance(
+            stmt.stmt, ast.CallStmt
+        ):
+            raise InlineError(
+                "a logical IF may not guard a CALL (wrap it in a block IF)",
+                stmt.line,
+            )
+        elif isinstance(stmt, ast.Return):
+            raise InlineError("RETURN outside a subroutine", stmt.line)
+        result.append(stmt)
+    return result
+
+
+def _expand_call(
+    call: ast.CallStmt,
+    program: ast.Program,
+    subs: Dict[str, ast.Subroutine],
+    alloc: _NameAllocator,
+    stack: Tuple[str, ...],
+    max_depth: int,
+) -> List[ast.Stmt]:
+    sub = subs.get(call.name)
+    if sub is None:
+        raise InlineError(f"CALL to unknown subroutine {call.name}", call.line)
+    if call.name in stack:
+        chain = " -> ".join(stack + (call.name,))
+        raise InlineError(f"recursive CALL: {chain}", call.line)
+    if len(stack) >= max_depth:
+        raise InlineError(
+            f"CALL nesting deeper than {max_depth}", call.line
+        )
+    if len(call.args) != len(sub.formals):
+        raise InlineError(
+            f"{sub.name} takes {len(sub.formals)} arguments, "
+            f"CALL passes {len(call.args)}",
+            call.line,
+        )
+
+    body = copy.deepcopy(sub.body)
+    if body and isinstance(body[-1], ast.Return):
+        body.pop()
+    for stmt in _walk_all(body):
+        if isinstance(stmt, ast.Return):
+            raise InlineError(
+                f"early RETURN in {sub.name} (only a trailing RETURN is "
+                "supported by the inliner)",
+                stmt.line,
+            )
+
+    mapping: Dict[str, str] = {}
+    prologue: List[ast.Stmt] = []
+    caller_arrays = {d.name: d for d in program.arrays}
+    caller_params = {
+        p.name: eval_const_expr(p.value, {}) for p in _const_params(program)
+    }
+    sub_params = {
+        p.name: eval_const_expr(p.value, {}) for p in _const_params(sub)
+    }
+    formal_arrays = set(sub.formal_array_names())
+
+    for formal, actual in zip(sub.formals, call.args):
+        if formal in formal_arrays:
+            if not isinstance(actual, (ast.Var, ast.Call)) or (
+                isinstance(actual, ast.Call) and actual.args
+            ):
+                raise InlineError(
+                    f"array argument {formal} of {sub.name} needs a bare "
+                    "array name",
+                    call.line,
+                )
+            actual_name = actual.name
+            decl = caller_arrays.get(actual_name)
+            if decl is None:
+                raise InlineError(
+                    f"CALL {sub.name}: {actual_name} is not a declared array",
+                    call.line,
+                )
+            formal_decl = next(d for d in sub.arrays if d.name == formal)
+            want = _resolved_dims(formal_decl, sub_params)
+            have = _resolved_dims(decl, caller_params)
+            if want != have:
+                raise InlineError(
+                    f"CALL {sub.name}: array {actual_name}{list(have)} does "
+                    f"not match formal {formal}{list(want)}",
+                    call.line,
+                )
+            mapping[formal] = actual_name
+        elif isinstance(actual, ast.Var):
+            mapping[formal] = actual.name  # by reference
+        else:
+            temp = alloc.fresh_name(formal)
+            prologue.append(
+                ast.Assign(
+                    line=call.line,
+                    target=ast.Var(line=call.line, name=temp),
+                    expr=actual,
+                )
+            )
+            mapping[formal] = temp  # by value
+
+    # Local PARAMETERs: rename and hoist.
+    for param in sub.params:
+        new_name = alloc.fresh_name(param.name)
+        mapping[param.name] = new_name
+        hoisted = copy.deepcopy(param)
+        hoisted.name = new_name
+        _rename_expr(hoisted.value, mapping)
+        program.params.append(hoisted)
+
+    # Local arrays: rename, hoist declaration and DATA.
+    for decl in sub.arrays:
+        if decl.name in formal_arrays:
+            continue
+        new_name = alloc.fresh_name(decl.name)
+        mapping[decl.name] = new_name
+        hoisted = copy.deepcopy(decl)
+        hoisted.name = new_name
+        for dim in hoisted.dims:
+            _rename_expr(dim, mapping)
+        program.arrays.append(hoisted)
+    for group in sub.data:
+        hoisted = copy.deepcopy(group)
+        if isinstance(hoisted.target, str):
+            if hoisted.target in formal_arrays:
+                raise InlineError(
+                    f"DATA may not initialize formal array {hoisted.target}",
+                    hoisted.line,
+                )
+            hoisted.target = mapping.get(hoisted.target, hoisted.target)
+        else:
+            hoisted.target.name = mapping.get(
+                hoisted.target.name, hoisted.target.name
+            )
+            for index in hoisted.target.indices:
+                _rename_expr(index, mapping)
+        program.data.append(hoisted)
+
+    # Local scalars: everything else gets a fresh name.
+    for scalar in sorted(_scalar_names(sub) - set(sub.formals)):
+        mapping[scalar] = alloc.fresh_name(scalar)
+
+    _rename_block(body, mapping)
+    _relabel_block(body, alloc)
+    # Nested calls inside the inlined body expand with this sub on the
+    # stack (catches mutual recursion).
+    body = _inline_block(
+        body, program, subs, alloc, stack + (sub.name,), max_depth
+    )
+    return prologue + body
+
+
+def _const_params(unit) -> List[ast.ParamDecl]:
+    """PARAMETER declarations whose values are plain constants.
+
+    Chained parameters (M = N * 2) are resolved by the symbol table
+    later; for shape checking only directly-constant ones matter, and
+    non-constant ones are skipped here."""
+    result = []
+    env: Dict[str, float] = {}
+    for param in unit.params:
+        try:
+            env[param.name] = eval_const_expr(param.value, env)
+        except FrontendError:
+            continue
+        result.append(ast.ParamDecl(name=param.name, value=ast.Num(value=env[param.name])))
+    return result

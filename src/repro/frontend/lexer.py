@@ -1,0 +1,226 @@
+"""Tokenizer for the mini-FORTRAN language.
+
+The lexer is line-oriented, matching FORTRAN's statement-per-line model:
+
+* a line whose first column is ``C``, ``c`` or ``*`` is a comment;
+* ``!`` begins a trailing comment anywhere on a line;
+* an integer at the start of a line is a statement *label*;
+* a line ending in ``&`` continues onto the next line;
+* keywords and identifiers are case-insensitive (normalized to upper
+  case);
+* FORTRAN dotted operators (``.LT.`` ``.AND.`` …) and their modern
+  spellings (``<`` ``<=`` …) are both accepted and normalized.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.frontend.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    NAME = "name"  # identifiers and keywords
+    INT = "int"
+    REAL = "real"
+    OP = "op"  # punctuation and operators, normalized text
+    NEWLINE = "newline"  # statement separator (end of logical line)
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``text`` is the normalized spelling: upper-case for names, canonical
+    form for operators (``.LT.`` becomes ``<``, ``.EQ.`` becomes ``==`` …).
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_name(self, text: str) -> bool:
+        """True when this token is the (case-normalized) identifier ``text``."""
+        return self.kind is TokenKind.NAME and self.text == text
+
+    def is_op(self, text: str) -> bool:
+        """True when this token is the operator ``text``."""
+        return self.kind is TokenKind.OP and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, line={self.line})"
+
+
+# Dotted FORTRAN operators, mapped to their canonical spelling.
+_DOTTED_OPS = {
+    ".LT.": "<",
+    ".LE.": "<=",
+    ".GT.": ">",
+    ".GE.": ">=",
+    ".EQ.": "==",
+    ".NE.": "/=",
+    ".AND.": ".AND.",
+    ".OR.": ".OR.",
+    ".NOT.": ".NOT.",
+    ".TRUE.": ".TRUE.",
+    ".FALSE.": ".FALSE.",
+}
+
+# Multi-character symbolic operators must be matched before single chars.
+_MULTI_OPS = ("**", "<=", ">=", "==", "/=", "//")
+_SINGLE_OPS = "+-*/(),=<>:"
+
+_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+# A numeric literal: integer or real with optional fraction/exponent.
+# The leading sign is handled by the parser as a unary operator.
+_NUM_RE = re.compile(
+    r"(\d+\.\d*([EeDd][+-]?\d+)?)"  # 1.  1.5  1.5E3
+    r"|(\.\d+([EeDd][+-]?\d+)?)"  # .5  .5E-2
+    r"|(\d+[EeDd][+-]?\d+)"  # 1E3
+    r"|(\d+)"  # 42
+)
+_DOTTED_RE = re.compile(r"\.[A-Za-z]+\.")
+
+
+def _is_real_literal(text: str) -> bool:
+    return "." in text or "E" in text.upper() or "D" in text.upper()
+
+
+def tokenize_line(line: str, lineno: int) -> Tuple[Optional[int], List[Token]]:
+    """Tokenize one logical source line.
+
+    Returns ``(label, tokens)`` where ``label`` is the numeric statement
+    label if the line begins with one, else ``None``.  Comment lines yield
+    ``(None, [])``.
+    """
+    # Fixed-form comment rule, adapted: '*' in column 1 always comments;
+    # 'C' in column 1 comments only when not beginning a word ("C fill"
+    # is a comment, "CALL SAXPY(...)" is a statement).  An unindented
+    # assignment to a scalar named C ("C = 1.0") must be indented to
+    # avoid the comment rule, as in fixed-form FORTRAN itself.
+    if line and line[0] == "*":
+        return None, []
+    if line and line[0] in ("C", "c") and (len(line) == 1 or not line[1].isalnum()):
+        return None, []
+    # Strip trailing comment introduced by '!'.
+    bang = line.find("!")
+    if bang >= 0:
+        line = line[:bang]
+    tokens: List[Token] = []
+    pos = 0
+    n = len(line)
+    label: Optional[int] = None
+    # Leading statement label: an integer before the first keyword.
+    stripped = line.lstrip()
+    lead = len(line) - len(stripped)
+    m = re.match(r"\d+", stripped)
+    if m and not _NUM_RE.match(stripped[: m.end() + 1] + " ").group(0).count("."):
+        nxt = stripped[m.end() : m.end() + 1]
+        if nxt in ("", " ", "\t"):
+            label = int(m.group(0))
+            pos = lead + m.end()
+    while pos < n:
+        ch = line[pos]
+        if ch in (" ", "\t", "\r"):
+            pos += 1
+            continue
+        col = pos + 1
+        if ch == ".":
+            m = _DOTTED_RE.match(line, pos)
+            if m:
+                word = m.group(0).upper()
+                if word in _DOTTED_OPS:
+                    tokens.append(Token(TokenKind.OP, _DOTTED_OPS[word], lineno, col))
+                    pos = m.end()
+                    continue
+                raise LexError(f"unknown dotted operator {m.group(0)!r}", lineno)
+        m = _NUM_RE.match(line, pos)
+        if m and (ch.isdigit() or ch == "."):
+            text = m.group(0).upper().replace("D", "E")
+            kind = TokenKind.REAL if _is_real_literal(text) else TokenKind.INT
+            tokens.append(Token(kind, text, lineno, col))
+            pos = m.end()
+            continue
+        m = _NAME_RE.match(line, pos)
+        if m:
+            tokens.append(Token(TokenKind.NAME, m.group(0).upper(), lineno, col))
+            pos = m.end()
+            continue
+        matched_multi = False
+        for op in _MULTI_OPS:
+            if line.startswith(op, pos):
+                tokens.append(Token(TokenKind.OP, op, lineno, col))
+                pos += len(op)
+                matched_multi = True
+                break
+        if matched_multi:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, ch, lineno, col))
+            pos += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", lineno)
+    return label, tokens
+
+
+class Lexer:
+    """Tokenizes a whole program into a flat token stream.
+
+    Each logical line (after joining ``&`` continuations) contributes its
+    tokens followed by a ``NEWLINE`` token; the stream ends with ``EOF``.
+    Statement labels are returned out-of-band via :attr:`labels`, a map
+    from the index of the line's first token to the label value.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens: List[Token] = []
+        #: map from token index (of the first token of a labeled statement)
+        #: to the integer statement label
+        self.labels = {}
+        self._scan()
+
+    def _logical_lines(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(lineno, text)`` pairs after joining continuations."""
+        pending = ""
+        pending_line = 0
+        for i, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.rstrip()
+            if pending:
+                line = pending + " " + line.lstrip()
+                lineno = pending_line
+            else:
+                lineno = i
+            if line.endswith("&"):
+                pending = line[:-1].rstrip()
+                pending_line = lineno
+                continue
+            pending = ""
+            yield lineno, line
+        if pending:
+            yield pending_line, pending
+
+    def _scan(self) -> None:
+        for lineno, line in self._logical_lines():
+            if not line.strip():
+                continue
+            label, toks = tokenize_line(line, lineno)
+            if not toks:
+                if label is not None:
+                    # A bare labeled line acts as a labeled CONTINUE.
+                    toks = [Token(TokenKind.NAME, "CONTINUE", lineno, 1)]
+                else:
+                    continue
+            if label is not None:
+                self.labels[len(self.tokens)] = label
+            self.tokens.extend(toks)
+            self.tokens.append(Token(TokenKind.NEWLINE, "\n", lineno, len(line) + 1))
+        last_line = self.tokens[-1].line if self.tokens else 1
+        self.tokens.append(Token(TokenKind.EOF, "", last_line, 1))

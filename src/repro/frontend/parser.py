@@ -1,0 +1,755 @@
+"""Recursive-descent parser for mini-FORTRAN.
+
+Grammar (statement oriented; one statement per logical line):
+
+    program     ::= [PROGRAM name] {declaration} {statement} END
+    declaration ::= DIMENSION declarator {, declarator}
+                  | (REAL | INTEGER) [declarator-or-name {, …}]
+                  | PARAMETER ( name = expr {, name = expr} )
+    statement   ::= assignment | do-loop | if | CONTINUE | STOP | EXIT
+    do-loop     ::= DO label var = expr , expr [, expr]  …  label CONTINUE
+                  | DO var = expr , expr [, expr] … ENDDO
+    if          ::= IF ( expr ) statement
+                  | IF ( expr ) THEN … {ELSEIF ( expr ) THEN …} [ELSE …] ENDIF
+
+Expression precedence (loosest to tightest):
+``.OR.`` < ``.AND.`` < ``.NOT.`` < comparison < ``+ -`` < ``* /`` <
+unary ``+ -`` < ``**`` (right associative) < primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError, SemanticError
+from repro.frontend.lexer import Lexer, Token, TokenKind
+
+#: names that terminate a statement-list context
+_BLOCK_ENDERS = {"ENDDO", "ENDIF", "ELSE", "ELSEIF", "END"}
+
+
+class Parser:
+    """Parses a token stream produced by :class:`~repro.frontend.lexer.Lexer`."""
+
+    def __init__(self, source: str):
+        self.lexer = Lexer(source)
+        self.tokens = self.lexer.tokens
+        self.pos = 0
+        self._next_loop_id = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect_op(self, text: str) -> Token:
+        tok = self.current
+        if not tok.is_op(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line)
+        return self._advance()
+
+    def _expect_name(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.NAME:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.line)
+        return self._advance()
+
+    def _expect_newline(self) -> None:
+        tok = self.current
+        if tok.kind is TokenKind.EOF:
+            return
+        if tok.kind is not TokenKind.NEWLINE:
+            raise ParseError(f"unexpected trailing token {tok.text!r}", tok.line)
+        self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self.current.kind is TokenKind.NEWLINE:
+            self._advance()
+
+    def _statement_label(self) -> Optional[int]:
+        """Label attached to the statement starting at the current token."""
+        return self.lexer.labels.get(self.pos)
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse a single-unit source into a :class:`Program`.
+
+        Sources with SUBROUTINE units should go through
+        :func:`parse_source`, which also inlines CALLs.
+        """
+        program, subroutines = self.parse_units()
+        if subroutines:
+            raise ParseError(
+                "source contains SUBROUTINE units; use parse_source()",
+                next(iter(subroutines.values())).line,
+            )
+        return program
+
+    def parse_units(self) -> "Tuple[ast.Program, dict]":
+        """Parse the main program followed by any SUBROUTINE units."""
+        program = ast.Program()
+        self._skip_newlines()
+        if self.current.is_name("PROGRAM"):
+            self._advance()
+            program.name = self._expect_name().text
+            self._expect_newline()
+        self._parse_declarations(program)
+        program.body = self._parse_statements(stop_names=("END",))
+        if self.current.is_name("END"):
+            self._advance()
+        self._check_arrays(program)
+        subroutines = {}
+        self._skip_newlines()
+        while self.current.is_name("SUBROUTINE"):
+            sub = self._parse_subroutine()
+            if sub.name in subroutines:
+                raise ParseError(f"subroutine {sub.name} defined twice", sub.line)
+            subroutines[sub.name] = sub
+            self._skip_newlines()
+        if self.current.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected token {self.current.text!r} after END", self.current.line
+            )
+        return program, subroutines
+
+    def _parse_subroutine(self) -> ast.Subroutine:
+        head = self._advance()  # SUBROUTINE
+        name = self._expect_name().text
+        formals: List[str] = []
+        if self.current.is_op("("):
+            self._advance()
+            if not self.current.is_op(")"):
+                formals.append(self._expect_name().text)
+                while self.current.is_op(","):
+                    self._advance()
+                    formals.append(self._expect_name().text)
+            self._expect_op(")")
+        self._expect_newline()
+        if len(set(formals)) != len(formals):
+            raise ParseError(f"duplicate formal in SUBROUTINE {name}", head.line)
+        sub = ast.Subroutine(name=name, formals=formals, line=head.line)
+        # Subroutine declarations reuse the program machinery: Subroutine
+        # exposes the same params/arrays/data attributes.
+        self._parse_declarations(sub)
+        sub.body = self._parse_statements(stop_names=("END",))
+        if self.current.is_name("END"):
+            self._advance()
+        self._check_arrays(sub)
+        return sub
+
+    def _check_arrays(self, program: ast.Program) -> None:
+        seen = set()
+        for decl in program.arrays:
+            if decl.name in seen:
+                raise SemanticError(f"array {decl.name} declared twice", decl.line)
+            seen.add(decl.name)
+            if not 1 <= len(decl.dims) <= 2:
+                raise SemanticError(
+                    f"array {decl.name} has {len(decl.dims)} dimensions; "
+                    "only 1-D and 2-D arrays are supported (as in the paper)",
+                    decl.line,
+                )
+
+    # -- declarations -----------------------------------------------------
+
+    def _parse_declarations(self, program: ast.Program) -> None:
+        while True:
+            self._skip_newlines()
+            tok = self.current
+            if tok.is_name("DIMENSION"):
+                self._advance()
+                self._parse_declarator_list(program, require_dims=True)
+                self._expect_newline()
+            elif tok.is_name("REAL") or tok.is_name("INTEGER"):
+                # Type declarations only matter when they declare arrays;
+                # scalar declarations are accepted and ignored.
+                nxt = self.tokens[self.pos + 1]
+                if nxt.kind is TokenKind.NEWLINE:
+                    self._advance()
+                    self._expect_newline()
+                    continue
+                if nxt.kind is TokenKind.NAME:
+                    self._advance()
+                    self._parse_declarator_list(program, require_dims=False)
+                    self._expect_newline()
+                else:
+                    break
+            elif tok.is_name("DATA"):
+                self._advance()
+                self._parse_data_groups(program)
+                self._expect_newline()
+            elif tok.is_name("PARAMETER"):
+                self._advance()
+                self._expect_op("(")
+                while True:
+                    name = self._expect_name().text
+                    self._expect_op("=")
+                    value = self.parse_expression()
+                    program.params.append(
+                        ast.ParamDecl(name=name, value=value, line=tok.line)
+                    )
+                    if self.current.is_op(","):
+                        self._advance()
+                        continue
+                    break
+                self._expect_op(")")
+                self._expect_newline()
+            else:
+                break
+
+    def _parse_declarator_list(self, program: ast.Program, require_dims: bool) -> None:
+        while True:
+            name_tok = self._expect_name()
+            if self.current.is_op("("):
+                self._advance()
+                dims: List[ast.Expr] = [self.parse_expression()]
+                while self.current.is_op(","):
+                    self._advance()
+                    dims.append(self.parse_expression())
+                self._expect_op(")")
+                program.arrays.append(
+                    ast.ArrayDecl(name=name_tok.text, dims=dims, line=name_tok.line)
+                )
+            elif require_dims:
+                raise ParseError(
+                    f"DIMENSION declarator {name_tok.text} needs bounds",
+                    name_tok.line,
+                )
+            if self.current.is_op(","):
+                self._advance()
+                continue
+            break
+
+    def _parse_data_groups(self, program: ast.Program) -> None:
+        """``DATA target /values/ [, target /values/]…``"""
+        while True:
+            name_tok = self._expect_name()
+            target: "ast.DataDecl.target"
+            if self.current.is_op("("):
+                self._advance()
+                indices = [self.parse_expression()]
+                while self.current.is_op(","):
+                    self._advance()
+                    indices.append(self.parse_expression())
+                self._expect_op(")")
+                target = ast.ArrayRef(
+                    line=name_tok.line, name=name_tok.text, indices=indices
+                )
+            else:
+                target = name_tok.text
+            self._expect_op("/")
+            values = self._parse_data_values()
+            self._expect_op("/")
+            program.data.append(
+                ast.DataDecl(target=target, values=values, line=name_tok.line)
+            )
+            if self.current.is_op(","):
+                self._advance()
+                continue
+            break
+
+    def _parse_data_values(self) -> list:
+        """Value list with FORTRAN repeat factors: ``3*0.0, 1.5, -2``."""
+        values = []
+        while True:
+            sign = 1
+            if self.current.is_op("-"):
+                self._advance()
+                sign = -1
+            elif self.current.is_op("+"):
+                self._advance()
+            tok = self.current
+            if tok.kind is TokenKind.INT:
+                self._advance()
+                number = int(tok.text)
+                # ``n*value``: an unsigned integer followed by '*' is a
+                # repeat factor, not multiplication (DATA lists hold
+                # constants only).
+                if sign == 1 and self.current.is_op("*"):
+                    self._advance()
+                    repeat = number
+                    if repeat < 1:
+                        raise ParseError("repeat factor must be positive", tok.line)
+                    values.extend([self._parse_single_data_value()] * repeat)
+                else:
+                    values.append(sign * number)
+            elif tok.kind is TokenKind.REAL:
+                self._advance()
+                values.append(sign * float(tok.text))
+            else:
+                raise ParseError(
+                    f"expected a constant in DATA list, found {tok.text!r}",
+                    tok.line,
+                )
+            if self.current.is_op(","):
+                self._advance()
+                continue
+            break
+        return values
+
+    def _parse_single_data_value(self):
+        sign = 1
+        if self.current.is_op("-"):
+            self._advance()
+            sign = -1
+        elif self.current.is_op("+"):
+            self._advance()
+        tok = self.current
+        if tok.kind is TokenKind.INT:
+            self._advance()
+            return sign * int(tok.text)
+        if tok.kind is TokenKind.REAL:
+            self._advance()
+            return sign * float(tok.text)
+        raise ParseError(
+            f"expected a constant after repeat factor, found {tok.text!r}",
+            tok.line,
+        )
+
+    # -- statements -------------------------------------------------------
+
+    def _parse_statements(
+        self,
+        stop_names: Tuple[str, ...] = (),
+        stop_label: Optional[int] = None,
+    ) -> List[ast.Stmt]:
+        """Parse statements until a stopper keyword or the ``stop_label``.
+
+        The stopper itself is *not* consumed, except that a labeled
+        terminator statement (``10 CONTINUE``) *is* consumed and included
+        when ``stop_label`` matches — mirroring FORTRAN's loop-termination
+        rule.
+        """
+        stmts: List[ast.Stmt] = []
+        while True:
+            self._skip_newlines()
+            tok = self.current
+            if tok.kind is TokenKind.EOF:
+                if stop_names or stop_label is not None:
+                    raise ParseError("unexpected end of program inside a block", tok.line)
+                return stmts
+            label = self._statement_label()
+            if tok.kind is TokenKind.NAME and tok.text in _BLOCK_ENDERS:
+                if tok.text in stop_names:
+                    return stmts
+                if tok.text == "END" and not stop_names and stop_label is None:
+                    return stmts
+                raise ParseError(f"unexpected {tok.text}", tok.line)
+            stmt = self._parse_statement(label)
+            stmts.append(stmt)
+            if stop_label is not None and label == stop_label:
+                return stmts
+            # Shared DO terminators: ``DO 10 I … / DO 10 J … / 10 CONTINUE``
+            # ends every enclosing loop that names label 10.
+            if (
+                stop_label is not None
+                and isinstance(stmt, ast.DoLoop)
+                and stmt.end_label == stop_label
+            ):
+                return stmts
+
+    def _parse_statement(self, label: Optional[int]) -> ast.Stmt:
+        tok = self.current
+        if tok.kind is not TokenKind.NAME:
+            raise ParseError(f"expected a statement, found {tok.text!r}", tok.line)
+        if tok.text == "DO":
+            return self._parse_do(label)
+        if tok.text == "IF":
+            return self._parse_if(label)
+        if tok.text == "CONTINUE":
+            self._advance()
+            self._expect_newline()
+            return ast.Continue(line=tok.line, label=label)
+        if tok.text == "STOP":
+            self._advance()
+            self._expect_newline()
+            return ast.Stop(line=tok.line, label=label)
+        if tok.text == "EXIT":
+            self._advance()
+            self._expect_newline()
+            return ast.ExitLoop(line=tok.line, label=label)
+        if tok.text == "PRINT":
+            return self._parse_print(label)
+        if tok.text == "WRITE":
+            return self._parse_write(label)
+        if tok.text == "CALL":
+            return self._parse_call(label)
+        if tok.text == "RETURN":
+            self._advance()
+            self._expect_newline()
+            return ast.Return(line=tok.line, label=label)
+        return self._parse_assignment(label)
+
+    def _parse_call(self, label: Optional[int]) -> ast.CallStmt:
+        tok = self._advance()  # CALL
+        name = self._expect_name().text
+        args: List[ast.Expr] = []
+        if self.current.is_op("("):
+            self._advance()
+            if not self.current.is_op(")"):
+                args.append(self.parse_expression())
+                while self.current.is_op(","):
+                    self._advance()
+                    args.append(self.parse_expression())
+            self._expect_op(")")
+        self._expect_newline()
+        return ast.CallStmt(line=tok.line, label=label, name=name, args=args)
+
+    def _parse_print(self, label: Optional[int]) -> ast.Print:
+        tok = self._advance()  # PRINT
+        self._expect_op("*")
+        items: List[ast.Expr] = []
+        if self.current.is_op(","):
+            self._advance()
+            items.append(self.parse_expression())
+            while self.current.is_op(","):
+                self._advance()
+                items.append(self.parse_expression())
+        self._expect_newline()
+        return ast.Print(line=tok.line, label=label, items=items)
+
+    def _parse_write(self, label: Optional[int]) -> ast.Print:
+        tok = self._advance()  # WRITE
+        self._expect_op("(")
+        self._expect_op("*")
+        self._expect_op(",")
+        self._expect_op("*")
+        self._expect_op(")")
+        items: List[ast.Expr] = []
+        if self.current.kind is not TokenKind.NEWLINE:
+            items.append(self.parse_expression())
+            while self.current.is_op(","):
+                self._advance()
+                items.append(self.parse_expression())
+        self._expect_newline()
+        return ast.Print(line=tok.line, label=label, items=items)
+
+    def _parse_assignment(self, label: Optional[int]) -> ast.Assign:
+        name_tok = self._expect_name()
+        target: ast.Expr
+        if self.current.is_op("("):
+            self._advance()
+            indices = [self.parse_expression()]
+            while self.current.is_op(","):
+                self._advance()
+                indices.append(self.parse_expression())
+            self._expect_op(")")
+            target = ast.ArrayRef(line=name_tok.line, name=name_tok.text, indices=indices)
+        else:
+            target = ast.Var(line=name_tok.line, name=name_tok.text)
+        self._expect_op("=")
+        expr = self.parse_expression()
+        self._expect_newline()
+        return ast.Assign(line=name_tok.line, label=label, target=target, expr=expr)
+
+    def _parse_do(self, label: Optional[int]) -> ast.Stmt:
+        do_tok = self._advance()  # DO
+        loop_id = self._next_loop_id
+        self._next_loop_id += 1
+        if self.current.is_name("WHILE"):
+            self._advance()
+            self._expect_op("(")
+            cond = self.parse_expression()
+            self._expect_op(")")
+            self._expect_newline()
+            body = self._parse_statements(stop_names=("ENDDO",))
+            self._advance()  # ENDDO
+            self._expect_newline()
+            return ast.WhileLoop(
+                line=do_tok.line, label=label, cond=cond, body=body,
+                loop_id=loop_id,
+            )
+        end_label: Optional[int] = None
+        if self.current.kind is TokenKind.INT:
+            end_label = int(self._advance().text)
+        var = self._expect_name().text
+        self._expect_op("=")
+        start = self.parse_expression()
+        self._expect_op(",")
+        end = self.parse_expression()
+        step: Optional[ast.Expr] = None
+        if self.current.is_op(","):
+            self._advance()
+            step = self.parse_expression()
+        self._expect_newline()
+        if end_label is not None:
+            body = self._parse_statements(stop_label=end_label)
+            terminated = bool(body) and (
+                body[-1].label == end_label
+                or (
+                    isinstance(body[-1], ast.DoLoop)
+                    and body[-1].end_label == end_label
+                )
+            )
+            if not terminated:
+                raise ParseError(
+                    f"DO terminator label {end_label} not found", do_tok.line
+                )
+        else:
+            body = self._parse_statements(stop_names=("ENDDO",))
+            self._advance()  # ENDDO
+            self._expect_newline()
+        return ast.DoLoop(
+            line=do_tok.line,
+            label=label,
+            var=var,
+            start=start,
+            end=end,
+            step=step,
+            body=body,
+            end_label=end_label,
+            loop_id=loop_id,
+        )
+
+    def _parse_if(self, label: Optional[int]) -> ast.Stmt:
+        if_tok = self._advance()  # IF
+        self._expect_op("(")
+        cond = self.parse_expression()
+        self._expect_op(")")
+        if self.current.is_name("THEN"):
+            self._advance()
+            self._expect_newline()
+            branches: List[Tuple[Optional[ast.Expr], List[ast.Stmt]]] = []
+            body = self._parse_statements(stop_names=("ELSE", "ELSEIF", "ENDIF"))
+            branches.append((cond, body))
+            while True:
+                tok = self.current
+                if tok.is_name("ELSEIF"):
+                    self._advance()
+                    self._expect_op("(")
+                    elif_cond = self.parse_expression()
+                    self._expect_op(")")
+                    if self.current.is_name("THEN"):
+                        self._advance()
+                    self._expect_newline()
+                    body = self._parse_statements(
+                        stop_names=("ELSE", "ELSEIF", "ENDIF")
+                    )
+                    branches.append((elif_cond, body))
+                elif tok.is_name("ELSE"):
+                    self._advance()
+                    self._expect_newline()
+                    body = self._parse_statements(stop_names=("ENDIF",))
+                    branches.append((None, body))
+                elif tok.is_name("ENDIF"):
+                    self._advance()
+                    self._expect_newline()
+                    break
+                else:  # pragma: no cover - defended by _parse_statements
+                    raise ParseError(f"unexpected {tok.text} in IF block", tok.line)
+            return ast.IfBlock(line=if_tok.line, label=label, branches=branches)
+        guarded = self._parse_statement(label=None)
+        if isinstance(guarded, (ast.DoLoop, ast.WhileLoop, ast.IfBlock)):
+            raise ParseError(
+                "logical IF may only guard a simple statement", if_tok.line
+            )
+        return ast.LogicalIf(line=if_tok.line, label=label, cond=cond, stmt=guarded)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.current.is_op(".OR."):
+            tok = self._advance()
+            right = self._parse_and()
+            left = ast.LogicalOp(line=tok.line, op=".OR.", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.current.is_op(".AND."):
+            tok = self._advance()
+            right = self._parse_not()
+            left = ast.LogicalOp(line=tok.line, op=".AND.", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.current.is_op(".NOT."):
+            tok = self._advance()
+            operand = self._parse_not()
+            return ast.UnaryOp(line=tok.line, op=".NOT.", operand=operand)
+        return self._parse_comparison()
+
+    _COMPARE_OPS = ("<", "<=", ">", ">=", "==", "/=")
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        tok = self.current
+        if tok.kind is TokenKind.OP and tok.text in self._COMPARE_OPS:
+            self._advance()
+            right = self._parse_additive()
+            return ast.Compare(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind is TokenKind.OP and self.current.text in ("+", "-"):
+            tok = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinOp(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.kind is TokenKind.OP and self.current.text in ("*", "/"):
+            tok = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.OP and tok.text in ("+", "-"):
+            self._advance()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.UnaryOp(line=tok.line, op="-", operand=operand)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_primary()
+        if self.current.is_op("**"):
+            tok = self._advance()
+            # ** is right-associative and binds tighter than unary minus
+            # on its right operand, matching FORTRAN.
+            exponent = self._parse_unary()
+            return ast.BinOp(line=tok.line, op="**", left=base, right=exponent)
+        return base
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.INT:
+            self._advance()
+            return ast.Num(line=tok.line, value=int(tok.text))
+        if tok.kind is TokenKind.REAL:
+            self._advance()
+            return ast.Num(line=tok.line, value=float(tok.text))
+        if tok.is_op(".TRUE.") or tok.is_op(".FALSE."):
+            self._advance()
+            return ast.LogicalLit(line=tok.line, value=tok.text == ".TRUE.")
+        if tok.is_op("("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_op(")")
+            return inner
+        if tok.kind is TokenKind.NAME:
+            self._advance()
+            if self.current.is_op("("):
+                self._advance()
+                args = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self.current.is_op(","):
+                        self._advance()
+                        args.append(self.parse_expression())
+                self._expect_op(")")
+                # Array reference vs intrinsic call is resolved later by the
+                # symbol table; the parser emits a Call and the resolver
+                # rewrites calls whose name is a declared array.
+                return ast.Call(line=tok.line, name=tok.text, args=args)
+            return ast.Var(line=tok.line, name=tok.text)
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok.line)
+
+
+def _resolve_array_refs(program: ast.Program) -> None:
+    """Rewrite :class:`Call` nodes whose name is a declared array into
+    :class:`ArrayRef` nodes (FORTRAN's ``A(I)`` syntax is ambiguous until
+    declarations are known)."""
+    array_names = {decl.name for decl in program.arrays}
+
+    def fix(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Call):
+            args = [fix(a) for a in expr.args]
+            if expr.name in array_names:
+                return ast.ArrayRef(line=expr.line, name=expr.name, indices=args)
+            expr.args = args
+            return expr
+        if isinstance(expr, (ast.BinOp, ast.Compare, ast.LogicalOp)):
+            expr.left = fix(expr.left)
+            expr.right = fix(expr.right)
+            return expr
+        if isinstance(expr, ast.UnaryOp):
+            expr.operand = fix(expr.operand)
+            return expr
+        if isinstance(expr, ast.ArrayRef):
+            expr.indices = [fix(ix) for ix in expr.indices]
+            return expr
+        return expr
+
+    def fix_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            stmt.target = fix(stmt.target)
+            stmt.expr = fix(stmt.expr)
+        elif isinstance(stmt, ast.DoLoop):
+            stmt.start = fix(stmt.start)
+            stmt.end = fix(stmt.end)
+            if stmt.step is not None:
+                stmt.step = fix(stmt.step)
+            for inner in stmt.body:
+                fix_stmt(inner)
+        elif isinstance(stmt, ast.IfBlock):
+            stmt.branches = [
+                (fix(cond) if cond is not None else None, body)
+                for cond, body in stmt.branches
+            ]
+            for _cond, body in stmt.branches:
+                for inner in body:
+                    fix_stmt(inner)
+        elif isinstance(stmt, ast.LogicalIf):
+            stmt.cond = fix(stmt.cond)
+            fix_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.Print):
+            stmt.items = [fix(item) for item in stmt.items]
+        elif isinstance(stmt, ast.WhileLoop):
+            stmt.cond = fix(stmt.cond)
+            for inner in stmt.body:
+                fix_stmt(inner)
+
+    for stmt in program.body:
+        fix_stmt(stmt)
+    for decl in program.arrays:
+        decl.dims = [fix(d) for d in decl.dims]
+    for param in program.params:
+        param.value = fix(param.value)
+
+
+def _renumber_loops(program: ast.Program) -> None:
+    """Assign fresh pre-order loop_ids (inlining duplicates bodies, so
+    parse-time ids are no longer unique)."""
+    next_id = 0
+    for stmt in program.walk_statements():
+        if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            stmt.loop_id = next_id
+            next_id += 1
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse mini-FORTRAN source text into a resolved :class:`Program`.
+
+    Multi-unit sources (a main program plus SUBROUTINE units) are
+    flattened: every CALL is replaced by the callee's body with formals
+    substituted and locals renamed (see :mod:`repro.frontend.inline`).
+    """
+    program, subroutines = Parser(source).parse_units()
+    if subroutines or any(
+        isinstance(s, ast.CallStmt) for s in program.walk_statements()
+    ):
+        from repro.frontend.inline import inline_program
+
+        program = inline_program(program, subroutines)
+        _renumber_loops(program)
+    _resolve_array_refs(program)
+    return program

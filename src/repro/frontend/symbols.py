@@ -1,0 +1,195 @@
+"""Symbol resolution for mini-FORTRAN programs.
+
+The symbol table resolves ``PARAMETER`` constants and array shapes to
+concrete integers.  Array bounds must be compile-time constants (literals,
+parameters, or arithmetic over them), as in the paper: "Array sizes are
+given explicitly in the dimension declaration statements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """Resolved shape of a declared array.
+
+    ``dims`` is ``(M,)`` for vectors and ``(M, N)`` for matrices, in
+    declaration order (rows, columns); storage is column major.
+    """
+
+    name: str
+    dims: Tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def rows(self) -> int:
+        return self.dims[0]
+
+    @property
+    def columns(self) -> int:
+        """Number of columns; 1 for vectors (the paper's ``N = 1``)."""
+        return self.dims[1] if self.rank == 2 else 1
+
+    @property
+    def element_count(self) -> int:
+        return self.rows * self.columns
+
+    def linear_index(self, indices: Tuple[int, ...]) -> int:
+        """Zero-based column-major linear index of a (1-based) element.
+
+        Raises :class:`SemanticError` on rank mismatch or out-of-bounds
+        access — faithful interpretation matters because the page trace is
+        derived from these offsets.
+        """
+        if len(indices) != self.rank:
+            raise SemanticError(
+                f"array {self.name} has rank {self.rank}, indexed with "
+                f"{len(indices)} subscripts"
+            )
+        i = indices[0]
+        if not 1 <= i <= self.rows:
+            raise SemanticError(
+                f"index {i} out of bounds for {self.name}({self.dims})"
+            )
+        if self.rank == 1:
+            return i - 1
+        j = indices[1]
+        if not 1 <= j <= self.columns:
+            raise SemanticError(
+                f"column index {j} out of bounds for {self.name}({self.dims})"
+            )
+        return (j - 1) * self.rows + (i - 1)
+
+
+def eval_const_expr(expr: ast.Expr, env: Dict[str, Number]) -> Number:
+    """Evaluate a compile-time constant expression.
+
+    ``env`` supplies PARAMETER bindings.  Raises :class:`SemanticError`
+    for anything not statically evaluable (array refs, unknown names,
+    function calls).
+    """
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        if expr.name in env:
+            return env[expr.name]
+        raise SemanticError(f"{expr.name} is not a constant", expr.line)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return -eval_const_expr(expr.operand, env)
+    if isinstance(expr, ast.BinOp):
+        left = eval_const_expr(expr.left, env)
+        right = eval_const_expr(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right
+            return left / right
+        if expr.op == "**":
+            return left**right
+    raise SemanticError("expression is not a compile-time constant", expr.line)
+
+
+class SymbolTable:
+    """Resolved parameters and array shapes for one program."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, Number] = {}
+        self.arrays: Dict[str, ArrayInfo] = {}
+
+    @classmethod
+    def from_program(cls, program: ast.Program) -> "SymbolTable":
+        table = cls()
+        for param in program.params:
+            if param.name in table.params:
+                raise SemanticError(
+                    f"parameter {param.name} bound twice", param.line
+                )
+            table.params[param.name] = eval_const_expr(param.value, table.params)
+        for decl in program.arrays:
+            dims = []
+            for dim_expr in decl.dims:
+                value = eval_const_expr(dim_expr, table.params)
+                if not isinstance(value, int) or value < 1:
+                    raise SemanticError(
+                        f"array {decl.name} has non-positive or non-integer "
+                        f"bound {value!r}",
+                        decl.line,
+                    )
+                dims.append(value)
+            table.arrays[decl.name] = ArrayInfo(name=decl.name, dims=tuple(dims))
+        table._validate_references(program)
+        table._validate_data(program)
+        return table
+
+    def _validate_data(self, program: ast.Program) -> None:
+        """Check DATA groups: known arrays, matching value counts."""
+        for group in program.data:
+            if isinstance(group.target, str):
+                info = self.arrays.get(group.target)
+                if info is None:
+                    raise SemanticError(
+                        f"DATA names undeclared array {group.target}", group.line
+                    )
+                if len(group.values) != info.element_count:
+                    raise SemanticError(
+                        f"DATA for {group.target} has {len(group.values)} "
+                        f"values; the array holds {info.element_count}",
+                        group.line,
+                    )
+            else:
+                ref = group.target
+                info = self.arrays.get(ref.name)
+                if info is None:
+                    raise SemanticError(
+                        f"DATA names undeclared array {ref.name}", group.line
+                    )
+                indices = tuple(
+                    int(eval_const_expr(ix, self.params)) for ix in ref.indices
+                )
+                info.linear_index(indices)  # bounds check
+                if len(group.values) != 1:
+                    raise SemanticError(
+                        f"DATA for element {ref.name} needs exactly one value",
+                        group.line,
+                    )
+
+    def _validate_references(self, program: ast.Program) -> None:
+        """Reject references to undeclared arrays and rank mismatches."""
+        for stmt in program.walk_statements():
+            for ref in ast.statement_array_refs(stmt):
+                info = self.arrays.get(ref.name)
+                if info is None:  # pragma: no cover - resolver guarantees this
+                    raise SemanticError(
+                        f"reference to undeclared array {ref.name}", ref.line
+                    )
+                if len(ref.indices) != info.rank:
+                    raise SemanticError(
+                        f"array {ref.name} has rank {info.rank} but is "
+                        f"indexed with {len(ref.indices)} subscripts",
+                        ref.line,
+                    )
+
+    @property
+    def total_virtual_elements(self) -> int:
+        """Total number of array elements across all declared arrays."""
+        return sum(info.element_count for info in self.arrays.values())
+
+    def array_order(self) -> List[str]:
+        """Array names in declaration order (defines the address layout)."""
+        return list(self.arrays.keys())

@@ -1,0 +1,174 @@
+"""Turn an AST back into mini-FORTRAN source text.
+
+Used for rendering instrumented programs (Figure 5c style), for
+round-trip tests, and for debugging workload definitions.  Output is
+canonical: upper case, two-space indentation per loop/IF level, block
+``DO``/``ENDDO`` form for loops parsed from block form, and the original
+labeled form for labeled loops.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import ast
+
+_PRECEDENCE = {
+    ".OR.": 1,
+    ".AND.": 2,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "==": 4,
+    "/=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "**": 8,
+}
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render one expression, parenthesizing only where needed."""
+    if isinstance(expr, ast.Num):
+        return _format_number(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.LogicalLit):
+        return ".TRUE." if expr.value else ".FALSE."
+    if isinstance(expr, ast.ArrayRef):
+        inner = ", ".join(unparse_expr(ix) for ix in expr.indices)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Call):
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == ".NOT.":
+            text = f".NOT. {unparse_expr(expr.operand, 3)}"
+            prec = 3
+        else:
+            text = f"-{unparse_expr(expr.operand, 7)}"
+            prec = 7
+        return f"({text})" if parent_prec > prec else text
+    if isinstance(expr, (ast.BinOp, ast.Compare, ast.LogicalOp)):
+        prec = _PRECEDENCE[expr.op]
+        # Left-associative operators re-parenthesize their right child at
+        # prec+1; right-associative ** re-parenthesizes its *left* child.
+        left_prec = prec + 1 if expr.op == "**" else prec
+        right_prec = prec if expr.op == "**" else prec + 1
+        left = unparse_expr(expr.left, left_prec)
+        right = unparse_expr(expr.right, right_prec)
+        op = expr.op if expr.op == "**" else f" {expr.op} "
+        text = f"{left}{op}{right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"cannot unparse {type(expr).__name__}")  # pragma: no cover
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - bools never parsed as Num
+        return ".TRUE." if value else ".FALSE."
+    if isinstance(value, int):
+        return str(value)
+    text = repr(float(value))
+    return text.upper().replace("E+", "E")
+
+
+def _label_prefix(stmt: ast.Stmt) -> str:
+    return f"{stmt.label} " if stmt.label is not None else ""
+
+
+def unparse_statements(stmts: List[ast.Stmt], indent: int = 0) -> List[str]:
+    """Render a statement list as source lines."""
+    pad = "  " * indent
+    lines: List[str] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            lines.append(
+                f"{pad}{_label_prefix(stmt)}{unparse_expr(stmt.target)} = "
+                f"{unparse_expr(stmt.expr)}"
+            )
+        elif isinstance(stmt, ast.Continue):
+            lines.append(f"{pad}{_label_prefix(stmt)}CONTINUE")
+        elif isinstance(stmt, ast.Stop):
+            lines.append(f"{pad}{_label_prefix(stmt)}STOP")
+        elif isinstance(stmt, ast.ExitLoop):
+            lines.append(f"{pad}{_label_prefix(stmt)}EXIT")
+        elif isinstance(stmt, ast.Print):
+            if stmt.items:
+                rendered = ", ".join(unparse_expr(item) for item in stmt.items)
+                lines.append(f"{pad}{_label_prefix(stmt)}PRINT *, {rendered}")
+            else:
+                lines.append(f"{pad}{_label_prefix(stmt)}PRINT *")
+        elif isinstance(stmt, ast.CallStmt):
+            if stmt.args:
+                rendered = ", ".join(unparse_expr(a) for a in stmt.args)
+                lines.append(f"{pad}{_label_prefix(stmt)}CALL {stmt.name}({rendered})")
+            else:
+                lines.append(f"{pad}{_label_prefix(stmt)}CALL {stmt.name}")
+        elif isinstance(stmt, ast.Return):
+            lines.append(f"{pad}{_label_prefix(stmt)}RETURN")
+        elif isinstance(stmt, ast.WhileLoop):
+            lines.append(
+                f"{pad}{_label_prefix(stmt)}DO WHILE ({unparse_expr(stmt.cond)})"
+            )
+            lines.extend(unparse_statements(stmt.body, indent + 1))
+            lines.append(f"{pad}ENDDO")
+        elif isinstance(stmt, ast.DoLoop):
+            head = f"{pad}{_label_prefix(stmt)}DO "
+            if stmt.end_label is not None:
+                head += f"{stmt.end_label} "
+            head += f"{stmt.var} = {unparse_expr(stmt.start)}, {unparse_expr(stmt.end)}"
+            if stmt.step is not None:
+                head += f", {unparse_expr(stmt.step)}"
+            lines.append(head)
+            lines.extend(unparse_statements(stmt.body, indent + 1))
+            if stmt.end_label is None:
+                lines.append(f"{pad}ENDDO")
+        elif isinstance(stmt, ast.LogicalIf):
+            guarded = unparse_statements([stmt.stmt], 0)[0]
+            lines.append(
+                f"{pad}{_label_prefix(stmt)}IF ({unparse_expr(stmt.cond)}) {guarded}"
+            )
+        elif isinstance(stmt, ast.IfBlock):
+            for i, (cond, body) in enumerate(stmt.branches):
+                if i == 0:
+                    lines.append(
+                        f"{pad}{_label_prefix(stmt)}IF ({unparse_expr(cond)}) THEN"
+                    )
+                elif cond is not None:
+                    lines.append(f"{pad}ELSEIF ({unparse_expr(cond)}) THEN")
+                else:
+                    lines.append(f"{pad}ELSE")
+                lines.extend(unparse_statements(body, indent + 1))
+            lines.append(f"{pad}ENDIF")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot unparse {type(stmt).__name__}")
+    return lines
+
+
+def unparse_program(program: ast.Program) -> str:
+    """Render a whole program as canonical mini-FORTRAN source."""
+    lines = [f"PROGRAM {program.name}"]
+    if program.params:
+        bindings = ", ".join(
+            f"{p.name} = {unparse_expr(p.value)}" for p in program.params
+        )
+        lines.append(f"PARAMETER ({bindings})")
+    if program.arrays:
+        decls = ", ".join(
+            f"{a.name}({', '.join(unparse_expr(d) for d in a.dims)})"
+            for a in program.arrays
+        )
+        lines.append(f"DIMENSION {decls}")
+    for group in program.data:
+        if isinstance(group.target, str):
+            target = group.target
+        else:
+            target = unparse_expr(group.target)
+        values = ", ".join(_format_number(v) for v in group.values)
+        lines.append(f"DATA {target} /{values}/")
+    lines.extend(unparse_statements(program.body))
+    lines.append("END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,109 @@
+"""Trace persistence: save/load reference traces with their directives.
+
+The paper's methodology separates trace *generation* from trace
+*consumption* ("Traces of array references were generated for 9
+numerical programs … A virtual memory simulator is used to simulate
+program behavior").  Persisting traces supports the same separation
+here: generate once, replay many times (or on another machine), and
+keep the directive events with the pages.
+
+Format: a single ``.npz`` file holding the page array plus a JSON
+header (program name, page space, array layout, truncation flag, and
+the directive events with their ALLOCATE request lists).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+
+#: bumped on any incompatible change to the on-disk layout
+FORMAT_VERSION = 1
+
+
+def _event_to_dict(event: DirectiveEvent) -> dict:
+    return {
+        "position": event.position,
+        "kind": event.kind.value,
+        "site": event.site,
+        "requests": [
+            [r.priority_index, r.pages] for r in event.requests
+        ],
+        "lock_pages": list(event.lock_pages),
+        "priority_index": event.priority_index,
+    }
+
+
+def _event_from_dict(data: dict) -> DirectiveEvent:
+    return DirectiveEvent(
+        position=int(data["position"]),
+        kind=DirectiveKind(data["kind"]),
+        site=int(data["site"]),
+        requests=tuple(
+            AllocateRequest(priority_index=int(pi), pages=int(x))
+            for pi, x in data["requests"]
+        ),
+        lock_pages=tuple(int(p) for p in data["lock_pages"]),
+        priority_index=int(data["priority_index"]),
+    )
+
+
+def save_trace(trace: ReferenceTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended when missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "format_version": FORMAT_VERSION,
+        "program_name": trace.program_name,
+        "total_pages": trace.total_pages,
+        "truncated": trace.truncated,
+        "array_pages": {
+            name: [first, count]
+            for name, (first, count) in trace.array_pages.items()
+        },
+        "directives": [_event_to_dict(d) for d in trace.directives],
+    }
+    np.savez_compressed(
+        path,
+        pages=trace.pages,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> ReferenceTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        try:
+            pages = archive["pages"]
+            header_bytes = archive["header"].tobytes()
+        except KeyError as err:
+            raise ValueError(f"{path} is not a saved trace: missing {err}") from None
+    header = json.loads(header_bytes.decode("utf-8"))
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses trace format {version}; this build reads "
+            f"{FORMAT_VERSION}"
+        )
+    return ReferenceTrace(
+        program_name=header["program_name"],
+        pages=pages.astype(np.int32),
+        total_pages=int(header["total_pages"]),
+        directives=[_event_from_dict(d) for d in header["directives"]],
+        array_pages={
+            name: (int(first), int(count))
+            for name, (first, count) in header["array_pages"].items()
+        },
+        truncated=bool(header["truncated"]),
+    )

@@ -1,0 +1,70 @@
+"""Page-aligned, column-major memory layout for a program's arrays.
+
+Each declared array starts on a fresh page (so AVS values from the
+analysis are exact) and occupies AVS consecutive pages.  Scalars,
+constants, and code are assumed permanently resident and occupy no
+simulated pages, following the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.parameters import PageConfig
+from repro.frontend.symbols import ArrayInfo, SymbolTable
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """Placement of one array in the virtual page space."""
+
+    info: ArrayInfo
+    first_page: int
+    page_count: int
+
+    @property
+    def last_page(self) -> int:
+        return self.first_page + self.page_count - 1
+
+
+class MemoryLayout:
+    """Maps (array, element) to a global virtual page number."""
+
+    def __init__(self, symbols: SymbolTable, page_config: PageConfig = None):
+        self.page_config = page_config or PageConfig()
+        self.placements: Dict[str, ArrayPlacement] = {}
+        next_page = 0
+        for name in symbols.array_order():
+            info = symbols.arrays[name]
+            count = self.page_config.array_virtual_size(info)
+            self.placements[name] = ArrayPlacement(
+                info=info, first_page=next_page, page_count=count
+            )
+            next_page += count
+        self.total_pages = next_page
+
+    def page_of(self, array: str, indices: Tuple[int, ...]) -> int:
+        """Global page of a (1-based) element access."""
+        placement = self.placements[array]
+        linear = placement.info.linear_index(indices)
+        return placement.first_page + self.page_config.page_of_element(linear)
+
+    def page_of_linear(self, array: str, linear: int) -> int:
+        """Global page of a 0-based linear element offset."""
+        placement = self.placements[array]
+        if not 0 <= linear < placement.info.element_count:
+            raise ValueError(f"linear offset {linear} out of range for {array}")
+        return placement.first_page + self.page_config.page_of_element(linear)
+
+    def pages_of_array(self, array: str) -> range:
+        """All global pages occupied by ``array``."""
+        placement = self.placements[array]
+        return range(placement.first_page, placement.first_page + placement.page_count)
+
+    def array_of_page(self, page: int) -> str:
+        """Name of the array owning a global page (for diagnostics)."""
+        for name, placement in self.placements.items():
+            if placement.first_page <= page <= placement.last_page:
+                return name
+        raise ValueError(f"page {page} is outside every array")

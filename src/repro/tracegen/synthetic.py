@@ -1,0 +1,159 @@
+"""Synthetic reference-string generators.
+
+Controlled traces for studying the policies in isolation from the
+compiler pipeline: loop-structured walks (the paper's model of numerical
+behavior), phased localities with abrupt transitions (the WS
+literature's stress case), and the independent-reference model (the
+memoryless baseline every locality-aware policy should beat).
+
+Each generator returns a bare :class:`ReferenceTrace` (no directives);
+:func:`with_allocate_events` attaches an ideal ALLOCATE stream to a
+phased trace so CD can be studied with oracle-quality directives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+
+
+def _finish(pages: List[int], name: str) -> ReferenceTrace:
+    array = np.asarray(pages, dtype=np.int32)
+    total = int(array.max()) + 1 if len(array) else 1
+    return ReferenceTrace(program_name=name, pages=array, total_pages=total)
+
+
+def sequential_sweep(
+    page_count: int, sweeps: int = 1, name: str = "SWEEP"
+) -> ReferenceTrace:
+    """``sweeps`` passes over ``page_count`` pages in order — the
+    column-major array walk, LRU's classic worst case at any allocation
+    below ``page_count``."""
+    if page_count < 1 or sweeps < 1:
+        raise ValueError("page_count and sweeps must be positive")
+    pages: List[int] = []
+    for _ in range(sweeps):
+        pages.extend(range(page_count))
+    return _finish(pages, name)
+
+
+def nested_loop_walk(
+    outer_iterations: int,
+    inner_pages: int,
+    inner_repeats: int,
+    shared_pages: int = 0,
+    name: str = "NEST",
+) -> ReferenceTrace:
+    """The paper's locality model: an outer loop re-executing an inner
+    loop that cycles over ``inner_pages`` pages ``inner_repeats`` times,
+    optionally touching ``shared_pages`` outer-level pages per
+    iteration (the A/B vectors of Figure 5)."""
+    if outer_iterations < 1 or inner_pages < 1 or inner_repeats < 1:
+        raise ValueError("iteration counts and sizes must be positive")
+    if shared_pages < 0:
+        raise ValueError("shared_pages must be non-negative")
+    pages: List[int] = []
+    inner_base = shared_pages
+    for outer in range(outer_iterations):
+        for s in range(shared_pages):
+            pages.append(s)
+        for _ in range(inner_repeats):
+            for p in range(inner_pages):
+                pages.append(inner_base + p)
+    return _finish(pages, name)
+
+
+def phased_localities(
+    phases: Sequence[Tuple[int, int]],
+    name: str = "PHASED",
+    disjoint: bool = True,
+) -> ReferenceTrace:
+    """Abrupt interlocality transitions: each ``(size, duration)`` phase
+    cycles over its own page set for ``duration`` references.
+
+    ``disjoint=True`` gives every phase fresh pages (pure transition
+    faulting); ``False`` reuses page numbers from 0 (re-reference after
+    absence, the WS window stress)."""
+    if not phases:
+        raise ValueError("need at least one phase")
+    pages: List[int] = []
+    base = 0
+    for size, duration in phases:
+        if size < 1 or duration < 1:
+            raise ValueError("phase sizes and durations must be positive")
+        start = base if disjoint else 0
+        for i in range(duration):
+            pages.append(start + (i % size))
+        if disjoint:
+            base += size
+    return _finish(pages, name)
+
+
+def independent_references(
+    page_count: int,
+    length: int,
+    seed: int = 0,
+    skew: float = 0.0,
+    name: str = "IRM",
+) -> ReferenceTrace:
+    """The independent-reference model: each reference drawn i.i.d.
+
+    ``skew`` in [0, 1) biases toward low page numbers with a geometric
+    profile (0 = uniform), approximating the hot/cold split real
+    programs show even without loop structure."""
+    if page_count < 1 or length < 0:
+        raise ValueError("page_count must be positive, length non-negative")
+    if not 0.0 <= skew < 1.0:
+        raise ValueError("skew must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    if skew == 0.0:
+        pages = rng.integers(0, page_count, size=length)
+    else:
+        weights = (1.0 - skew) * skew ** np.arange(page_count)
+        weights /= weights.sum()
+        pages = rng.choice(page_count, size=length, p=weights)
+    trace = ReferenceTrace(
+        program_name=name,
+        pages=pages.astype(np.int32),
+        total_pages=page_count,
+    )
+    return trace
+
+
+def with_allocate_events(
+    trace: ReferenceTrace,
+    phases: Sequence[Tuple[int, int]],
+    priority_index: int = 1,
+) -> ReferenceTrace:
+    """Attach oracle ALLOCATE events to a :func:`phased_localities`
+    trace: one request per phase, sized exactly to the phase's locality.
+
+    This is the upper bound for what a compiler could tell the OS; the
+    gap between CD with these events and CD with real compiler output
+    measures the analysis' slack."""
+    events: List[DirectiveEvent] = []
+    position = 0
+    for site, (size, duration) in enumerate(phases):
+        events.append(
+            DirectiveEvent(
+                position=position,
+                kind=DirectiveKind.ALLOCATE,
+                site=site,
+                requests=(
+                    AllocateRequest(priority_index=priority_index, pages=size),
+                ),
+            )
+        )
+        position += duration
+    return ReferenceTrace(
+        program_name=trace.program_name,
+        pages=trace.pages,
+        total_pages=trace.total_pages,
+        directives=events,
+        array_pages=dict(trace.array_pages),
+        truncated=trace.truncated,
+    )

@@ -1,0 +1,349 @@
+"""One-pass parameter-sweep analyzers for LRU and WS.
+
+The paper's Tables 2–4 need LRU at *every* memory size 1..V and WS at
+*many* window values.  Replaying the trace once per parameter is
+wasteful; both policies admit single-pass analyses:
+
+* **LRU is a stack algorithm** — one pass computes each reference's
+  stack distance, from which the fault count for every partition size
+  follows; the resident-set size under LRU with ``m`` frames after
+  reference ``t`` is ``min(m, distinct_pages_seen(t))``, so MEM and ST
+  follow too.
+* **WS is window-defined** — a reference faults for window τ iff its
+  backward inter-reference gap exceeds τ, and the working-set size at
+  time ``t`` is the number of references ``s ≤ t`` that are still the
+  most recent reference of their page and satisfy ``t < s + τ``; both
+  derive from the backward/forward gap arrays in O(R) per τ.
+
+Every number these analyzers produce agrees exactly with the
+event-driven simulator (asserted by the test suite and the hypothesis
+property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.tracegen.events import ReferenceTrace
+from repro.vm.metrics import FAULT_SERVICE_REFERENCES, SimulationResult
+
+PagesLike = Union[ReferenceTrace, np.ndarray, List[int]]
+
+#: Sentinel for "never" (first touch / no next reference): must exceed
+#: any allocation or window a caller could query, not just the trace
+#: length — callers may probe frames/τ larger than the trace.
+_INFINITE_DISTANCE = np.int64(2**62)
+
+
+def _as_pages(trace_or_pages: PagesLike) -> np.ndarray:
+    if isinstance(trace_or_pages, ReferenceTrace):
+        return trace_or_pages.pages
+    return np.asarray(trace_or_pages, dtype=np.int32)
+
+
+class LRUSweep:
+    """All-partition-sizes LRU analysis of one reference string."""
+
+    def __init__(
+        self,
+        trace_or_pages: PagesLike,
+        program: str = "?",
+        fault_service: int = FAULT_SERVICE_REFERENCES,
+    ):
+        if isinstance(trace_or_pages, ReferenceTrace):
+            program = trace_or_pages.program_name
+        self.program = program
+        self.fault_service = fault_service
+        self.pages = _as_pages(trace_or_pages)
+        self._compute_distances()
+
+    def _compute_distances(self) -> None:
+        n = len(self.pages)
+        distances = np.empty(n, dtype=np.int64)
+        distinct = np.empty(n, dtype=np.int64)
+        stack: List[int] = []  # most-recent first
+        cold = _INFINITE_DISTANCE  # larger than any queryable allocation
+        for i in range(n):
+            page = int(self.pages[i])
+            try:
+                depth = stack.index(page)
+            except ValueError:
+                distances[i] = cold
+                stack.insert(0, page)
+            else:
+                distances[i] = depth + 1
+                del stack[depth]
+                stack.insert(0, page)
+            distinct[i] = len(stack)
+        self._distances = distances
+        self._distinct = distinct
+        #: number of distinct pages ever referenced
+        self.max_useful_frames = int(distinct[-1]) if n else 0
+
+    # -- point queries -------------------------------------------------------
+
+    def faults(self, frames: int) -> int:
+        """Page faults under LRU with ``frames`` frames."""
+        if frames < 1:
+            raise ValueError("frames must be >= 1")
+        return int((self._distances > frames).sum())
+
+    def mem(self, frames: int) -> float:
+        """MEM: mean resident-set size."""
+        if frames < 1:
+            raise ValueError("frames must be >= 1")
+        if not len(self.pages):
+            return 0.0
+        return float(np.minimum(self._distinct, frames).mean())
+
+    def space_time(self, frames: int) -> float:
+        """ST: space-time product including fault service."""
+        if frames < 1:
+            raise ValueError("frames must be >= 1")
+        resident = np.minimum(self._distinct, frames)
+        fault_mask = self._distances > frames
+        return float(
+            resident.sum() + self.fault_service * resident[fault_mask].sum()
+        )
+
+    def lifetime(self, frames: int) -> float:
+        """Denning's lifetime function g(m): mean references between
+        faults at allocation ``frames`` (``inf`` when nothing faults)."""
+        faults = self.faults(frames)
+        if faults == 0:
+            return float("inf")
+        return len(self.pages) / faults
+
+    def knee_frames(self) -> int:
+        """The primary knee of the lifetime curve: the allocation
+        maximizing g(m)/m, the classical operating point for
+        load-control rules."""
+        best_m, best_score = 1, -1.0
+        for m in range(1, max(self.max_useful_frames, 1) + 1):
+            g = self.lifetime(m)
+            score = (len(self.pages) * 10.0) / m if g == float("inf") else g / m
+            if score > best_score:
+                best_m, best_score = m, score
+        return best_m
+
+    def result(self, frames: int) -> SimulationResult:
+        return SimulationResult(
+            policy="LRU",
+            program=self.program,
+            page_faults=self.faults(frames),
+            references=len(self.pages),
+            mem_average=self.mem(frames),
+            space_time=self.space_time(frames),
+            parameter=frames,
+            fault_service=self.fault_service,
+        )
+
+    # -- sweep helpers ------------------------------------------------------------
+
+    def curve(self, frames_values: Optional[Iterable[int]] = None) -> List[SimulationResult]:
+        """Results across a range of partition sizes (default 1..V)."""
+        if frames_values is None:
+            frames_values = range(1, max(self.max_useful_frames, 1) + 1)
+        return [self.result(m) for m in frames_values]
+
+    def min_space_time(self) -> SimulationResult:
+        """The allocation minimizing ST (the paper's ST_min comparisons)."""
+        best: Optional[SimulationResult] = None
+        for m in range(1, max(self.max_useful_frames, 1) + 1):
+            candidate = self.result(m)
+            if best is None or candidate.space_time < best.space_time:
+                best = candidate
+        return best
+
+    def frames_for_mem(self, target_mem: float) -> int:
+        """Smallest allocation whose MEM is closest to ``target_mem``
+        (the paper's "similar values were obtained by direct assignment")."""
+        best_m, best_gap = 1, float("inf")
+        for m in range(1, max(self.max_useful_frames, 1) + 1):
+            gap = abs(self.mem(m) - target_mem)
+            if gap < best_gap:
+                best_m, best_gap = m, gap
+        return best_m
+
+    def min_frames_with_faults_at_most(self, max_faults: int) -> Optional[int]:
+        """Smallest allocation generating at most ``max_faults`` faults
+        (LRU fault counts are monotone in the allocation: stack property)."""
+        lo, hi = 1, max(self.max_useful_frames, 1)
+        if self.faults(hi) > max_faults:
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.faults(mid) <= max_faults:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+class WSSweep:
+    """All-window-sizes Working Set analysis of one reference string."""
+
+    def __init__(
+        self,
+        trace_or_pages: PagesLike,
+        program: str = "?",
+        fault_service: int = FAULT_SERVICE_REFERENCES,
+    ):
+        if isinstance(trace_or_pages, ReferenceTrace):
+            program = trace_or_pages.program_name
+        self.program = program
+        self.fault_service = fault_service
+        self.pages = _as_pages(trace_or_pages)
+        self._compute_gaps()
+        self._cache: Dict[int, SimulationResult] = {}
+
+    def _compute_gaps(self) -> None:
+        n = len(self.pages)
+        backward = np.empty(n, dtype=np.int64)
+        forward = np.full(n, _INFINITE_DISTANCE, dtype=np.int64)  # "never again"
+        last_seen: Dict[int, int] = {}
+        infinite = _INFINITE_DISTANCE
+        for i in range(n):
+            page = int(self.pages[i])
+            prev = last_seen.get(page)
+            if prev is None:
+                backward[i] = infinite
+            else:
+                backward[i] = i - prev
+                forward[prev] = i - prev
+            last_seen[page] = i
+        self._backward = backward
+        self._forward = forward
+
+    def _analyze(self, tau: int) -> SimulationResult:
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        cached = self._cache.get(tau)
+        if cached is not None:
+            return cached
+        n = len(self.pages)
+        if n == 0:
+            result = SimulationResult(
+                policy="WS",
+                program=self.program,
+                page_faults=0,
+                references=0,
+                mem_average=0.0,
+                space_time=0.0,
+                parameter=tau,
+                fault_service=self.fault_service,
+            )
+            self._cache[tau] = result
+            return result
+        fault_mask = self._backward > tau
+        # Working-set size after each reference: a reference at s keeps
+        # its page in W(t, τ) for t in [s, s + min(forward, τ) - 1].
+        span = np.minimum(self._forward, tau)
+        ends = np.minimum(np.arange(n, dtype=np.int64) + span, n)
+        delta = np.zeros(n + 1, dtype=np.int64)
+        delta[:n] += 1  # each reference opens its interval at its own slot
+        np.subtract.at(delta, ends, 1)  # and closes it at s + min(fwd, τ)
+        ws_size = np.cumsum(delta[:n])
+        result = SimulationResult(
+            policy="WS",
+            program=self.program,
+            page_faults=int(fault_mask.sum()),
+            references=n,
+            mem_average=float(ws_size.mean()),
+            space_time=float(
+                ws_size.sum() + self.fault_service * ws_size[fault_mask].sum()
+            ),
+            parameter=tau,
+            fault_service=self.fault_service,
+        )
+        self._cache[tau] = result
+        return result
+
+    # -- point queries -----------------------------------------------------------
+
+    def faults(self, tau: int) -> int:
+        return self._analyze(tau).page_faults
+
+    def mem(self, tau: int) -> float:
+        return self._analyze(tau).mem_average
+
+    def space_time(self, tau: int) -> float:
+        return self._analyze(tau).space_time
+
+    def result(self, tau: int) -> SimulationResult:
+        return self._analyze(tau)
+
+    def lifetime(self, tau: int) -> float:
+        """Mean references between faults at window ``tau``."""
+        faults = self.faults(tau)
+        if faults == 0:
+            return float("inf")
+        return len(self.pages) / faults
+
+    # -- sweep helpers ---------------------------------------------------------------
+
+    def default_taus(self, count: int = 48) -> List[int]:
+        """A geometric grid of window sizes in [1, R]."""
+        n = max(len(self.pages), 2)
+        grid = np.unique(
+            np.round(np.geomspace(1, n, num=count)).astype(np.int64)
+        )
+        return [int(t) for t in grid]
+
+    def curve(self, taus: Optional[Iterable[int]] = None) -> List[SimulationResult]:
+        if taus is None:
+            taus = self.default_taus()
+        return [self.result(t) for t in taus]
+
+    def min_space_time(self, taus: Optional[Iterable[int]] = None) -> SimulationResult:
+        """The window minimizing ST over a grid (refined locally)."""
+        candidates = list(taus) if taus is not None else self.default_taus()
+        best = min((self.result(t) for t in candidates), key=lambda r: r.space_time)
+        # Local refinement around the best grid point.
+        tau = int(best.parameter)
+        index = candidates.index(tau)
+        lo = candidates[index - 1] if index > 0 else max(1, tau // 2)
+        hi = candidates[index + 1] if index + 1 < len(candidates) else tau * 2
+        step = max(1, (hi - lo) // 32)
+        for t in range(lo, hi + 1, step):
+            candidate = self.result(t)
+            if candidate.space_time < best.space_time:
+                best = candidate
+        return best
+
+    def tau_for_mem(self, target_mem: float) -> int:
+        """Window whose MEM best matches ``target_mem`` (paper Table 3:
+        "by adjusting the WS parameter, the window size τ").
+
+        Mean WS size is non-decreasing in τ, so bisection applies.
+        """
+        lo, hi = 1, max(len(self.pages), 1)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.mem(mid) < target_mem:
+                lo = mid + 1
+            else:
+                hi = mid
+        # lo is the first τ reaching target; its neighbor below may be closer.
+        best = lo
+        if lo > 1 and abs(self.mem(lo - 1) - target_mem) < abs(
+            self.mem(lo) - target_mem
+        ):
+            best = lo - 1
+        return best
+
+    def min_tau_with_faults_at_most(self, max_faults: int) -> Optional[int]:
+        """Smallest window generating at most ``max_faults`` faults
+        (WS fault counts are non-increasing in τ)."""
+        lo, hi = 1, max(len(self.pages), 1)
+        if self.faults(hi) > max_faults:
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.faults(mid) <= max_faults:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo

@@ -1,0 +1,72 @@
+"""Performance indexes: PF, MEM, and ST.
+
+Time is virtual: each memory reference advances time by one unit and
+each page fault adds :data:`FAULT_SERVICE_REFERENCES` units of service
+delay (the paper "assumed 2000 memory references").
+
+* ``PF`` counts every demand fetch, including cold (first-touch) faults,
+  as in the paper's fault counts.
+* ``MEM`` is the resident-set size averaged over *reference* time —
+  "the average memory allocated to a program".
+* ``ST`` integrates the resident-set size over *virtual* time: each
+  reference contributes ``m`` (the resident size after the reference)
+  and each fault additionally contributes ``m × 2000`` for its service
+  interval, during which the process occupies its memory while waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: The paper's page-fault service time, in memory references.
+FAULT_SERVICE_REFERENCES = 2000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one trace under one policy setting."""
+
+    policy: str
+    program: str
+    page_faults: int
+    references: int
+    mem_average: float  # MEM
+    space_time: float  # ST
+    parameter: Optional[float] = None  # frames for LRU/FIFO/OPT, τ for WS
+    fault_service: int = FAULT_SERVICE_REFERENCES
+    #: CD-only counters
+    swaps: int = 0
+    denied_requests: int = 0
+    lock_releases: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fault_rate(self) -> float:
+        """Faults per reference (0 for an empty trace)."""
+        if self.references == 0:
+            return 0.0
+        return self.page_faults / self.references
+
+    @property
+    def virtual_time(self) -> float:
+        """Total virtual time: references plus fault service."""
+        return self.references + self.page_faults * self.fault_service
+
+    def describe(self) -> str:
+        param = f" ({self.parameter})" if self.parameter is not None else ""
+        return (
+            f"{self.policy}{param} on {self.program}: "
+            f"PF={self.page_faults}, MEM={self.mem_average:.2f}, "
+            f"ST={self.space_time:.3e}"
+        )
+
+
+def percent_excess(value: float, baseline: float) -> float:
+    """The paper's %-excess metric: ``(value − baseline)/baseline × 100``.
+
+    Used for %MEM and %ST comparisons against CD.  Raises
+    :class:`ZeroDivisionError` mirroring an undefined comparison when the
+    baseline is zero.
+    """
+    return (value - baseline) / baseline * 100.0

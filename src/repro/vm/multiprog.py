@@ -1,0 +1,475 @@
+"""Multiprogrammed memory management — the evaluation the paper defers.
+
+"The performance of CD in a multiprogramming environment is still to be
+evaluated."  This module evaluates it: several traced programs share one
+physical memory under round-robin scheduling with overlapped fault
+service, managed either by CD (directive-driven allocation with the
+paper's swapping mechanism) or by the Working Set policy with classic
+WS load control.
+
+Model
+-----
+
+* Time is virtual and global.  The scheduler runs one READY process at a
+  time for a quantum of references; a page fault blocks the process for
+  ``fault_service`` time units during which other processes run (I/O is
+  overlapped, as in a real multiprogrammed system).
+* Physical memory holds ``total_frames`` pages shared by all processes.
+  Each process's pages live in its own address space (disjoint from the
+  others).
+* **CD processes** follow Figure 6: an ALLOCATE grants the largest
+  request not exceeding what the process could reach (its own resident
+  pages plus free frames).  When the PI=1 request cannot be granted,
+  the *swapper* is invoked: the largest other resident process is
+  swapped out entirely (its frames freed, the process suspended until
+  memory frees up); "The swapper is never invoked by a request whose
+  priority is > 1."
+* **WS processes** maintain their working sets; load control deactivates
+  (swaps out) the process with the largest working set when total
+  demand exceeds physical memory — Denning's classical rule.
+
+Faults, swaps, completion time, and memory utilization are reported per
+process and in aggregate, so CD's directive-driven control can be
+compared with WS load control on identical workload mixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.vm.metrics import FAULT_SERVICE_REFERENCES
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"  # waiting out a page-fault service
+    SWAPPED = "swapped"  # evicted wholesale by the swapper
+    DONE = "done"
+
+
+@dataclass
+class ProcessStats:
+    name: str
+    policy: str
+    references: int = 0
+    faults: int = 0
+    swapped_out: int = 0
+    finish_time: Optional[int] = None
+    mem_integral: int = 0  # Σ resident over its executed references
+
+    @property
+    def mem_average(self) -> float:
+        if self.references == 0:
+            return 0.0
+        return self.mem_integral / self.references
+
+
+class _Process:
+    """One program sharing the machine."""
+
+    def __init__(self, name: str, trace: ReferenceTrace, mode: str, tau: int):
+        if mode not in ("cd", "ws"):
+            raise ValueError("mode must be 'cd' or 'ws'")
+        self.name = name
+        self.trace = trace
+        self.mode = mode
+        self.tau = tau
+        self.position = 0  # next reference index
+        self.event_index = 0
+        self.state = ProcessState.READY
+        self.wake_time = 0
+        self.resident: "OrderedDict[int, None]" = OrderedDict()
+        self.target = 1  # CD allocation target
+        self.last_ref: Dict[int, int] = {}  # WS: page -> local time
+        self.local_time = 0  # WS window counts this process's own refs
+        #: CD soft pins: page -> site, and per-site PJ (for release order)
+        self.locked_site_of: Dict[int, int] = {}
+        self.site_pages: Dict[int, set] = {}
+        self.site_pj: Dict[int, int] = {}
+        self.stats = ProcessStats(name=name, policy=mode.upper())
+
+    @property
+    def done(self) -> bool:
+        return self.position >= self.trace.length
+
+    @property
+    def resident_size(self) -> int:
+        return len(self.resident)
+
+    def demand(self) -> int:
+        """Frames the process currently wants resident."""
+        if self.mode == "cd":
+            locked_resident = sum(
+                1 for p in self.resident if p in self.locked_site_of
+            )
+            return max(self.target + locked_resident, 1)
+        return max(self.ws_size(), 1)
+
+    def ws_size(self) -> int:
+        boundary = self.local_time - self.tau
+        return sum(1 for t in self.last_ref.values() if t > boundary)
+
+
+@dataclass
+class MultiprogResult:
+    total_frames: int
+    makespan: int
+    processes: List[ProcessStats]
+    swaps: int
+    mem_utilization: float  # mean fraction of frames occupied
+
+    @property
+    def total_faults(self) -> int:
+        return sum(p.faults for p in self.processes)
+
+    @property
+    def throughput(self) -> float:
+        """References completed per unit of virtual time."""
+        if self.makespan == 0:
+            return 0.0
+        return sum(p.references for p in self.processes) / self.makespan
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.processes)} processes, {self.total_frames} frames: "
+            f"makespan={self.makespan}, faults={self.total_faults}, "
+            f"swaps={self.swaps}, util={self.mem_utilization:.2f}"
+        ]
+        for p in self.processes:
+            lines.append(
+                f"  {p.name:10s} [{p.policy}] PF={p.faults:6d} "
+                f"MEM={p.mem_average:6.2f} done@{p.finish_time}"
+            )
+        return "\n".join(lines)
+
+
+class MultiprogSimulator:
+    """Round-robin multiprogramming over a shared frame pool."""
+
+    def __init__(
+        self,
+        workloads: List[Tuple[str, ReferenceTrace]],
+        total_frames: int,
+        mode: str = "cd",
+        quantum: int = 500,
+        fault_service: int = FAULT_SERVICE_REFERENCES,
+        ws_tau: int = 1500,
+        max_time: int = 500_000_000,
+    ):
+        if total_frames < len(workloads):
+            raise ValueError("need at least one frame per process")
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.total_frames = total_frames
+        self.quantum = quantum
+        self.fault_service = fault_service
+        self.max_time = max_time
+        self.processes = [
+            _Process(name, trace, mode, ws_tau) for name, trace in workloads
+        ]
+        self.clock = 0
+        self.swaps = 0
+        self._util_integral = 0.0
+        self._util_samples = 0
+
+    # -- memory accounting -------------------------------------------------
+
+    @property
+    def frames_used(self) -> int:
+        return sum(p.resident_size for p in self.processes)
+
+    @property
+    def frames_free(self) -> int:
+        return self.total_frames - self.frames_used
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> MultiprogResult:
+        while self.clock < self.max_time:
+            process = self._pick_ready()
+            if process is None:
+                if all(p.state is ProcessState.DONE for p in self.processes):
+                    break
+                self._advance_to_next_wake()
+                continue
+            self._run_quantum(process)
+        util = self._util_integral / self._util_samples if self._util_samples else 0.0
+        return MultiprogResult(
+            total_frames=self.total_frames,
+            makespan=self.clock,
+            processes=[p.stats for p in self.processes],
+            swaps=self.swaps,
+            mem_utilization=util,
+        )
+
+    def _pick_ready(self) -> Optional[_Process]:
+        self._wake_sleepers()
+        ready = [p for p in self.processes if p.state is ProcessState.READY]
+        if not ready:
+            return None
+        # Round robin: the ready process that has executed the least.
+        return min(ready, key=lambda p: p.stats.references)
+
+    def _wake_sleepers(self) -> None:
+        for p in self.processes:
+            if p.state is ProcessState.BLOCKED and p.wake_time <= self.clock:
+                p.state = ProcessState.READY
+            elif p.state is ProcessState.SWAPPED:
+                # Swap back in when a fair share of memory is free.
+                share = self.total_frames // max(len(self.processes), 1)
+                if self.frames_free >= max(1, min(share, p.demand())):
+                    p.state = ProcessState.READY
+
+    def _advance_to_next_wake(self) -> None:
+        pending = [
+            p.wake_time
+            for p in self.processes
+            if p.state is ProcessState.BLOCKED
+        ]
+        if pending:
+            self.clock = max(self.clock + 1, min(pending))
+            return
+        # Only SWAPPED processes remain: force the smallest back in.
+        candidates = [p for p in self.processes if p.state is ProcessState.SWAPPED]
+        if candidates:
+            victim = min(candidates, key=lambda p: p.demand())
+            victim.state = ProcessState.READY
+        self.clock += 1
+
+    def _run_quantum(self, process: _Process) -> None:
+        for _ in range(self.quantum):
+            if process.done:
+                process.state = ProcessState.DONE
+                process.stats.finish_time = self.clock
+                self._release_all(process)
+                return
+            self._fire_directives(process)
+            if process.state is not ProcessState.READY:
+                return  # a directive swapped us out
+            faulted = self._reference(process)
+            self.clock += 1
+            self._sample_utilization()
+            if faulted:
+                process.stats.faults += 1
+                process.state = ProcessState.BLOCKED
+                process.wake_time = self.clock + self.fault_service
+                return
+        if process.done:
+            process.state = ProcessState.DONE
+            process.stats.finish_time = self.clock
+            self._release_all(process)
+
+    def _sample_utilization(self) -> None:
+        self._util_integral += self.frames_used / self.total_frames
+        self._util_samples += 1
+
+    # -- referencing -----------------------------------------------------------
+
+    def _reference(self, process: _Process) -> bool:
+        page = int(process.trace.pages[process.position])
+        process.position += 1
+        process.stats.references += 1
+        process.local_time += 1
+        if process.mode == "ws":
+            fault = self._ws_access(process, page)
+        else:
+            fault = self._cd_access(process, page)
+        process.stats.mem_integral += process.resident_size
+        return fault
+
+    def _cd_access(self, process: _Process, page: int) -> bool:
+        if page in process.resident:
+            process.resident.move_to_end(page)
+            return False
+        self._claim_frame(process, exclude_page=page)
+        process.resident[page] = None
+        # Stay within the CD allocation target; pinned pages ride above
+        # it (the pin is precisely for surviving a denied allocation).
+        self._shed_to_target(process, keep=page)
+        return True
+
+    @staticmethod
+    def _shed_to_target(process: _Process, keep: Optional[int] = None) -> None:
+        # LRU-ordered unlocked eviction candidates; the page being
+        # referenced right now is never a candidate.
+        candidates = [
+            p
+            for p in process.resident
+            if p not in process.locked_site_of and p != keep
+        ]
+        unlocked_count = sum(
+            1 for p in process.resident if p not in process.locked_site_of
+        )
+        index = 0
+        while unlocked_count > process.target and index < len(candidates):
+            del process.resident[candidates[index]]
+            index += 1
+            unlocked_count -= 1
+
+    def _ws_access(self, process: _Process, page: int) -> bool:
+        previous = process.last_ref.get(page)
+        fault = previous is None or (process.local_time - previous) > process.tau
+        process.last_ref[page] = process.local_time
+        # Expire pages that left the window.
+        boundary = process.local_time - process.tau
+        expired = [
+            p
+            for p, t in process.last_ref.items()
+            if t <= boundary and p != page
+        ]
+        for p in expired:
+            del process.last_ref[p]
+            process.resident.pop(p, None)
+        if not fault and page in process.resident:
+            process.resident.move_to_end(page)
+            return False
+        self._claim_frame(process, exclude_page=page)
+        process.resident[page] = None
+        return True
+
+    def _claim_frame(self, process: _Process, exclude_page: int) -> None:
+        """Make room for one incoming page."""
+        if self.frames_free > 0:
+            return
+        # First shed our own excess (CD: over target; WS: out-of-window
+        # pages were already shed).
+        if process.mode == "cd" and process.resident_size >= process.target:
+            if process.resident:
+                victim = next(iter(process.resident))
+                del process.resident[victim]
+                return
+        # Steal from the process with the largest surplus over demand.
+        surplus_holder = max(
+            (p for p in self.processes if p.resident_size > 0),
+            key=lambda p: p.resident_size - p.demand(),
+            default=None,
+        )
+        if surplus_holder is not None and (
+            surplus_holder.resident_size - surplus_holder.demand() > 0
+        ):
+            victim = next(
+                (
+                    p
+                    for p in surplus_holder.resident
+                    if p not in surplus_holder.locked_site_of
+                ),
+                None,
+            )
+            if victim is not None:
+                del surplus_holder.resident[victim]
+                if surplus_holder.mode == "ws":
+                    surplus_holder.last_ref.pop(victim, None)
+                return
+        # Memory is genuinely over-committed: load control.
+        self._load_control(requester=process)
+        if self.frames_free <= 0 and process.resident:
+            victim = next(iter(process.resident))
+            del process.resident[victim]
+            if process.mode == "ws":
+                process.last_ref.pop(victim, None)
+
+    def _load_control(self, requester: _Process) -> None:
+        """Swap out the largest other active process."""
+        candidates = [
+            p
+            for p in self.processes
+            if p is not requester
+            and p.state in (ProcessState.READY, ProcessState.BLOCKED)
+            and p.resident_size > 0
+        ]
+        if not candidates:
+            return
+        victim = max(candidates, key=lambda p: p.resident_size)
+        self._swap_out(victim)
+
+    def _swap_out(self, victim: _Process) -> None:
+        self._release_all(victim)
+        victim.state = ProcessState.SWAPPED
+        victim.stats.swapped_out += 1
+        self.swaps += 1
+
+    def _release_all(self, process: _Process) -> None:
+        process.resident.clear()
+        if process.mode == "ws":
+            process.last_ref.clear()
+        # Swapping out (or finishing) drops all pins: "the operating
+        # system is entitled to release the locked pages".
+        process.locked_site_of.clear()
+        process.site_pages.clear()
+        process.site_pj.clear()
+
+    # -- directives ------------------------------------------------------------
+
+    def _fire_directives(self, process: _Process) -> None:
+        if process.mode != "cd":
+            return
+        directives = process.trace.directives
+        while (
+            process.event_index < len(directives)
+            and directives[process.event_index].position <= process.position
+        ):
+            event = directives[process.event_index]
+            process.event_index += 1
+            if event.kind is DirectiveKind.ALLOCATE:
+                self._process_allocate(process, event)
+                if process.state is not ProcessState.READY:
+                    return
+            elif event.kind is DirectiveKind.LOCK:
+                self._process_lock(process, event)
+            elif event.kind is DirectiveKind.UNLOCK:
+                self._process_unlock(process, event)
+
+    @staticmethod
+    def _process_lock(process: _Process, event: DirectiveEvent) -> None:
+        site = event.site
+        # Re-executing a LOCK at the same site moves its pins.
+        for page in process.site_pages.pop(site, set()):
+            if process.locked_site_of.get(page) == site:
+                del process.locked_site_of[page]
+        process.site_pj.pop(site, None)
+        pages = set()
+        for page in event.lock_pages:
+            if page in process.locked_site_of:
+                continue
+            process.locked_site_of[page] = site
+            pages.add(page)
+        if pages:
+            process.site_pages[site] = pages
+            process.site_pj[site] = event.priority_index
+
+    @staticmethod
+    def _process_unlock(process: _Process, event: DirectiveEvent) -> None:
+        for page in event.lock_pages:
+            site = process.locked_site_of.pop(page, None)
+            if site is None:
+                continue
+            site_set = process.site_pages.get(site)
+            if site_set is not None:
+                site_set.discard(page)
+                if not site_set:
+                    process.site_pages.pop(site, None)
+                    process.site_pj.pop(site, None)
+
+    def _process_allocate(self, process: _Process, event: DirectiveEvent) -> None:
+        reachable = process.resident_size + self.frames_free
+        granted: Optional[int] = None
+        for request in event.requests:
+            if request.pages <= reachable:
+                granted = request.pages
+                break
+        if granted is None:
+            innermost = event.requests[-1]
+            if innermost.priority_index > 1:
+                return  # keep the current allocation (Figure 6)
+            # PI = 1 denied: invoke the swapper on another process.
+            self._load_control(requester=process)
+            reachable = process.resident_size + self.frames_free
+            granted = min(innermost.pages, max(reachable, 1))
+        process.target = max(granted, 1)
+        while process.resident_size > process.target:
+            victim = next(iter(process.resident))
+            del process.resident[victim]

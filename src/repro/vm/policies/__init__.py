@@ -1,0 +1,32 @@
+"""Page-replacement policies for the VM simulator."""
+
+from repro.vm.policies.base import Policy
+from repro.vm.policies.cd import CDConfig, CDPolicy
+from repro.vm.policies.cd_adaptive import AdaptiveCDPolicy
+from repro.vm.policies.clock import ClockPolicy
+from repro.vm.policies.fifo import FIFOPolicy
+from repro.vm.policies.lru import LRUPolicy
+from repro.vm.policies.opt import OPTPolicy
+from repro.vm.policies.pff import PFFPolicy
+from repro.vm.policies.ws import WorkingSetPolicy
+from repro.vm.policies.ws_family import (
+    DampedWorkingSetPolicy,
+    SampledWorkingSetPolicy,
+    VariableSampledWorkingSetPolicy,
+)
+
+__all__ = [
+    "AdaptiveCDPolicy",
+    "CDConfig",
+    "CDPolicy",
+    "ClockPolicy",
+    "DampedWorkingSetPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "OPTPolicy",
+    "PFFPolicy",
+    "Policy",
+    "SampledWorkingSetPolicy",
+    "VariableSampledWorkingSetPolicy",
+    "WorkingSetPolicy",
+]

@@ -1,0 +1,47 @@
+"""Policy protocol for the event-driven simulator.
+
+A policy is a mutable object consumed by :func:`repro.vm.simulator.simulate`:
+
+* ``access(page, time)`` services one reference and reports whether it
+  faulted;
+* ``resident_size`` is the current resident-set size (read after every
+  reference to integrate MEM/ST);
+* ``on_directive(event)`` receives ALLOCATE/LOCK/UNLOCK events (only the
+  CD policy reacts; the default ignores them);
+* ``reset()`` returns the policy to its initial state so one instance
+  can replay several traces.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.tracegen.events import DirectiveEvent
+
+
+class Policy(abc.ABC):
+    """Base class for page-replacement policies."""
+
+    #: short name used in reports ("LRU", "WS", "CD", …)
+    name: str = "?"
+
+    @abc.abstractmethod
+    def access(self, page: int, time: int) -> bool:
+        """Service a reference to ``page`` at virtual reference index
+        ``time``; return True when it page-faulted."""
+
+    @property
+    @abc.abstractmethod
+    def resident_size(self) -> int:
+        """Current number of resident pages."""
+
+    def on_directive(self, event: DirectiveEvent) -> None:
+        """Receive a directive event (default: ignore)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state, ready to replay another trace."""
+
+    def describe_parameter(self):
+        """The policy's control parameter, for result records (or None)."""
+        return None

@@ -1,0 +1,259 @@
+"""The Compiler Directed (CD) memory management policy — Section 4.
+
+The policy is driven by the directive events in the trace (Figure 6):
+
+* **ALLOCATE ((PI1,X1) else (PI2,X2) else …)** — grant the first (i.e.
+  largest, outermost) affordable request: ``X1`` pages if available,
+  else ``X2``, …  When nothing is affordable and the smallest priority
+  index in the list is 1, the OS suspends/swaps (counted in ``swaps``;
+  the allocation falls back to what fits).  When the smallest PI is > 1
+  the program simply continues with its current allocation until the
+  next directive.
+* **LOCK (PJ, Y…)** — soft-pin pages: they are skipped by replacement.
+  Re-executing the LOCK at the same site moves the pin to the new pages.
+  Under memory pressure the OS may release pins without an UNLOCK,
+  highest PJ first ("pages with higher PJ values have lower priority and
+  they are unlocked first").
+* **UNLOCK (Y…)** — drop the listed pins.
+
+Within its current allocation the process replaces LRU among unlocked
+resident pages.  A grant smaller than the current allocation evicts
+down immediately — CD "dynamically allocates to a program the space it
+requires as specified by the received directive".
+
+The ``CDConfig.pi_cap`` knob selects which *set of directives* executes,
+reproducing the paper's reruns (MAIN1 = outer-level directives = no cap;
+MAIN3 = inner-level directives = cap 1): only requests with
+``PI ≤ pi_cap`` are considered.  ``memory_limit`` models the physically
+available memory (None = the paper's uniprogramming assumption of no
+physical limit).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.tracegen.events import DirectiveEvent, DirectiveKind
+from repro.vm.policies.base import Policy
+
+
+@dataclass(frozen=True)
+class CDConfig:
+    """Run-time configuration of the CD policy.
+
+    ``pi_cap`` — honor only ALLOCATE requests with ``PI ≤ pi_cap``
+    (None = all requests; 1 = innermost-only, the paper's "directives
+    inserted at the lower levels").
+    ``memory_limit`` — physically available pages (None = unlimited).
+    ``min_allocation`` — the system-default minimum allocation.
+    ``honor_locks`` — process LOCK/UNLOCK events (off for the paper's
+    main experiments, which study ALLOCATE alone).
+    """
+
+    pi_cap: Optional[int] = None
+    memory_limit: Optional[int] = None
+    min_allocation: int = 1
+    honor_locks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pi_cap is not None and self.pi_cap < 1:
+            raise ValueError("pi_cap must be >= 1")
+        if self.memory_limit is not None and self.memory_limit < 1:
+            raise ValueError("memory_limit must be >= 1")
+        if self.min_allocation < 1:
+            raise ValueError("min_allocation must be >= 1")
+
+    def label(self) -> str:
+        parts = []
+        if self.pi_cap is not None:
+            parts.append(f"pi<={self.pi_cap}")
+        if self.memory_limit is not None:
+            parts.append(f"mem<={self.memory_limit}")
+        return "CD(" + ", ".join(parts) + ")" if parts else "CD"
+
+
+class CDPolicy(Policy):
+    """Compiler-directed allocation with LRU replacement inside it."""
+
+    name = "CD"
+
+    def __init__(self, config: Optional[CDConfig] = None):
+        self.config = config or CDConfig()
+        self._target = self.config.min_allocation
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self._locked_site_of: Dict[int, int] = {}  # page -> site
+        self._site_pages: Dict[int, Set[int]] = {}  # site -> pages
+        self._site_pj: Dict[int, int] = {}
+        self._locked_resident = 0
+        self.swaps = 0
+        self.denied_requests = 0
+        self.lock_releases = 0
+
+    # -- Policy interface ---------------------------------------------------
+
+    def access(self, page: int, time: int) -> bool:
+        resident = self._resident
+        if page in resident:
+            resident.move_to_end(page)
+            return False
+        resident[page] = None
+        if page in self._locked_site_of:
+            self._locked_resident += 1
+        self._shrink_unlocked_to(self._target, exclude=page)
+        self._enforce_memory_limit(exclude=page)
+        return True
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    @property
+    def allocation_target(self) -> int:
+        return self._target
+
+    @property
+    def locked_page_count(self) -> int:
+        return len(self._locked_site_of)
+
+    def reset(self) -> None:
+        self._target = self.config.min_allocation
+        self._resident.clear()
+        self._locked_site_of.clear()
+        self._site_pages.clear()
+        self._site_pj.clear()
+        self._locked_resident = 0
+        self.swaps = 0
+        self.denied_requests = 0
+        self.lock_releases = 0
+
+    def describe_parameter(self) -> Optional[int]:
+        return self.config.pi_cap
+
+    # -- directives -----------------------------------------------------------
+
+    def on_directive(self, event: DirectiveEvent) -> None:
+        if event.kind is DirectiveKind.ALLOCATE:
+            self._process_allocate(event)
+        elif event.kind is DirectiveKind.LOCK:
+            if self.config.honor_locks:
+                self._process_lock(event)
+        elif event.kind is DirectiveKind.UNLOCK:
+            if self.config.honor_locks:
+                self._process_unlock(event)
+
+    def _process_allocate(self, event: DirectiveEvent) -> None:
+        cap = self.config.pi_cap
+        limit = self.config.memory_limit
+        eligible = [
+            r for r in event.requests if cap is None or r.priority_index <= cap
+        ]
+        if not eligible:
+            # Nothing at or below the cap: the innermost request is the
+            # program's hard minimum and is always considered.
+            eligible = [event.requests[-1]]
+        granted = None
+        for request in eligible:
+            if limit is None or request.pages <= limit:
+                granted = request.pages
+                break
+            self.denied_requests += 1
+        if granted is None:
+            innermost = eligible[-1]
+            if innermost.priority_index > 1:
+                # An outer-level locality: keep the current allocation and
+                # wait for a deeper directive (Figure 6's "continue").
+                return
+            # PI = 1 and no space: suspend/swap.  In uniprogramming we
+            # count the swap and run with whatever memory exists.
+            self.swaps += 1
+            granted = limit
+        self._target = max(granted, self.config.min_allocation)
+        self._shrink_unlocked_to(self._target)
+        self._enforce_memory_limit()
+
+    def _process_lock(self, event: DirectiveEvent) -> None:
+        site = event.site
+        # A re-executed LOCK supersedes the pages it pinned previously.
+        self._release_site(site, count_as_release=False)
+        pages: Set[int] = set()
+        for page in event.lock_pages:
+            if page in self._locked_site_of:
+                continue  # already pinned by another site; leave it there
+            self._locked_site_of[page] = site
+            pages.add(page)
+            if page in self._resident:
+                self._locked_resident += 1
+        if pages:
+            self._site_pages[site] = pages
+            self._site_pj[site] = event.priority_index
+        self._enforce_memory_limit()
+
+    def _process_unlock(self, event: DirectiveEvent) -> None:
+        for page in event.lock_pages:
+            site = self._locked_site_of.pop(page, None)
+            if site is None:
+                continue
+            if page in self._resident:
+                self._locked_resident -= 1
+            site_set = self._site_pages.get(site)
+            if site_set is not None:
+                site_set.discard(page)
+                if not site_set:
+                    del self._site_pages[site]
+                    self._site_pj.pop(site, None)
+        self._shrink_unlocked_to(self._target)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _unlocked_resident(self) -> int:
+        return len(self._resident) - self._locked_resident
+
+    def _shrink_unlocked_to(self, limit: int, exclude: Optional[int] = None) -> None:
+        """Evict LRU unlocked pages until at most ``limit`` remain.
+
+        ``exclude`` protects the page being referenced right now — the
+        process cannot run without it resident.
+        """
+        while self._unlocked_resident() > limit:
+            if not self._evict_one_unlocked(exclude):
+                break  # nothing evictable (everything is pinned)
+
+    def _evict_one_unlocked(self, exclude: Optional[int] = None) -> bool:
+        for page in self._resident:  # iterates LRU -> MRU
+            if page not in self._locked_site_of and page != exclude:
+                del self._resident[page]
+                return True
+        return False
+
+    def _enforce_memory_limit(self, exclude: Optional[int] = None) -> None:
+        limit = self.config.memory_limit
+        if limit is None:
+            return
+        while len(self._resident) > limit:
+            if self._evict_one_unlocked(exclude):
+                continue
+            if not self._release_highest_pj_site():
+                break  # only the pinned working page remains
+
+    def _release_highest_pj_site(self) -> bool:
+        """High memory contention: drop the pin with the largest PJ."""
+        if not self._site_pj:
+            return False
+        site = max(self._site_pj, key=lambda s: (self._site_pj[s], s))
+        self._release_site(site, count_as_release=True)
+        return True
+
+    def _release_site(self, site: int, count_as_release: bool) -> None:
+        pages = self._site_pages.pop(site, None)
+        self._site_pj.pop(site, None)
+        if not pages:
+            return
+        for page in pages:
+            if self._locked_site_of.get(page) == site:
+                del self._locked_site_of[page]
+                if page in self._resident:
+                    self._locked_resident -= 1
+        if count_as_release:
+            self.lock_releases += 1

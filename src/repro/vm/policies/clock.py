@@ -1,0 +1,72 @@
+"""CLOCK (second chance): the standard cheap LRU approximation.
+
+Not named in the paper, but it is what the era's real systems (VAX/VMS
+descendants, 4BSD) actually shipped instead of true LRU; the policy zoo
+uses it to show CD's margin against a *deployable* static baseline, not
+just the idealized LRU.
+
+A circular list of frames with one use bit each: the hand sweeps,
+clearing use bits, and evicts the first page whose bit is already
+clear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.vm.policies.base import Policy
+
+
+class ClockPolicy(Policy):
+    """Fixed-allocation second-chance replacement."""
+
+    name = "CLOCK"
+
+    def __init__(self, frames: int):
+        if frames < 1:
+            raise ValueError("CLOCK needs at least one frame")
+        self.frames = frames
+        self._pages: List[Optional[int]] = []
+        self._use_bit: List[bool] = []
+        self._where: Dict[int, int] = {}
+        self._hand = 0
+
+    def access(self, page: int, time: int) -> bool:
+        slot = self._where.get(page)
+        if slot is not None:
+            self._use_bit[slot] = True
+            return False
+        if len(self._pages) < self.frames:
+            self._where[page] = len(self._pages)
+            self._pages.append(page)
+            self._use_bit.append(True)
+            return True
+        self._evict_and_place(page)
+        return True
+
+    def _evict_and_place(self, page: int) -> None:
+        while True:
+            if self._use_bit[self._hand]:
+                self._use_bit[self._hand] = False
+                self._hand = (self._hand + 1) % self.frames
+                continue
+            victim = self._pages[self._hand]
+            del self._where[victim]
+            self._pages[self._hand] = page
+            self._use_bit[self._hand] = True
+            self._where[page] = self._hand
+            self._hand = (self._hand + 1) % self.frames
+            return
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._where)
+
+    def reset(self) -> None:
+        self._pages.clear()
+        self._use_bit.clear()
+        self._where.clear()
+        self._hand = 0
+
+    def describe_parameter(self) -> int:
+        return self.frames

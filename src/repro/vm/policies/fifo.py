@@ -1,0 +1,47 @@
+"""First-In First-Out with a fixed partition (static baseline).
+
+Included for the policy-zoo ablation; FIFO is the classic static policy
+the paper's introduction names alongside LRU, and it exhibits Belady's
+anomaly, which the property tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+from repro.vm.policies.base import Policy
+
+
+class FIFOPolicy(Policy):
+    """Fixed-allocation FIFO replacement."""
+
+    name = "FIFO"
+
+    def __init__(self, frames: int):
+        if frames < 1:
+            raise ValueError("FIFO needs at least one frame")
+        self.frames = frames
+        self._queue: Deque[int] = deque()
+        self._resident: Set[int] = set()
+
+    def access(self, page: int, time: int) -> bool:
+        if page in self._resident:
+            return False
+        if len(self._resident) >= self.frames:
+            victim = self._queue.popleft()
+            self._resident.discard(victim)
+        self._queue.append(page)
+        self._resident.add(page)
+        return True
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._resident.clear()
+
+    def describe_parameter(self) -> int:
+        return self.frames

@@ -1,0 +1,43 @@
+"""Least Recently Used with a fixed partition (the paper's LRU baseline).
+
+"For LRU the memory allocated to a program is varied between 1 and V,
+where V is the virtual size of the program measured in pages."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.vm.policies.base import Policy
+
+
+class LRUPolicy(Policy):
+    """Fixed-allocation LRU replacement."""
+
+    name = "LRU"
+
+    def __init__(self, frames: int):
+        if frames < 1:
+            raise ValueError("LRU needs at least one frame")
+        self.frames = frames
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, page: int, time: int) -> bool:
+        resident = self._resident
+        if page in resident:
+            resident.move_to_end(page)
+            return False
+        if len(resident) >= self.frames:
+            resident.popitem(last=False)
+        resident[page] = None
+        return True
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()
+
+    def describe_parameter(self) -> int:
+        return self.frames

@@ -1,0 +1,59 @@
+"""Page Fault Frequency (Chu & Opderbeck 1972) — dynamic baseline.
+
+The classic PFF rule with threshold ``T``: on a fault at time ``t``,
+
+* if the inter-fault interval ``t − t_last_fault`` is *smaller* than
+  ``T`` (faulting too often), grow the resident set by adding the page;
+* otherwise shrink: keep only the pages referenced since the last fault
+  (plus the faulting page).
+
+Between faults the resident set only grows by used bits; the paper
+cites PFF as "cheaper to implement but has poorer performance than the
+WS", and notes its anomalous behavior [FrGG78] — both visible in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.vm.policies.base import Policy
+
+
+class PFFPolicy(Policy):
+    """Page-fault-frequency variable-allocation policy."""
+
+    name = "PFF"
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError("the PFF threshold must be at least 1")
+        self.threshold = threshold
+        self._resident: Set[int] = set()
+        self._used_since_fault: Set[int] = set()
+        self._last_fault_time: int = -(10**18)
+
+    def access(self, page: int, time: int) -> bool:
+        if page in self._resident:
+            self._used_since_fault.add(page)
+            return False
+        interval = time - self._last_fault_time
+        if interval >= self.threshold:
+            # Faulting slowly: shrink to the pages with the use bit set.
+            self._resident = set(self._used_since_fault)
+        self._resident.add(page)
+        self._used_since_fault = {page}
+        self._last_fault_time = time
+        return True
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._used_since_fault.clear()
+        self._last_fault_time = -(10**18)
+
+    def describe_parameter(self) -> int:
+        return self.threshold

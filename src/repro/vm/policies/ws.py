@@ -1,0 +1,59 @@
+"""Denning's Working Set policy (the paper's dynamic baseline).
+
+``W(t, τ)`` is the set of pages referenced in the last ``τ`` references
+(window inclusive of the current reference).  A page faults when it is
+not in the working set; pages leave the set when their last reference
+falls out of the window.  "The WS parameter, the window size τ, is
+varied between 1 and some integer K ≤ R."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from repro.vm.policies.base import Policy
+
+
+class WorkingSetPolicy(Policy):
+    """Exact working-set simulation with window ``tau``."""
+
+    name = "WS"
+
+    def __init__(self, tau: int):
+        if tau < 1:
+            raise ValueError("the WS window must be at least 1")
+        self.tau = tau
+        self._last_ref: Dict[int, int] = {}
+        self._window: Deque[Tuple[int, int]] = deque()  # (time, page)
+
+    def access(self, page: int, time: int) -> bool:
+        # Fault test: the page is absent from W(t−1, τ), i.e. its backward
+        # inter-reference gap exceeds τ.
+        previous = self._last_ref.get(page)
+        fault = previous is None or (time - previous) > self.tau
+        self._last_ref[page] = time
+        self._window.append((time, page))
+        self._expire(time)
+        return fault
+
+    def _expire(self, now: int) -> None:
+        """Keep exactly W(now, τ): pages last referenced in (now−τ, now]."""
+        boundary = now - self.tau  # last reference <= boundary has expired
+        window = self._window
+        last_ref = self._last_ref
+        while window and window[0][0] <= boundary:
+            when, page = window.popleft()
+            if last_ref.get(page) == when:
+                del last_ref[page]
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._last_ref)
+
+    def reset(self) -> None:
+        self._last_ref.clear()
+        self._window.clear()
+
+    def describe_parameter(self) -> int:
+        return self.tau

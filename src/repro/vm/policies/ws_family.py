@@ -1,0 +1,199 @@
+"""The Working-Set family the paper's introduction surveys.
+
+The paper positions CD against the whole WS lineage:
+
+* **DWS** — the Damped Working Set [Smit76]: on an interlocality
+  transition the plain WS holds both localities for a full window; DWS
+  damps this by shrinking the resident set toward the *current* working
+  set faster once a fault burst signals a transition.  "the DWS
+  outperforms WS by less than 10%" [Grah76].
+* **SWS** — the Sampled Working Set [RoDu73]: a cheap realization that
+  examines use bits only at sampling interval boundaries instead of on
+  every reference.
+* **VSWS** — the Variable-interval SWS [FeYi83]: adjusts the sampling
+  interval from fault behavior to cut both cost and transition faults
+  (parameters M, L, Q: minimum/maximum interval and a fault cap that
+  forces early sampling).
+
+These are implemented reference-exactly (per-reference bookkeeping, not
+hardware use bits — the simulator's luxury) so their *policy decisions*
+match the published definitions while remaining comparable with the
+exact WS implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.vm.policies.base import Policy
+
+
+class DampedWorkingSetPolicy(Policy):
+    """WS with damped shrinking at interlocality transitions [Smit76].
+
+    Operates like WS with window τ, but pages are not dropped the
+    instant they leave the window: expiry runs only every ``damp``
+    references (Smith's modification batches deletions), except that a
+    page fault forces an immediate expiry — so during a transition the
+    resident set sheds the old locality at the fault, not τ references
+    later.
+    """
+
+    name = "DWS"
+
+    def __init__(self, tau: int, damp: int = 0):
+        if tau < 1:
+            raise ValueError("the DWS window must be at least 1")
+        if damp < 0:
+            raise ValueError("damp must be non-negative")
+        self.tau = tau
+        #: batching interval for expiry scans; 0 = τ/4 (Smith's guidance
+        #: of a fraction of the window)
+        self.damp = damp if damp > 0 else max(1, tau // 4)
+        self._last_ref: Dict[int, int] = {}
+        self._resident: Set[int] = set()
+        self._next_scan = 0
+
+    def access(self, page: int, time: int) -> bool:
+        fault = page not in self._resident
+        self._last_ref[page] = time
+        self._resident.add(page)
+        if fault or time >= self._next_scan:
+            self._expire(time)
+            self._next_scan = time + self.damp
+        return fault
+
+    def _expire(self, now: int) -> None:
+        boundary = now - self.tau
+        dead = [p for p, t in self._last_ref.items() if t <= boundary]
+        for p in dead:
+            del self._last_ref[p]
+            self._resident.discard(p)
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._last_ref.clear()
+        self._resident.clear()
+        self._next_scan = 0
+
+    def describe_parameter(self) -> int:
+        return self.tau
+
+
+class SampledWorkingSetPolicy(Policy):
+    """The Sampled Working Set [RoDu73].
+
+    Use bits are examined only at sampling-interval boundaries: a page
+    is dropped at a sample point when it was not referenced during the
+    last ``interval`` references.  Between samples the resident set only
+    grows.  With ``interval = 1`` SWS degenerates to exact WS with
+    τ = 1-interval granularity.
+    """
+
+    name = "SWS"
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError("the sampling interval must be at least 1")
+        self.interval = interval
+        self._resident: Set[int] = set()
+        self._used: Set[int] = set()  # use bits since the last sample
+        self._next_sample = 0
+
+    def access(self, page: int, time: int) -> bool:
+        if time >= self._next_sample:
+            self._sample(time)
+        fault = page not in self._resident
+        self._resident.add(page)
+        self._used.add(page)
+        return fault
+
+    def _sample(self, now: int) -> None:
+        if self._next_sample > 0:  # skip the degenerate first boundary
+            self._resident = set(self._used)
+        self._used = set()
+        self._next_sample = now + self.interval
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._used.clear()
+        self._next_sample = 0
+
+    def describe_parameter(self) -> int:
+        return self.interval
+
+
+class VariableSampledWorkingSetPolicy(Policy):
+    """VSWS: the Variable-Interval Sampled Working Set [FeYi83].
+
+    Three parameters control the sampling interval:
+
+    * ``m_min`` — minimum time between samples (cost control);
+    * ``l_max`` — maximum time between samples (staleness control);
+    * ``q_faults`` — if ``q_faults`` page faults accumulate before
+      ``m_min`` elapses the sample fires as soon as ``m_min`` allows,
+      catching interlocality transitions early.
+
+    At each sample, pages unreferenced since the previous sample are
+    dropped (as in SWS).
+    """
+
+    name = "VSWS"
+
+    def __init__(self, m_min: int, l_max: int, q_faults: int):
+        if not 1 <= m_min <= l_max:
+            raise ValueError("need 1 <= m_min <= l_max")
+        if q_faults < 1:
+            raise ValueError("q_faults must be at least 1")
+        self.m_min = m_min
+        self.l_max = l_max
+        self.q_faults = q_faults
+        self._resident: Set[int] = set()
+        self._used: Set[int] = set()
+        self._last_sample = 0
+        self._faults_since_sample = 0
+        self._started = False
+
+    def access(self, page: int, time: int) -> bool:
+        elapsed = time - self._last_sample
+        due = (
+            elapsed >= self.l_max
+            or (elapsed >= self.m_min and self._faults_since_sample >= self.q_faults)
+        )
+        if due:
+            self._sample(time)
+        fault = page not in self._resident
+        self._resident.add(page)
+        self._used.add(page)
+        if fault:
+            self._faults_since_sample += 1
+        return fault
+
+    def _sample(self, now: int) -> None:
+        if self._started:
+            self._resident = set(self._used)
+        self._started = True
+        self._used = set()
+        self._last_sample = now
+        self._faults_since_sample = 0
+
+    @property
+    def resident_size(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._used.clear()
+        self._last_sample = 0
+        self._faults_since_sample = 0
+        self._started = False
+
+    def describe_parameter(self) -> int:
+        return self.l_max

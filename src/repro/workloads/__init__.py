@@ -1,0 +1,36 @@
+"""The nine numerical FORTRAN programs of the paper's evaluation.
+
+The paper traces 9 FORTRAN programs drawn from numerical packages
+(UIARL, EISPACK, ACM, IEEE, NRL, AFWL, FISHPACK, MINPACK).  The original
+sources and problem sizes are not recoverable, so each is re-created in
+mini-FORTRAN with the same algorithmic skeleton and the same locality
+structure (loop nesting, array dimensionality, row- vs column-wise
+reference order); see DESIGN.md §3 for the substitution rationale.
+
+=========  ==============================================================
+MAIN       atmospheric-model driver: 3-deep time-stepping nest mixing
+           column sweeps with a row-wise accumulation (UIARL style)
+FDJAC      forward-difference Jacobian (MINPACK ``fdjac2``)
+TQL        symmetric tridiagonal QL eigensolver with eigenvector
+           accumulation (EISPACK ``tql2``)
+FIELD      Jacobi relaxation of a potential field, with a row-wise
+           copy-back pass
+INIT       array-initialization kernel mixing column- and row-wise fills
+APPROX     Chebyshev least-squares fit via normal equations
+HYBRJ      Powell hybrid step with analytic Jacobian (MINPACK ``hybrj``)
+CONDUCT    explicit heat-conduction time stepping on a 270-page grid
+HWSCRT     Helmholtz solver on a square via SOR (FISHPACK ``hwscrt``)
+=========  ==============================================================
+
+Use :func:`get_workload` / :func:`all_workloads` from
+:mod:`repro.workloads.catalog`.
+"""
+
+from repro.workloads.catalog import (
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "all_workloads", "get_workload", "workload_names"]

@@ -1,0 +1,65 @@
+"""APPROX — Chebyshev least-squares approximation.
+
+Builds a 512x10 Chebyshev basis matrix with the three-term recurrence
+(row-wise, since the recurrence runs across basis columns for one data
+point), forms the normal equations with column-wise dot products over
+the same matrix, and solves the small dense system by Gaussian
+elimination with back substitution.
+"""
+
+SOURCE = """
+PROGRAM APPROX
+PARAMETER (NDATA = 512, NBASIS = 10)
+DIMENSION X(NDATA), Y(NDATA), PHI(NDATA, NBASIS)
+DIMENSION G(NBASIS, NBASIS), COEF(NBASIS), RHS(NBASIS)
+C ---- sampled data ----
+DO 10 I = 1, NDATA
+  X(I) = 2.0 * FLOAT(I) / FLOAT(NDATA) - 1.0
+  Y(I) = SIN(3.0 * X(I)) + 0.5 * X(I)
+10 CONTINUE
+C ---- basis matrix by the Chebyshev recurrence (row-wise) ----
+DO 20 I = 1, NDATA
+  PHI(I, 1) = 1.0
+  PHI(I, 2) = X(I)
+  DO 30 K = 3, NBASIS
+    PHI(I, K) = 2.0 * X(I) * PHI(I, K-1) - PHI(I, K-2)
+30 CONTINUE
+20 CONTINUE
+C ---- normal equations: G = PHI' PHI, RHS = PHI' Y (column-wise) ----
+DO 40 K = 1, NBASIS
+  DO 50 L = 1, NBASIS
+    S = 0.0
+    DO 60 I = 1, NDATA
+      S = S + PHI(I, K) * PHI(I, L)
+60  CONTINUE
+    G(K, L) = S
+50 CONTINUE
+  S = 0.0
+  DO 70 I = 1, NDATA
+    S = S + PHI(I, K) * Y(I)
+70 CONTINUE
+  RHS(K) = S
+40 CONTINUE
+C ---- Gaussian elimination ----
+DO 80 K = 1, NBASIS - 1
+  DO 90 L = K + 1, NBASIS
+    F = G(L, K) / G(K, K)
+    DO 100 J = K + 1, NBASIS
+      G(L, J) = G(L, J) - F * G(K, J)
+100 CONTINUE
+    RHS(L) = RHS(L) - F * RHS(K)
+90 CONTINUE
+80 CONTINUE
+C ---- back substitution ----
+DO 110 K1 = 1, NBASIS
+  K = NBASIS + 1 - K1
+  S = RHS(K)
+  IF (K < NBASIS) THEN
+    DO 120 L = K + 1, NBASIS
+      S = S - G(K, L) * COEF(L)
+120 CONTINUE
+  ENDIF
+  COEF(K) = S / G(K, K)
+110 CONTINUE
+END
+"""

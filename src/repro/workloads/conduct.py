@@ -1,0 +1,57 @@
+"""CONDUCT — explicit heat-conduction time stepping.
+
+Two 64x134 temperature grids plus per-row flux/diagnostic vectors — a
+270-page virtual space, matching the paper's description of CONDUCT.
+Each time step runs an explicit five-point update and a copy-back in
+storage (column) order, then a *row-wise* heat-flux accumulation (the
+per-latitude energy diagnostic such codes print every step).  The
+alternation between a small column-order locality and a 134-page
+row-order phase is what gives CONDUCT its strongly phase-varying memory
+demand.
+"""
+
+SOURCE = """
+PROGRAM CONDUCT
+PARAMETER (NX = 64, NY = 134)
+DIMENSION T(NX, NY), TNEW(NX, NY), FLUX(NX), DIAG(NX)
+C ---- initial temperature field: cold block, hot strip at J = 1 ----
+DO 10 J = 1, NY
+  DO 20 I = 1, NX
+    T(I, J) = 0.0
+20 CONTINUE
+10 CONTINUE
+DO 30 I = 1, NX
+  T(I, 1) = 100.0
+  FLUX(I) = 0.0
+  DIAG(I) = 0.0
+30 CONTINUE
+C ---- explicit time steps ----
+DO 40 STEP = 1, 2
+  DO 50 J = 2, NY - 1
+    DO 60 I = 2, NX - 1
+      TNEW(I, J) = T(I, J) + 0.2 * (T(I-1, J) + T(I+1, J)&
+                   + T(I, J-1) + T(I, J+1) - 4.0 * T(I, J))
+60  CONTINUE
+50 CONTINUE
+C   copy the interior back and re-impose the boundary strip
+  DO 70 J = 2, NY - 1
+    DO 80 I = 2, NX - 1
+      T(I, J) = TNEW(I, J)
+80  CONTINUE
+70 CONTINUE
+  DO 90 I = 1, NX
+    T(I, 1) = 100.0
+90 CONTINUE
+C   per-row energy diagnostic: row-wise sweep over the whole grid
+  DO 100 I = 1, NX
+    S = 0.0
+    DO 110 J = 1, NY
+      S = S + T(I, J)
+110 CONTINUE
+    FLUX(I) = S
+    DIAG(I) = DIAG(I) + S * 0.5
+100 CONTINUE
+  PRINT *, STEP, S
+40 CONTINUE
+END
+"""

@@ -1,0 +1,60 @@
+"""FDJAC — forward-difference Jacobian approximation (MINPACK ``fdjac2``).
+
+Structured as MINPACK structures it: a driver that CALLs the residual
+function FCN (the tridiagonal test function) once at the base point and
+once per perturbed point, storing divided differences into column ``j``
+of the Jacobian — the canonical column-wise 2-D fill.  A final row-wise
+``J x`` product exercises the opposite reference order on the same
+array.  The CALLs are flattened by the frontend's inliner before
+analysis, producing exactly the loop structure the compiler sees in the
+original FORTRAN after its own interprocedural step.
+"""
+
+SOURCE = """
+PROGRAM FDJAC
+PARAMETER (N = 64)
+DIMENSION X(N), FVEC(N), WA(N), FJAC(N, N)
+C ---- starting point ----
+DO 10 I = 1, N
+  X(I) = 1.0 - FLOAT(I) / FLOAT(N)
+10 CONTINUE
+C ---- base residual ----
+CALL FCN(X, FVEC)
+C ---- forward difference, one Jacobian column at a time ----
+DO 30 J = 1, N
+  TEMP = X(J)
+  H = 0.0001 * ABS(TEMP)
+  IF (H == 0.0) H = 0.0001
+  X(J) = TEMP + H
+  CALL FCN(X, WA)
+  X(J) = TEMP
+  DO 50 I = 1, N
+    FJAC(I, J) = (WA(I) - FVEC(I)) / H
+50 CONTINUE
+30 CONTINUE
+C ---- validate: residual of the Newton system, row-wise J access ----
+ANORM = 0.0
+DO 60 I = 1, N
+  S = 0.0
+  DO 70 J = 1, N
+    S = S + FJAC(I, J) * X(J)
+70 CONTINUE
+  ANORM = ANORM + S * S
+60 CONTINUE
+END
+
+SUBROUTINE FCN(X, F)
+C the MINPACK tridiagonal test function
+PARAMETER (N = 64)
+DIMENSION X(N), F(N)
+DO 20 I = 1, N
+  T = (3.0 - 2.0 * X(I)) * X(I)
+  T1 = 0.0
+  IF (I > 1) T1 = X(I-1)
+  T2 = 0.0
+  IF (I < N) T2 = X(I+1)
+  F(I) = T - T1 - 2.0 * T2 + 1.0
+20 CONTINUE
+RETURN
+END
+"""

@@ -1,0 +1,39 @@
+"""FIELD — Jacobi relaxation of a potential field.
+
+Alternates a column-order five-point stencil sweep with a deliberately
+row-order copy-back pass (the access pattern found in real package
+code), so the two halves of every iteration stress opposite storage
+orders on 32-page arrays.
+"""
+
+SOURCE = """
+PROGRAM FIELD
+PARAMETER (NX = 64, NY = 32)
+DIMENSION PHI(NX, NY), PSI(NX, NY), SRC(NX, NY)
+C ---- zero field, point charges in the interior ----
+DO 10 J = 1, NY
+  DO 20 I = 1, NX
+    PHI(I, J) = 0.0
+    SRC(I, J) = 0.0
+20 CONTINUE
+10 CONTINUE
+SRC(NX / 2, NY / 2) = 100.0
+SRC(NX / 4, 3 * NY / 4) = -50.0
+C ---- Jacobi sweeps ----
+DO 30 ITER = 1, 6
+C   stencil pass in storage (column) order
+  DO 40 J = 2, NY - 1
+    DO 50 I = 2, NX - 1
+      PSI(I, J) = 0.25 * (PHI(I-1, J) + PHI(I+1, J) + PHI(I, J-1)&
+                  + PHI(I, J+1) + SRC(I, J))
+50  CONTINUE
+40 CONTINUE
+C   copy-back pass in row order
+  DO 60 I = 2, NX - 1
+    DO 70 J = 2, NY - 1
+      PHI(I, J) = PSI(I, J)
+70  CONTINUE
+60 CONTINUE
+30 CONTINUE
+END
+"""

@@ -1,0 +1,110 @@
+"""HYBRJ — Powell hybrid step with analytic Jacobian (MINPACK ``hybrj``).
+
+Structured as MINPACK structures it: the driver iterates, CALLing the
+user-supplied residual/Jacobian routine (``FCN`` with both roles) and
+library-style helpers that form and solve the normal system.  The
+frontend's inliner flattens the calls, producing exactly the loop nest
+the compiler of the paper's era would analyze after its own
+interprocedural pass.  Four damped-Newton iterations on the tridiagonal
+test system.
+"""
+
+SOURCE = """
+PROGRAM HYBRJ
+PARAMETER (N = 24)
+DIMENSION X(N), F(N), FJAC(N, N), A(N, N), B(N), P(N)
+C ---- starting point ----
+DO 10 I = 1, N
+  X(I) = -1.0
+10 CONTINUE
+C ---- damped Newton iterations ----
+DO 20 ITER = 1, 4
+  CALL FCN(X, F)
+  CALL FJACN(X, FJAC)
+  CALL NORMEQ(FJAC, F, A, B)
+  CALL SOLVE(A, B, P)
+  DO 160 I = 1, N
+    X(I) = X(I) + 0.8 * P(I)
+160 CONTINUE
+20 CONTINUE
+END
+
+SUBROUTINE FCN(X, F)
+C residuals of the tridiagonal test function
+PARAMETER (N = 24)
+DIMENSION X(N), F(N)
+DO 30 I = 1, N
+  T = (3.0 - 2.0 * X(I)) * X(I)
+  T1 = 0.0
+  IF (I > 1) T1 = X(I-1)
+  T2 = 0.0
+  IF (I < N) T2 = X(I+1)
+  F(I) = T - T1 - 2.0 * T2 + 1.0
+30 CONTINUE
+RETURN
+END
+
+SUBROUTINE FJACN(X, FJAC)
+C analytic Jacobian, stored column-wise
+PARAMETER (N = 24)
+DIMENSION X(N), FJAC(N, N)
+DO 40 J = 1, N
+  DO 50 I = 1, N
+    FJAC(I, J) = 0.0
+50 CONTINUE
+40 CONTINUE
+DO 60 I = 1, N
+  FJAC(I, I) = 3.0 - 4.0 * X(I)
+  IF (I > 1) FJAC(I, I-1) = -1.0
+  IF (I < N) FJAC(I, I+1) = -2.0
+60 CONTINUE
+RETURN
+END
+
+SUBROUTINE NORMEQ(FJAC, F, A, B)
+C normal system A = J'J, B = -J'F (column-wise dot products)
+PARAMETER (N = 24)
+DIMENSION FJAC(N, N), F(N), A(N, N), B(N)
+DO 70 K = 1, N
+  DO 80 L = 1, N
+    S = 0.0
+    DO 90 I = 1, N
+      S = S + FJAC(I, K) * FJAC(I, L)
+90  CONTINUE
+    A(K, L) = S
+80 CONTINUE
+  S = 0.0
+  DO 100 I = 1, N
+    S = S + FJAC(I, K) * F(I)
+100 CONTINUE
+  B(K) = -S
+70 CONTINUE
+RETURN
+END
+
+SUBROUTINE SOLVE(A, B, P)
+C Gaussian elimination then back substitution into the step P
+PARAMETER (N = 24)
+DIMENSION A(N, N), B(N), P(N)
+DO 110 K = 1, N - 1
+  DO 120 L = K + 1, N
+    FMUL = A(L, K) / A(K, K)
+    DO 130 J = K + 1, N
+      A(L, J) = A(L, J) - FMUL * A(K, J)
+130 CONTINUE
+    B(L) = B(L) - FMUL * B(K)
+120 CONTINUE
+110 CONTINUE
+DO 140 K1 = 1, N
+  K = N + 1 - K1
+  S = B(K)
+  IF (K < N) THEN
+    DO 150 L = K + 1, N
+      S = S - A(K, L) * P(L)
+150 CONTINUE
+  ENDIF
+  P(K) = S / A(K, K)
+140 CONTINUE
+RETURN
+END
+"""

@@ -1,0 +1,51 @@
+"""INIT — array-initialization kernel.
+
+Fills three 40-page arrays from trigonometric tables: one column-wise
+pass (storage order), then two row-wise passes.  Row-wise fills of
+large column-major arrays are the worst case for a small fixed
+allocation — every reference strides a full column — which is why the
+paper's Tables 3 and 4 show some of the largest LRU excesses on INIT.
+"""
+
+SOURCE = """
+PROGRAM INIT
+PARAMETER (NX = 64, NY = 40)
+DIMENSION A(NX, NY), B(NX, NY), C(NX, NY), U(NX), V(NY)
+C ---- trigonometric tables ----
+DO 10 I = 1, NX
+  U(I) = SIN(FLOAT(I) * 0.1)
+10 CONTINUE
+DO 20 J = 1, NY
+  V(J) = COS(FLOAT(J) * 0.1)
+20 CONTINUE
+C ---- A filled in storage (column) order ----
+DO 30 J = 1, NY
+  DO 40 I = 1, NX
+    A(I, J) = U(I) * V(J)
+40 CONTINUE
+30 CONTINUE
+C ---- B filled in row order (as found in the package source) ----
+DO 50 I = 1, NX
+  DO 60 J = 1, NY
+    B(I, J) = A(I, J) + U(I)
+60 CONTINUE
+50 CONTINUE
+C ---- C combined from A and B, row order again ----
+DO 70 I = 1, NX
+  DO 80 J = 1, NY
+    C(I, J) = 0.5 * (A(I, J) + B(I, J))
+80 CONTINUE
+70 CONTINUE
+C ---- column-wise normalization pass over C ----
+DO 90 J = 1, NY
+  S = 0.0
+  DO 100 I = 1, NX
+    S = S + ABS(C(I, J))
+100 CONTINUE
+  IF (S == 0.0) S = 1.0
+  DO 110 I = 1, NX
+    C(I, J) = C(I, J) / S
+110 CONTINUE
+90 CONTINUE
+END
+"""

@@ -1,0 +1,64 @@
+"""MAIN — atmospheric-model driver (UIARL style).
+
+A three-level time-stepping nest over a 64x24 pressure field:
+
+* a column-wise smoothing sweep (good order for column-major storage);
+* a row-wise weighted accumulation into a vector (the order found in
+  real package code, hostile to small allocations);
+* a column-wise field update.
+
+The Δ=3 nest gives the CD policy three directive levels, which is what
+lets the paper rerun this program as MAIN1/MAIN2/MAIN3 with directive
+sets taken from different levels of the hierarchy (Table 1).
+"""
+
+SOURCE = """
+PROGRAM MAIN
+PARAMETER (N = 64, M = 24)
+DIMENSION P(N, M), Q(N, M), U(N), V(N), W(M), TC(8)
+C ---- set up the initial field (column-wise) and the tables ----
+DO 10 J = 1, M
+  DO 20 I = 1, N
+    P(I, J) = FLOAT(I + J) / FLOAT(N)
+    Q(I, J) = 0.0
+20 CONTINUE
+10 CONTINUE
+DO 30 I = 1, N
+  U(I) = FLOAT(I) / FLOAT(N)
+  V(I) = 0.0
+30 CONTINUE
+DO 40 J = 1, M
+  W(J) = 1.0 / FLOAT(J)
+40 CONTINUE
+DO 45 K = 1, 8
+  TC(K) = 1.0 + 0.01 * FLOAT(K)
+45 CONTINUE
+C ---- main time-stepping loop ----
+DO 50 ITER = 1, 8
+C   time-varying coefficient, read at the top of every step
+  DT = TC(ITER)
+C   column sweep: vertical smoothing of the pressure field
+  DO 60 J = 1, M
+    DO 70 I = 2, N - 1
+      Q(I, J) = 0.25 * (P(I-1, J) + 2.0 * P(I, J) + P(I+1, J))
+70  CONTINUE
+    Q(1, J) = Q(2, J)
+    Q(N, J) = Q(N-1, J)
+60 CONTINUE
+C   row-wise accumulation of the weighted column average
+  DO 80 I = 1, N
+    S = 0.0
+    DO 90 J = 1, M
+      S = S + Q(I, J) * W(J)
+90  CONTINUE
+    V(I) = S + U(I)
+80 CONTINUE
+C   column-wise field update from the smoothed field and the profile
+  DO 100 J = 1, M
+    DO 110 I = 1, N
+      P(I, J) = Q(I, J) + 0.01 * DT * V(I)
+110 CONTINUE
+100 CONTINUE
+50 CONTINUE
+END
+"""

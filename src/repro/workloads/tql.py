@@ -1,0 +1,84 @@
+"""TQL — symmetric tridiagonal QL eigensolver (EISPACK ``tql2``).
+
+Computes all eigenvalues of the (-1, 2, -1) Toeplitz tridiagonal matrix
+by the QL method with implicit-style shifts, accumulating the plane
+rotations into the eigenvector matrix ``Z`` — the inner rotation loop
+walks two ``Z`` columns at a time, the signature column-wise access of
+the EISPACK eigensolvers.  Convergence is data dependent, so the trace
+length is genuinely a function of the numerics.
+"""
+
+SOURCE = """
+PROGRAM TQL
+PARAMETER (N = 24)
+DIMENSION D(N), E(N), Z(N, N)
+C ---- tridiagonal matrix (-1, 2, -1) and Z = identity ----
+DO 10 J = 1, N
+  DO 20 I = 1, N
+    Z(I, J) = 0.0
+20 CONTINUE
+  Z(J, J) = 1.0
+  D(J) = 2.0
+  E(J) = -1.0
+10 CONTINUE
+E(N) = 0.0
+CALL TQL2(D, E, Z)
+END
+
+SUBROUTINE TQL2(D, E, Z)
+C EISPACK-style QL iteration with eigenvector accumulation
+PARAMETER (N = 24)
+DIMENSION D(N), E(N), Z(N, N)
+DO 30 L = 1, N
+  DO 40 ITER = 1, 30
+C   ---- look for a negligible subdiagonal element at or after L ----
+    MM = N
+    DO 50 K = L, N - 1
+      DD = ABS(D(K)) + ABS(D(K+1))
+      IF (ABS(E(K)) <= 1.0E-12 * DD) THEN
+        MM = K
+        EXIT
+      ENDIF
+50  CONTINUE
+    IF (MM == L) EXIT
+C   ---- form the Wilkinson-style shift ----
+    G = (D(L+1) - D(L)) / (2.0 * E(L))
+    R = SQRT(G * G + 1.0)
+    G = D(MM) - D(L) + E(L) / (G + SIGN(R, G))
+    S = 1.0
+    C = 1.0
+    P = 0.0
+C   ---- QL sweep: rotations from MM-1 down to L ----
+    DO 60 I1 = 1, MM - L
+      I = MM - I1
+      F = S * E(I)
+      B = C * E(I)
+      R = SQRT(F * F + G * G)
+      E(I+1) = R
+      IF (R == 0.0) THEN
+        D(I+1) = D(I+1) - P
+        E(MM) = 0.0
+        EXIT
+      ENDIF
+      S = F / R
+      C = G / R
+      G = D(I+1) - P
+      R = (D(I) - G) * S + 2.0 * C * B
+      P = S * R
+      D(I+1) = G + P
+      G = C * R - B
+C     ---- accumulate the rotation into eigenvector columns I, I+1 ----
+      DO 70 K = 1, N
+        F = Z(K, I+1)
+        Z(K, I+1) = S * Z(K, I) + C * F
+        Z(K, I) = C * Z(K, I) - S * F
+70    CONTINUE
+60  CONTINUE
+    D(L) = D(L) - P
+    E(L) = G
+    E(MM) = 0.0
+40 CONTINUE
+30 CONTINUE
+RETURN
+END
+"""

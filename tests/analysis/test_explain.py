@@ -1,0 +1,70 @@
+"""Tests for the markdown analysis report."""
+
+import pytest
+
+from repro.analysis.explain import explain_program
+from repro.frontend.parser import parse_source
+
+SRC = (
+    "PROGRAM DEMO\n"
+    "DIMENSION A(64, 4), V(128)\n"
+    "DO 10 I = 1, 4\n"
+    "Y = V(I)\n"
+    "DO 20 K = 1, 64\n"
+    "A(K, I) = V(K)\n"
+    "20 CONTINUE\n"
+    "10 CONTINUE\n"
+    "END\n"
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return explain_program(parse_source(SRC))
+
+
+class TestExplain:
+    def test_title_names_program(self, report):
+        assert report.startswith("# Locality analysis: DEMO")
+
+    def test_arrays_table(self, report):
+        assert "| A | 64×4 | 256 | 4 | 1 |" in report
+        assert "| V | 128 | 128 | 2 | 2 |" in report
+
+    def test_total_virtual_size(self, report):
+        assert "V = **6 pages**" in report
+
+    def test_loop_table_has_levels_and_pi(self, report):
+        assert "| DO I | " in report
+        assert "| · DO K | " in report
+
+    def test_contribution_arithmetic_shown(self, report):
+        assert "Locality arithmetic" in report
+        assert "`A`" in report and "`V`" in report
+
+    def test_directives_listed(self, report):
+        assert "ALLOCATE ((2," in report
+        assert "LOCK (2,V)" in report
+
+    def test_no_loops_case(self):
+        text = explain_program(parse_source("X = 1\nEND\n"))
+        assert "nothing to instrument" in text
+
+    def test_while_loop_rendered(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "X = 1.0\n"
+            "DO WHILE (X > 0.0)\n"
+            "X = X - V(1)\n"
+            "ENDDO\nEND\n"
+        )
+        text = explain_program(parse_source(src))
+        assert "DO WHILE" in text
+
+    def test_cli_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "TQL", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Locality analysis: TQL")
+        assert "## Inserted directives" in out

@@ -1,0 +1,157 @@
+"""Unit tests for the loop tree (Δ and Λ parameters)."""
+
+import pytest
+
+from repro.analysis.looptree import LoopTree
+from repro.frontend.parser import parse_source
+
+
+def tree_of(src):
+    return LoopTree(parse_source(src))
+
+
+TRIPLE_NEST = (
+    "DIMENSION A(8, 8)\n"
+    "DO 10 I = 1, 8\n"
+    "DO 20 J = 1, 8\n"
+    "DO 30 K = 1, 8\n"
+    "A(K, J) = A(K, J) + I\n"
+    "30 CONTINUE\n"
+    "20 CONTINUE\n"
+    "10 CONTINUE\n"
+    "END\n"
+)
+
+
+class TestStructure:
+    def test_single_loop_level(self):
+        t = tree_of("DO I = 1, 3\nX = I\nENDDO\nEND\n")
+        assert len(t.roots) == 1
+        assert t.roots[0].level == 1
+        assert t.roots[0].is_innermost
+
+    def test_levels_increase_inward(self):
+        t = tree_of(TRIPLE_NEST)
+        levels = [n.level for n in t.nodes()]
+        assert levels == [1, 2, 3]
+
+    def test_max_depth_is_delta(self):
+        assert tree_of(TRIPLE_NEST).max_depth == 3
+
+    def test_max_depth_no_loops(self):
+        assert tree_of("X = 1\nEND\n").max_depth == 0
+
+    def test_sibling_loops_share_parent(self):
+        src = (
+            "DO I = 1, 2\n"
+            "DO J = 1, 2\nX = 1\nENDDO\n"
+            "DO K = 1, 2\nX = 2\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        t = tree_of(src)
+        root = t.roots[0]
+        assert [c.var for c in root.children] == ["J", "K"]
+        assert all(c.parent is root for c in root.children)
+
+    def test_two_separate_nests(self):
+        src = (
+            "DO I = 1, 2\nX = 1\nENDDO\n"
+            "DO J = 1, 2\nDO K = 1, 2\nX = 2\nENDDO\nENDDO\n"
+            "END\n"
+        )
+        t = tree_of(src)
+        assert len(t.roots) == 2
+        assert t.roots[0].subtree_depth == 1
+        assert t.roots[1].subtree_depth == 2
+
+    def test_nest_depth_of_inner_node(self):
+        t = tree_of(TRIPLE_NEST)
+        innermost = [n for n in t.nodes() if n.is_innermost][0]
+        assert t.nest_depth(innermost) == 3
+
+    def test_ancestors_inner_to_outer(self):
+        t = tree_of(TRIPLE_NEST)
+        innermost = [n for n in t.nodes() if n.is_innermost][0]
+        assert [a.var for a in innermost.ancestors()] == ["J", "I"]
+
+    def test_path_down_to(self):
+        t = tree_of(TRIPLE_NEST)
+        outer = t.roots[0]
+        innermost = [n for n in t.nodes() if n.is_innermost][0]
+        path = outer.path_down_to(innermost)
+        assert [n.var for n in path] == ["I", "J", "K"]
+
+    def test_path_down_to_self(self):
+        t = tree_of(TRIPLE_NEST)
+        outer = t.roots[0]
+        assert outer.path_down_to(outer) == [outer]
+
+    def test_path_down_to_unrelated_raises(self):
+        src = "DO I = 1, 2\nX = 1\nENDDO\nDO J = 1, 2\nX = 2\nENDDO\nEND\n"
+        t = tree_of(src)
+        with pytest.raises(ValueError):
+            t.roots[0].path_down_to(t.roots[1])
+
+    def test_enclosing_vars(self):
+        t = tree_of(TRIPLE_NEST)
+        innermost = [n for n in t.nodes() if n.is_innermost][0]
+        assert t.enclosing_vars(innermost) == ["K", "J", "I"]
+
+
+class TestDirectRefs:
+    def test_refs_attach_to_containing_loop(self):
+        t = tree_of(TRIPLE_NEST)
+        innermost = [n for n in t.nodes() if n.is_innermost][0]
+        assert {r.name for r in innermost.direct_refs} == {"A"}
+        assert t.roots[0].direct_refs == []
+
+    def test_refs_in_if_condition(self):
+        src = (
+            "DIMENSION V(8)\n"
+            "DO I = 1, 8\n"
+            "IF (V(I) > 0) X = 1\n"
+            "ENDDO\nEND\n"
+        )
+        t = tree_of(src)
+        assert [r.name for r in t.roots[0].direct_refs] == ["V"]
+
+    def test_refs_in_if_block_branches(self):
+        src = (
+            "DIMENSION V(8), W(8)\n"
+            "DO I = 1, 8\n"
+            "IF (I > 2) THEN\nX = V(I)\nELSE\nX = W(I)\nENDIF\n"
+            "ENDDO\nEND\n"
+        )
+        t = tree_of(src)
+        assert {r.name for r in t.roots[0].direct_refs} == {"V", "W"}
+
+    def test_loop_bound_refs_attach_to_enclosing_level(self):
+        src = (
+            "DIMENSION LIM(4), A(8)\n"
+            "DO I = 1, 4\n"
+            "DO J = 1, LIM(I)\n"
+            "X = A(J)\n"
+            "ENDDO\nENDDO\nEND\n"
+        )
+        t = tree_of(src)
+        outer = t.roots[0]
+        assert {r.name for r in outer.direct_refs} == {"LIM"}
+
+    def test_toplevel_refs(self):
+        t = tree_of("DIMENSION V(8)\nX = V(1)\nEND\n")
+        assert [r.name for r in t.toplevel_refs] == ["V"]
+
+    def test_all_refs_spans_subtree(self):
+        t = tree_of(TRIPLE_NEST)
+        assert {r.name for r in t.roots[0].all_refs()} == {"A"}
+
+    def test_direct_statements_exclude_nested_loops(self):
+        src = (
+            "DIMENSION A(4)\n"
+            "DO I = 1, 2\n"
+            "A(I) = 0.0\n"
+            "DO J = 1, 2\nA(J) = 1.0\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        t = tree_of(src)
+        assert len(t.roots[0].direct_statements) == 1

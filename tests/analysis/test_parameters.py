@@ -1,0 +1,78 @@
+"""Unit tests for page geometry (P) and the AVS/CVS size parameters."""
+
+import pytest
+
+from repro.analysis.parameters import PageConfig
+from repro.frontend.symbols import ArrayInfo
+
+
+class TestPageConfig:
+    def test_paper_default_geometry(self):
+        # "we assume a paged system with a 256 byte page size"; 4-byte REALs.
+        cfg = PageConfig()
+        assert cfg.page_bytes == 256
+        assert cfg.word_bytes == 4
+        assert cfg.elements_per_page == 64
+
+    def test_custom_geometry(self):
+        cfg = PageConfig(page_bytes=512, word_bytes=8)
+        assert cfg.elements_per_page == 64
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageConfig(page_bytes=0)
+
+    def test_page_not_multiple_of_word(self):
+        with pytest.raises(ValueError):
+            PageConfig(page_bytes=100, word_bytes=8)
+
+    def test_pages_for_elements_rounds_up(self):
+        cfg = PageConfig()
+        assert cfg.pages_for_elements(0) == 0
+        assert cfg.pages_for_elements(1) == 1
+        assert cfg.pages_for_elements(64) == 1
+        assert cfg.pages_for_elements(65) == 2
+
+    def test_pages_for_elements_negative(self):
+        with pytest.raises(ValueError):
+            PageConfig().pages_for_elements(-1)
+
+    def test_page_of_element(self):
+        cfg = PageConfig()
+        assert cfg.page_of_element(0) == 0
+        assert cfg.page_of_element(63) == 0
+        assert cfg.page_of_element(64) == 1
+
+    def test_page_of_element_negative(self):
+        with pytest.raises(ValueError):
+            PageConfig().page_of_element(-1)
+
+
+class TestAvsCvs:
+    def test_avs_matrix(self):
+        # AVS = (M x N) / P, rounded up.
+        cfg = PageConfig()
+        info = ArrayInfo(name="A", dims=(100, 100))
+        assert cfg.array_virtual_size(info) == 157  # ceil(10000 / 64)
+
+    def test_avs_exact_fit(self):
+        cfg = PageConfig()
+        info = ArrayInfo(name="A", dims=(64, 10))
+        assert cfg.array_virtual_size(info) == 10
+
+    def test_cvs_matrix(self):
+        # CVS = M / P, rounded up.
+        cfg = PageConfig()
+        info = ArrayInfo(name="A", dims=(200, 10))
+        assert cfg.column_virtual_size(info) == 4  # ceil(200 / 64)
+
+    def test_cvs_vector_equals_avs(self):
+        cfg = PageConfig()
+        info = ArrayInfo(name="V", dims=(500,))
+        assert cfg.column_virtual_size(info) == cfg.array_virtual_size(info) == 8
+
+    def test_small_array_one_page(self):
+        cfg = PageConfig()
+        info = ArrayInfo(name="T", dims=(3, 3))
+        assert cfg.array_virtual_size(info) == 1
+        assert cfg.column_virtual_size(info) == 1

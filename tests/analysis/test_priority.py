@@ -1,0 +1,115 @@
+"""Unit tests for Procedure 1 (Figure 2): priority-index assignment."""
+
+from repro.analysis.looptree import LoopTree
+from repro.analysis.priority import assign_priority_indexes, priority_of
+from repro.frontend.parser import parse_source
+
+
+def priorities(src):
+    tree = LoopTree(parse_source(src))
+    pi = assign_priority_indexes(tree)
+    return tree, pi
+
+
+class TestProcedure1:
+    def test_single_loop(self):
+        tree, pi = priorities("DO I = 1, 2\nX = 1\nENDDO\nEND\n")
+        assert pi[tree.roots[0].loop_id] == 1
+
+    def test_innermost_gets_one(self):
+        # Property (1): "The highest priority, PI = 1 is associated with
+        # the inner most loops."
+        src = "DO I = 1, 2\nDO J = 1, 2\nX = 1\nENDDO\nENDDO\nEND\n"
+        tree, pi = priorities(src)
+        inner = tree.roots[0].children[0]
+        assert pi[inner.loop_id] == 1
+
+    def test_outermost_gets_delta(self):
+        # Property (2): "The lowest priority, PI = Δ is associated with
+        # the outer most loop."
+        src = (
+            "DO I = 1, 2\nDO J = 1, 2\nDO K = 1, 2\n"
+            "X = 1\nENDDO\nENDDO\nENDDO\nEND\n"
+        )
+        tree, pi = priorities(src)
+        assert tree.max_depth == 3
+        assert pi[tree.roots[0].loop_id] == 3
+
+    def test_figure5b_example(self):
+        # Figure 5b of the paper: loop 4 (outermost) has PI=3; its child
+        # loop 2 (innermost) has PI=1; its child loop 3 has PI=2 because
+        # loop 1 nests inside it.
+        src = (
+            "DO 40 I = 1, 4\n"  # loop 4
+            "X = 1\n"
+            "DO 20 J = 1, 4\n"  # loop 2
+            "X = 2\n"
+            "20 CONTINUE\n"
+            "DO 30 J = 1, 4\n"  # loop 3
+            "X = 3\n"
+            "DO 10 K = 1, 4\n"  # loop 1
+            "X = 4\n"
+            "10 CONTINUE\n"
+            "30 CONTINUE\n"
+            "40 CONTINUE\n"
+            "END\n"
+        )
+        tree, pi = priorities(src)
+        loop4 = tree.roots[0]
+        loop2, loop3 = loop4.children
+        (loop1,) = loop3.children
+        assert pi[loop4.loop_id] == 3
+        assert pi[loop2.loop_id] == 1
+        assert pi[loop3.loop_id] == 2
+        assert pi[loop1.loop_id] == 1
+
+    def test_max_rule_on_shared_outer(self):
+        # Property (3): a loop's PI is its distance to the deepest
+        # innermost loop below it — the "maximum(PI+1, old PI)" rule.
+        src = (
+            "DO A1 = 1, 2\n"
+            "DO B1 = 1, 2\nX = 1\nENDDO\n"  # shallow chain: would give 2
+            "DO B2 = 1, 2\nDO C2 = 1, 2\nDO D2 = 1, 2\n"
+            "X = 2\nENDDO\nENDDO\nENDDO\n"  # deep chain: gives 4
+            "ENDDO\nEND\n"
+        )
+        tree, pi = priorities(src)
+        assert pi[tree.roots[0].loop_id] == 4
+
+    def test_two_independent_nests(self):
+        src = (
+            "DO I = 1, 2\nX = 1\nENDDO\n"
+            "DO J = 1, 2\nDO K = 1, 2\nX = 2\nENDDO\nENDDO\n"
+            "END\n"
+        )
+        tree, pi = priorities(src)
+        assert pi[tree.roots[0].loop_id] == 1
+        assert pi[tree.roots[1].loop_id] == 2
+
+    def test_matches_structural_priority(self):
+        src = (
+            "DO A1 = 1, 2\n"
+            "DO B1 = 1, 2\nDO C1 = 1, 2\nX = 1\nENDDO\nENDDO\n"
+            "DO B2 = 1, 2\nX = 2\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        tree, pi = priorities(src)
+        for node in tree.nodes():
+            assert pi[node.loop_id] == priority_of(node)
+
+    def test_every_loop_assigned(self):
+        src = (
+            "DO I = 1, 2\nDO J = 1, 2\nX = 1\nENDDO\n"
+            "DO K = 1, 2\nX = 2\nENDDO\nENDDO\nEND\n"
+        )
+        tree, pi = priorities(src)
+        assert set(pi) == {n.loop_id for n in tree.nodes()}
+
+    def test_pi_bounded_by_delta(self):
+        src = (
+            "DO I = 1, 2\nDO J = 1, 2\nDO K = 1, 2\nX = 1\n"
+            "ENDDO\nENDDO\nENDDO\nEND\n"
+        )
+        tree, pi = priorities(src)
+        delta = tree.max_depth
+        assert all(1 <= v <= delta for v in pi.values())

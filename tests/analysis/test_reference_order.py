@@ -1,0 +1,173 @@
+"""Unit tests for Θ (reference order) and X (distinct indexes)."""
+
+from repro.analysis.looptree import LoopTree
+from repro.analysis.reference_order import (
+    ReferenceOrder,
+    classify_references,
+    expression_variables,
+    normalize_expression,
+)
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import SymbolTable
+
+
+def groups_for(src, scope_var=None):
+    program = parse_source(src)
+    symbols = SymbolTable.from_program(program)
+    tree = LoopTree(program)
+    ranks = {name: info.rank for name, info in symbols.arrays.items()}
+    scope = tree.roots[0]
+    if scope_var is not None:
+        scope = [n for n in tree.nodes() if n.var == scope_var][0]
+    return {
+        (g.array, g.driver.var if g.driver else None): g
+        for g in classify_references(tree, scope, ranks)
+    }
+
+
+class TestNormalizeExpression:
+    def expr(self, text):
+        return parse_source(f"X = {text}\nEND\n").body[0].expr
+
+    def test_commutative_addition(self):
+        assert normalize_expression(self.expr("I + 1")) == normalize_expression(
+            self.expr("1 + I")
+        )
+
+    def test_subtraction_not_commuted(self):
+        assert normalize_expression(self.expr("I - 1")) != normalize_expression(
+            self.expr("1 - I")
+        )
+
+    def test_distinct_offsets_distinct(self):
+        assert normalize_expression(self.expr("I + 1")) != normalize_expression(
+            self.expr("I + 2")
+        )
+
+    def test_plain_variable(self):
+        assert normalize_expression(self.expr("I")) == "I"
+
+
+class TestExpressionVariables:
+    def expr(self, text, decls=""):
+        return parse_source(f"{decls}X = {text}\nEND\n").body[0].expr
+
+    def test_simple(self):
+        assert expression_variables(self.expr("I + J * 2")) == {"I", "J"}
+
+    def test_intrinsic_name_excluded(self):
+        assert expression_variables(self.expr("MOD(I, 2)")) == {"I"}
+
+    def test_nested_array_subscript_included(self):
+        expr = self.expr("A(IDX(K))", decls="DIMENSION A(4), IDX(4)\n")
+        assert expression_variables(expr) == {"K"}
+
+    def test_constant(self):
+        assert expression_variables(self.expr("3 + 1.5")) == set()
+
+
+class TestDriverResolution:
+    def test_vector_driven_by_its_loop(self):
+        g = groups_for(
+            "DIMENSION V(64)\nDO I = 1, 64\nX = V(I)\nENDDO\nEND\n"
+        )
+        assert ("V", "I") in g
+
+    def test_driver_skips_non_indexing_loop(self):
+        # V(I) referenced syntactically inside loop J, but J never indexes
+        # it: the effective driver is loop I.
+        src = (
+            "DIMENSION V(64)\n"
+            "DO I = 1, 8\nDO J = 1, 8\nX = V(I)\nENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src)
+        assert ("V", "I") in g
+
+    def test_invariant_reference(self):
+        src = "DIMENSION V(64)\nDO I = 1, 8\nX = V(3)\nENDDO\nEND\n"
+        g = groups_for(src)
+        group = g[("V", None)]
+        assert group.order is ReferenceOrder.INVARIANT
+
+    def test_groups_split_by_driver(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "DO I = 1, 8\nY = V(I)\nDO J = 1, 8\nX = V(J)\nENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src)
+        assert ("V", "I") in g and ("V", "J") in g
+
+
+class TestOrderClassification:
+    def test_column_wise(self):
+        # G(K, I): the inner loop variable K is the row subscript, so the
+        # reference walks down a column (contiguous in column-major).
+        src = (
+            "DIMENSION G(64, 8)\n"
+            "DO I = 1, 8\nDO K = 1, 64\nG(K, I) = 0.0\nENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src, scope_var="K")
+        assert g[("G", "K")].order is ReferenceOrder.COLUMN_WISE
+
+    def test_row_wise(self):
+        # E(I, K): the inner loop variable K is the column subscript.
+        src = (
+            "DIMENSION E(64, 8)\n"
+            "DO I = 1, 8\nDO K = 1, 8\nE(I, K) = 0.0\nENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src, scope_var="K")
+        assert g[("E", "K")].order is ReferenceOrder.ROW_WISE
+
+    def test_diagonal(self):
+        src = "DIMENSION A(8, 8)\nDO I = 1, 8\nA(I, I) = 0.0\nENDDO\nEND\n"
+        g = groups_for(src)
+        assert g[("A", "I")].order is ReferenceOrder.DIAGONAL
+
+    def test_vector_sequential(self):
+        src = "DIMENSION V(64)\nDO I = 1, 64\nV(I) = 0.0\nENDDO\nEND\n"
+        g = groups_for(src)
+        assert g[("V", "I")].order is ReferenceOrder.SEQUENTIAL
+
+
+class TestDistinctIndexCounts:
+    def test_paper_vector_example(self):
+        # "W = V(I) + V(I+1) + V(J)": three distinct indexes.
+        src = (
+            "DIMENSION V(64)\n"
+            "DO J = 1, 8\nDO I = 1, 8\nW = V(I) + V(I+1) + V(J)\nENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src, scope_var="I")
+        # V(I) and V(I+1) are driven by loop I; V(J) is invariant within
+        # it and forms its own group.  Together they cover the paper's
+        # "maximum of three pages" (asserted at the locality level in
+        # tests/analysis/test_locality.py).
+        assert g[("V", "I")].x_total == 2
+        assert g[("V", None)].x_total == 1
+
+    def test_paper_matrix_example(self):
+        # "W = A(I,J) + A(I+1,J) + A(I,J+1) + A(I+1,J+1)":
+        # Xr = 2 row indexes, Xc = 2 column indexes, four pages at most.
+        src = (
+            "DIMENSION A(64, 8)\n"
+            "DO J = 1, 7\nDO I = 1, 63\n"
+            "W = A(I,J) + A(I+1,J) + A(I,J+1) + A(I+1,J+1)\n"
+            "ENDDO\nENDDO\nEND\n"
+        )
+        g = groups_for(src, scope_var="I")
+        group = g[("A", "I")]
+        assert group.x_row == 2
+        assert group.x_col == 2
+        assert group.x_total == 4
+
+    def test_repeated_identical_refs_count_once(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "DO I = 1, 8\nW = V(I) + V(I) * 2.0\nENDDO\nEND\n"
+        )
+        g = groups_for(src)
+        assert g[("V", "I")].x_total == 1
+
+    def test_x_col_is_one_for_vectors(self):
+        src = "DIMENSION V(64)\nDO I = 1, 8\nW = V(I)\nENDDO\nEND\n"
+        g = groups_for(src)
+        assert g[("V", "I")].x_col == 1

@@ -1,0 +1,171 @@
+"""Integration test: the full Figure-5 example of the paper.
+
+Figure 5c shows the directives inserted into the Figure-5a code:
+
+    ALLOCATE (3,x1)
+    Loop 4;
+        LOCK (3,A,B)
+        ALLOCATE (3,x1) else (1,x2)
+        Loop 2;
+        ALLOCATE (3,x1) else (2,x3)
+        Loop 3;
+            LOCK (2,E,F)
+            ALLOCATE (3,x1) else (2,x3) else (1,x4)
+            Loop 1;
+    UNLOCK (A,B,E,F)
+"""
+
+import pytest
+
+from repro.analysis.locality import analyze_program
+from repro.directives import instrument_program, render_instrumented
+from repro.frontend.parser import parse_source
+
+FIGURE5 = """
+PROGRAM FIG5
+PARAMETER (N = 10)
+DIMENSION A(640), B(640), C(640), D(640), E(640), F(640)
+DIMENSION CC(64, N), DD(64, N)
+DO 40 I = 1, N
+  A(I) = B(I) + 1.0
+  DO 20 J = 1, N
+    C(J) = D(J) + CC(I, J) + DD(J, I)
+20 CONTINUE
+  DO 30 J = 1, N
+    E(J) = F(J)
+    DO 10 K = 1, N
+      E(K) = E(K) + F(J)
+10  CONTINUE
+30 CONTINUE
+40 CONTINUE
+END
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = parse_source(FIGURE5)
+    analysis = analyze_program(program)
+    plan = instrument_program(program, analysis=analysis)
+    tree = analysis.tree
+    loop4 = tree.roots[0]
+    loop2, loop3 = loop4.children
+    (loop1,) = loop3.children
+    return program, analysis, plan, (loop4, loop2, loop3, loop1)
+
+
+class TestAllocatePlacement:
+    def test_every_loop_gets_an_allocate(self, setup):
+        _, analysis, plan, _ = setup
+        assert set(plan.allocates) == {n.loop_id for n in analysis.tree.nodes()}
+
+    def test_outermost_directive_single_request(self, setup):
+        # "ALLOCATE (3,x1)" before Loop 4.
+        _, _, plan, (loop4, *_rest) = setup
+        d = plan.allocates[loop4.loop_id]
+        assert [r.priority_index for r in d.requests] == [3]
+
+    def test_loop2_directive(self, setup):
+        # "ALLOCATE (3,x1) else (1,x2)" before Loop 2.
+        _, _, plan, (_l4, loop2, _l3, _l1) = setup
+        d = plan.allocates[loop2.loop_id]
+        assert [r.priority_index for r in d.requests] == [3, 1]
+
+    def test_loop3_directive(self, setup):
+        # "ALLOCATE (3,x1) else (2,x3)" before Loop 3.
+        _, _, plan, (_l4, _l2, loop3, _l1) = setup
+        d = plan.allocates[loop3.loop_id]
+        assert [r.priority_index for r in d.requests] == [3, 2]
+
+    def test_loop1_directive(self, setup):
+        # "ALLOCATE (3,x1) else (2,x3) else (1,x4)" before Loop 1.
+        _, _, plan, (_l4, _l2, _l3, loop1) = setup
+        d = plan.allocates[loop1.loop_id]
+        assert [r.priority_index for r in d.requests] == [3, 2, 1]
+
+    def test_x1_shared_across_all_levels(self, setup):
+        # "Note that the argument (3,x1) is the first argument in all
+        # ALLOCATE directives at all levels."
+        _, _, plan, loops = setup
+        x1 = plan.allocates[loops[0].loop_id].requests[0].pages
+        for node in loops:
+            first = plan.allocates[node.loop_id].requests[0]
+            assert (first.priority_index, first.pages) == (3, x1)
+
+    def test_sizes_non_increasing(self, setup):
+        _, _, plan, _ = setup
+        for directive in plan.allocates.values():
+            sizes = [r.pages for r in directive.requests]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_x1_is_locality_size(self, setup):
+        _, analysis, plan, (loop4, *_rest) = setup
+        assert (
+            plan.allocates[loop4.loop_id].requests[0].pages
+            == analysis.report_for(loop4.loop_id).virtual_size
+            == 53
+        )
+
+
+class TestLockPlacement:
+    def test_lock_before_loop2(self, setup):
+        # "LOCK (3,A,B)" before Loop 2: A and B are referenced in loop 4
+        # before loop 2 begins.
+        _, _, plan, (_l4, loop2, _l3, _l1) = setup
+        lock = plan.locks_before[loop2.loop_id]
+        assert lock.priority_index == 3
+        assert lock.arrays == ("A", "B")
+
+    def test_lock_before_loop1(self, setup):
+        # "LOCK (2,E,F)" before Loop 1: E and F are referenced in loop 3
+        # before loop 1 begins.
+        _, _, plan, (_l4, _l2, _l3, loop1) = setup
+        lock = plan.locks_before[loop1.loop_id]
+        assert lock.priority_index == 2
+        assert lock.arrays == ("E", "F")
+
+    def test_no_lock_before_loop3(self, setup):
+        # Nothing is referenced between loop 2's end and loop 3's start.
+        _, _, plan, (_l4, _l2, loop3, _l1) = setup
+        assert loop3.loop_id not in plan.locks_before
+
+    def test_unlock_after_outermost(self, setup):
+        # "UNLOCK (A,B,E,F)" after Loop 4.
+        _, _, plan, (loop4, *_rest) = setup
+        unlock = plan.unlocks_after[loop4.loop_id]
+        assert unlock.arrays == ("A", "B", "E", "F")
+
+    def test_without_locks_mode(self, setup):
+        program, analysis, _, _ = setup
+        plan = instrument_program(program, analysis=analysis, with_locks=False)
+        assert not plan.locks_before
+        assert not plan.unlocks_after
+        assert plan.allocates
+
+
+class TestRendering:
+    def test_render_contains_all_directives(self, setup):
+        program, _, plan, _ = setup
+        text = render_instrumented(program, plan)
+        assert "LOCK (3,A,B)" in text
+        assert "LOCK (2,E,F)" in text
+        assert "UNLOCK (A,B,E,F)" in text
+        assert text.count("ALLOCATE") == 4
+
+    def test_directive_order_matches_figure5c(self, setup):
+        program, _, plan, _ = setup
+        text = render_instrumented(program, plan)
+        lock_ab = text.index("LOCK (3,A,B)")
+        alloc_loop2 = text.index("else (1,")
+        lock_ef = text.index("LOCK (2,E,F)")
+        unlock = text.index("UNLOCK")
+        assert lock_ab < alloc_loop2 < lock_ef < unlock
+
+    def test_render_is_reparseable_without_directives(self, setup):
+        # The plain unparser output round-trips through the parser.
+        from repro.frontend.unparse import unparse_program
+
+        program, _, _, _ = setup
+        text = unparse_program(program)
+        reparsed = parse_source(text)
+        assert len(list(reparsed.loops())) == 4

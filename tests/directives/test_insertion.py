@@ -1,0 +1,196 @@
+"""Unit tests for Algorithms 1 and 2 on targeted shapes."""
+
+import pytest
+
+from repro.analysis.locality import analyze_program
+from repro.directives.allocate_insertion import insert_allocate_directives
+from repro.directives.lock_insertion import insert_lock_directives
+from repro.frontend.parser import parse_source
+
+
+def analyzed(src, **kwargs):
+    return analyze_program(parse_source(src), **kwargs)
+
+
+class TestAlgorithm1:
+    def test_single_loop(self):
+        analysis = analyzed("DIMENSION V(64)\nDO I = 1, 8\nX = V(I)\nENDDO\nEND\n")
+        directives = insert_allocate_directives(analysis)
+        (d,) = directives.values()
+        assert len(d.requests) == 1
+        assert d.requests[0].priority_index == 1
+
+    def test_stack_pops_between_sibling_nests(self):
+        # After exiting the first nest, its arguments must not appear in
+        # the second nest's directives ("we avoid backtracking").
+        src = (
+            "DIMENSION V(640), W(640)\n"
+            "DO I = 1, 8\nDO J = 1, 8\nX = V(J)\nENDDO\nENDDO\n"
+            "DO K = 1, 8\nY = W(K)\nENDDO\n"
+            "END\n"
+        )
+        analysis = analyzed(src)
+        directives = insert_allocate_directives(analysis)
+        second_root = analysis.tree.roots[1]
+        d = directives[second_root.loop_id]
+        assert len(d.requests) == 1
+
+    def test_sibling_loops_inside_same_parent(self):
+        src = (
+            "DIMENSION V(640)\n"
+            "DO I = 1, 8\n"
+            "DO J = 1, 8\nX = V(J)\nENDDO\n"
+            "DO K = 1, 8\nX = V(K)\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        directives = insert_allocate_directives(analysis)
+        root = analysis.tree.roots[0]
+        for child in root.children:
+            d = directives[child.loop_id]
+            assert len(d.requests) == 2
+            assert d.requests[0].priority_index == 2
+
+    def test_inner_larger_than_outer_is_raised(self):
+        # CONSERVATIVE sizing can make an inner column-walk locality
+        # larger than the outer estimate; the outer request must be
+        # raised to cover it (X1 >= X2 invariant).
+        from repro.analysis.locality import SizingStrategy
+
+        src = (
+            "DIMENSION G(6400, 2)\n"
+            "DO I = 1, 2\n"
+            "DO K = 1, 6400\nG(K, I) = 0.0\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src, strategy=SizingStrategy.CONSERVATIVE)
+        directives = insert_allocate_directives(analysis)
+        inner = analysis.tree.roots[0].children[0]
+        d = directives[inner.loop_id]
+        assert d.requests[0].pages >= d.requests[1].pages
+
+    def test_depth_of_request_list_equals_nest_level(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "DO A1 = 1, 2\nDO B1 = 1, 2\nDO C1 = 1, 2\nDO D1 = 1, 2\n"
+            "X = V(D1)\n"
+            "ENDDO\nENDDO\nENDDO\nENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        directives = insert_allocate_directives(analysis)
+        for node in analysis.tree.nodes():
+            assert len(directives[node.loop_id].requests) == node.level
+
+
+class TestAlgorithm2:
+    def test_no_locks_in_single_loop(self):
+        analysis = analyzed("DIMENSION V(64)\nDO I = 1, 8\nX = V(I)\nENDDO\nEND\n")
+        locks, unlocks = insert_lock_directives(analysis)
+        assert locks == {} and unlocks == {}
+
+    def test_no_locks_when_nothing_referenced_before_inner(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "DO I = 1, 8\nDO J = 1, 8\nX = V(J)\nENDDO\nENDDO\nEND\n"
+        )
+        locks, unlocks = insert_lock_directives(analyzed(src))
+        assert locks == {} and unlocks == {}
+
+    def test_refs_after_last_inner_loop_not_locked(self):
+        # "IF Loop Exit Is Found THEN SKIP Next INSERT"
+        src = (
+            "DIMENSION V(64), W(64)\n"
+            "DO I = 1, 8\n"
+            "DO J = 1, 8\nX = V(J)\nENDDO\n"
+            "Y = W(I)\n"
+            "ENDDO\nEND\n"
+        )
+        locks, unlocks = insert_lock_directives(analyzed(src))
+        assert locks == {} and unlocks == {}
+
+    def test_lock_collects_refs_since_loop_start(self):
+        src = (
+            "DIMENSION U(64), V(64), W(64)\n"
+            "DO I = 1, 8\n"
+            "X = U(I) + V(I)\n"
+            "DO J = 1, 8\nY = W(J)\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        locks, unlocks = insert_lock_directives(analysis)
+        inner = analysis.tree.roots[0].children[0]
+        assert locks[inner.loop_id].arrays == ("U", "V")
+        root = analysis.tree.roots[0]
+        assert unlocks[root.loop_id].arrays == ("U", "V")
+
+    def test_refs_between_inner_loops(self):
+        src = (
+            "DIMENSION U(64), V(64), W(64)\n"
+            "DO I = 1, 8\n"
+            "DO J = 1, 8\nY = W(J)\nENDDO\n"
+            "X = U(I)\n"
+            "DO K = 1, 8\nY = V(K)\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        locks, _ = insert_lock_directives(analysis)
+        second = analysis.tree.roots[0].children[1]
+        assert locks[second.loop_id].arrays == ("U",)
+
+    def test_pj_is_containing_loop_priority(self):
+        src = (
+            "DIMENSION U(64), V(64)\n"
+            "DO I = 1, 8\n"  # PI = 3
+            "X = U(I)\n"
+            "DO J = 1, 8\n"  # PI = 2
+            "Y = U(J)\n"
+            "DO K = 1, 8\nZ = V(K)\nENDDO\n"  # PI = 1
+            "ENDDO\nENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        locks, _ = insert_lock_directives(analysis)
+        mid = analysis.tree.roots[0].children[0]
+        innermost = mid.children[0]
+        assert locks[mid.loop_id].priority_index == 3
+        assert locks[innermost.loop_id].priority_index == 2
+
+    def test_duplicate_arrays_deduplicated(self):
+        src = (
+            "DIMENSION U(64)\n"
+            "DO I = 1, 8\n"
+            "X = U(I) + U(I+1)\n"
+            "DO J = 1, 8\nY = U(J)\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        locks, _ = insert_lock_directives(analysis)
+        inner = analysis.tree.roots[0].children[0]
+        assert locks[inner.loop_id].arrays == ("U",)
+
+    def test_refs_inside_if_are_collected(self):
+        src = (
+            "DIMENSION U(64), W(64)\n"
+            "DO I = 1, 8\n"
+            "IF (I > 2) THEN\nX = U(I)\nENDIF\n"
+            "DO J = 1, 8\nY = W(J)\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        locks, _ = insert_lock_directives(analysis)
+        inner = analysis.tree.roots[0].children[0]
+        assert locks[inner.loop_id].arrays == ("U",)
+
+    def test_unlock_lists_every_locked_array_once(self):
+        src = (
+            "DIMENSION U(64), V(64), W(64)\n"
+            "DO I = 1, 8\n"
+            "A1 = U(I)\n"
+            "DO J = 1, 8\n"
+            "A2 = U(J) + V(J)\n"
+            "DO K = 1, 8\nA3 = W(K)\nENDDO\n"
+            "ENDDO\nENDDO\nEND\n"
+        )
+        analysis = analyzed(src)
+        _, unlocks = insert_lock_directives(analysis)
+        root = analysis.tree.roots[0]
+        assert unlocks[root.loop_id].arrays == ("U", "V")

@@ -1,0 +1,93 @@
+"""Unit tests for the directive data model and its invariants."""
+
+import pytest
+
+from repro.directives.model import (
+    AllocateDirective,
+    AllocateRequest,
+    InstrumentationPlan,
+    LockDirective,
+    UnlockDirective,
+)
+
+
+class TestAllocateRequest:
+    def test_valid(self):
+        r = AllocateRequest(priority_index=3, pages=10)
+        assert r.priority_index == 3
+
+    def test_pi_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AllocateRequest(priority_index=0, pages=1)
+
+    def test_pages_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AllocateRequest(priority_index=1, pages=0)
+
+
+class TestAllocateDirective:
+    def make(self, *pairs):
+        return AllocateDirective(
+            loop_id=0,
+            requests=tuple(AllocateRequest(pi, x) for pi, x in pairs),
+        )
+
+    def test_valid_chain(self):
+        d = self.make((3, 10), (2, 5), (1, 2))
+        assert d.innermost.pages == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AllocateDirective(loop_id=0, requests=())
+
+    def test_pi_must_strictly_decrease(self):
+        # "PI1 > PI2 > PI3 > …"
+        with pytest.raises(ValueError):
+            self.make((3, 10), (3, 5))
+
+    def test_sizes_must_be_non_increasing(self):
+        # "X1 >= X2 >= X3 …"
+        with pytest.raises(ValueError):
+            self.make((3, 5), (2, 10))
+
+    def test_equal_sizes_allowed(self):
+        d = self.make((2, 5), (1, 5))
+        assert len(d.requests) == 2
+
+    def test_render_matches_paper_syntax(self):
+        d = self.make((3, 10), (1, 2))
+        assert d.render() == "ALLOCATE ((3,10) else (1,2))"
+
+
+class TestLockDirective:
+    def test_valid(self):
+        d = LockDirective(loop_id=1, priority_index=3, arrays=("A", "B"))
+        assert d.render() == "LOCK (3,A,B)"
+
+    def test_pj_one_rejected(self):
+        # "the highest priority of locked pages is PJ = 2"
+        with pytest.raises(ValueError):
+            LockDirective(loop_id=1, priority_index=1, arrays=("A",))
+
+    def test_needs_arrays(self):
+        with pytest.raises(ValueError):
+            LockDirective(loop_id=1, priority_index=2, arrays=())
+
+
+class TestUnlockDirective:
+    def test_render(self):
+        d = UnlockDirective(loop_id=0, arrays=("A", "B", "E", "F"))
+        assert d.render() == "UNLOCK (A,B,E,F)"
+
+
+class TestInstrumentationPlan:
+    def test_directive_count(self):
+        plan = InstrumentationPlan()
+        plan.allocates[0] = AllocateDirective(
+            loop_id=0, requests=(AllocateRequest(1, 1),)
+        )
+        plan.locks_before[1] = LockDirective(
+            loop_id=1, priority_index=2, arrays=("A",)
+        )
+        plan.unlocks_after[0] = UnlockDirective(loop_id=0, arrays=("A",))
+        assert plan.directive_count == 3

@@ -1,0 +1,42 @@
+"""Tests for the controllability study."""
+
+import pytest
+
+from repro.experiments.controllability import (
+    controllability_study,
+    render_controllability,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return controllability_study(names=("MAIN", "TQL", "CONDUCT"))
+
+
+class TestControllability:
+    def test_cd_never_overshoots(self, rows):
+        # The memory limit is a hard bound under CD.
+        assert all(r.cd_overshoots == 0 for r in rows)
+
+    def test_ws_overshoots_somewhere(self, rows):
+        # WS's memory is emergent: some targets are exceeded.
+        assert any(r.ws_overshoots > 0 for r in rows)
+
+    def test_ws_ten_percent_claim_fails_on_numerical_programs(self, rows):
+        # [ALMY82]: the '10% de-tuned' controllability claim does not
+        # hold for (some) numerical programs.
+        assert any(not r.ws_within_10pct for r in rows)
+
+    def test_ws_mean_error_small(self, rows):
+        # WS is still accurate on average — the failures are worst-case.
+        assert all(r.ws_mean_error < 0.25 for r in rows)
+
+    def test_errors_are_fractions(self, rows):
+        for r in rows:
+            assert 0.0 <= r.ws_mean_error <= r.ws_worst_error
+            assert 0.0 <= r.cd_mean_error <= r.cd_worst_error
+
+    def test_render(self, rows):
+        text = render_controllability(rows)
+        assert "10%" in text
+        assert "MAIN" in text

@@ -1,0 +1,45 @@
+"""Tests for the policy-curve series generator."""
+
+import pytest
+
+from repro.experiments.curves import policy_curves
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return policy_curves("TQL", lru_points=8, ws_points=8)
+
+
+class TestPolicyCurves:
+    def test_all_three_policies_present(self, curves):
+        assert curves.series("CD")
+        assert curves.series("LRU")
+        assert curves.series("WS")
+
+    def test_cd_points_one_per_cap(self, curves):
+        assert len(curves.series("CD")) == 4
+
+    def test_lru_series_ends_at_v(self, curves):
+        frames = [p.parameter for p in curves.series("LRU")]
+        assert max(frames) == curves.virtual_pages == 11
+
+    def test_lru_faults_monotone(self, curves):
+        series = sorted(curves.series("LRU"), key=lambda p: p.parameter)
+        faults = [p.page_faults for p in series]
+        assert faults == sorted(faults, reverse=True)
+
+    def test_ws_mem_monotone_in_tau(self, curves):
+        series = sorted(curves.series("WS"), key=lambda p: p.parameter)
+        mems = [p.mem for p in series]
+        assert all(a <= b + 1e-9 for a, b in zip(mems, mems[1:]))
+
+    def test_csv_export(self, curves):
+        text = curves.to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("program,policy,parameter")
+        assert len(lines) == len(curves.points) + 1
+
+    def test_render(self, curves):
+        text = curves.render()
+        assert "TQL" in text
+        assert "LRU" in text

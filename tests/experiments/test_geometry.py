@@ -1,0 +1,34 @@
+"""Tests for the page-geometry ablation."""
+
+import pytest
+
+from repro.experiments.geometry import geometry_sweep, render_geometry
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return geometry_sweep(names=("APPROX",), page_sizes=(256, 512))
+
+
+class TestGeometrySweep:
+    def test_virtual_pages_shrink_with_page_size(self, rows):
+        by_size = {r.page_bytes: r for r in rows}
+        assert by_size[512].virtual_pages < by_size[256].virtual_pages
+
+    def test_virtual_pages_roughly_halve(self, rows):
+        by_size = {r.page_bytes: r for r in rows}
+        ratio = by_size[256].virtual_pages / by_size[512].virtual_pages
+        assert 1.8 <= ratio <= 2.2
+
+    def test_cd_advantage_persists_across_geometries(self, rows):
+        for row in rows:
+            assert row.delta_pf > 0
+
+    def test_faults_decrease_with_bigger_pages(self, rows):
+        by_size = {r.page_bytes: r for r in rows}
+        assert by_size[512].cd_pf < by_size[256].cd_pf
+
+    def test_render(self, rows):
+        text = render_geometry(rows)
+        assert "page B" in text
+        assert "APPROX" in text

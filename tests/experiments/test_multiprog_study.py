@@ -1,0 +1,40 @@
+"""Tests for the multiprogramming study harness."""
+
+import pytest
+
+from repro.experiments.multiprog_study import multiprog_study, render_multiprog
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return multiprog_study(mix=("TQL", "HYBRJ"), frame_counts=(48, 24))
+
+
+class TestMultiprogStudy:
+    def test_row_grid_complete(self, rows):
+        assert len(rows) == 4  # 2 frame counts x 2 modes
+        assert {r.mode for r in rows} == {"CD", "WS"}
+
+    def test_all_work_completes(self, rows):
+        # Both processes finish under every configuration: the faults
+        # and makespan are for the whole mix.
+        for row in rows:
+            assert row.makespan > 0
+            assert row.throughput > 0
+
+    def test_pressure_increases_faults(self, rows):
+        by_key = {(r.frames, r.mode): r for r in rows}
+        assert by_key[(24, "CD")].faults >= by_key[(48, "CD")].faults
+
+    def test_cd_swaps_not_more_than_ws(self, rows):
+        by_key = {(r.frames, r.mode): r for r in rows}
+        for frames in (48, 24):
+            assert by_key[(frames, "CD")].swaps <= by_key[(frames, "WS")].swaps
+
+    def test_utilization_bounded(self, rows):
+        for row in rows:
+            assert 0.0 <= row.utilization <= 1.0
+
+    def test_render(self, rows):
+        text = render_multiprog(rows)
+        assert "CD" in text and "WS" in text and "makespan" in text

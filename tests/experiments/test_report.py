@@ -1,0 +1,84 @@
+"""Unit tests for table rendering and the runner cache."""
+
+import pytest
+
+from repro.experiments.report import format_table, format_value
+from repro.experiments.runner import artifacts_for, clear_cache
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_small_float(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_mid_float(self):
+        assert format_value(123.456) == "123.5"
+
+    def test_large_float_scientific(self):
+        assert format_value(1.23e7) == "1.230e+07"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("ABC") == "ABC"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["Name", "N"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert lines[-1].endswith("22")
+
+    def test_title(self):
+        text = format_table(["A"], [(1,)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_separator_row(self):
+        text = format_table(["A", "B"], [(1, 2)])
+        assert "-" in text.splitlines()[1]
+
+    def test_first_column_left_justified(self):
+        text = format_table(["Name", "N"], [("a", 1), ("long", 2)])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a   ")
+
+
+class TestRunnerCache:
+    def test_artifacts_cached(self):
+        a = artifacts_for("TQL")
+        b = artifacts_for("TQL")
+        assert a is b
+
+    def test_distinct_keys_distinct_artifacts(self):
+        a = artifacts_for("TQL", with_locks=False)
+        b = artifacts_for("TQL", with_locks=True)
+        assert a is not b
+        assert len(b.trace.directives) > len(a.trace.directives)
+
+    def test_clear_cache(self):
+        a = artifacts_for("TQL")
+        clear_cache()
+        b = artifacts_for("TQL")
+        assert a is not b
+
+    def test_best_cd_result_minimizes(self):
+        from repro.vm.policies import CDConfig
+
+        art = artifacts_for("APPROX")
+        best = art.best_cd_result()
+        for cap in (None, 2, 1):
+            assert (
+                best.space_time
+                <= art.cd_result(CDConfig(pi_cap=cap)).space_time
+            )

@@ -1,0 +1,182 @@
+"""Integration tests: the four tables reproduce the paper's qualitative
+claims (winners and trend directions, not absolute numbers)."""
+
+import pytest
+
+from repro.experiments.config import table1_rows, table2_rows, table34_rows, variant
+from repro.experiments.table1 import generate_table1, render_table1
+from repro.experiments.table2 import generate_table2, render_table2
+from repro.experiments.table3 import generate_table3, render_table3
+from repro.experiments.table4 import generate_table4, render_table4
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return {r.label: r for r in generate_table1()}
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {r.label: r for r in generate_table2()}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return {r.label: r for r in generate_table3()}
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return {r.label: r for r in generate_table4()}
+
+
+class TestConfig:
+    def test_table1_has_eight_rows(self):
+        assert [v.label for v in table1_rows()] == [
+            "MAIN",
+            "MAIN1",
+            "MAIN2",
+            "MAIN3",
+            "FDJAC",
+            "FDJAC1",
+            "TQL1",
+            "TQL2",
+        ]
+
+    def test_table34_has_fourteen_rows(self):
+        assert len(table34_rows()) == 14
+
+    def test_table2_rows_subset_of_table34(self):
+        t34 = {v.label for v in table34_rows()}
+        assert {v.label for v in table2_rows()} <= t34
+
+    def test_variant_lookup(self):
+        assert variant("main3").config.pi_cap == 1
+        with pytest.raises(KeyError):
+            variant("NOPE")
+
+    def test_variant_describe(self):
+        assert "innermost" not in variant("MAIN1").describe()
+        assert "PI<=1" in variant("MAIN3").describe()
+
+
+class TestTable1Claims:
+    """"Less memory allocation results from executing the directives
+    associated with the inner loops.  Directives at outer levels consume
+    more memory and generate fewer page faults."""
+
+    def test_main_memory_ordering(self, table1):
+        assert table1["MAIN1"].mem > table1["MAIN2"].mem > table1["MAIN3"].mem
+
+    def test_main_fault_ordering(self, table1):
+        assert table1["MAIN1"].page_faults < table1["MAIN2"].page_faults
+        assert table1["MAIN2"].page_faults < table1["MAIN3"].page_faults
+
+    def test_fdjac_variants(self, table1):
+        assert table1["FDJAC1"].mem > table1["FDJAC"].mem
+        assert table1["FDJAC1"].page_faults < table1["FDJAC"].page_faults
+
+    def test_tql_variants(self, table1):
+        assert table1["TQL1"].mem > table1["TQL2"].mem
+        assert table1["TQL1"].page_faults < table1["TQL2"].page_faults
+
+    def test_render_contains_all_rows(self, table1):
+        text = render_table1(list(table1.values()))
+        for label in table1:
+            assert label in text
+
+
+class TestTable2Claims:
+    """CD's best directive set is competitive with (and on phase-varying
+    programs beats) the best-tuned LRU and WS."""
+
+    def test_lru_never_beats_cd_by_much(self, table2):
+        # Every row: the best LRU is at most ~10% below the best CD
+        # (paper: LRU is 7-288% WORSE; our single-nest kernels tie).
+        for row in table2.values():
+            assert row.pct_st_lru > -12.0
+
+    def test_phase_programs_beat_lru_strongly(self, table2):
+        assert table2["APPROX"].pct_st_lru > 30
+        assert table2["CONDUCT"].pct_st_lru > 50
+
+    def test_average_excess_positive(self, table2):
+        lru_avg = sum(r.pct_st_lru for r in table2.values()) / len(table2)
+        assert lru_avg > 10
+
+    def test_render(self, table2):
+        text = render_table2(list(table2.values()))
+        assert "%ST LRU vs CD" in text
+
+
+class TestTable3Claims:
+    """"Using the same amount of memory, LRU and WS produce on the
+    average [many] more page faults than does CD."""
+
+    def test_average_lru_excess_large(self, table3):
+        avg = sum(r.delta_pf_lru for r in table3.values()) / len(table3)
+        assert avg > 1000
+
+    def test_average_ws_excess_positive(self, table3):
+        avg = sum(r.delta_pf_ws for r in table3.values()) / len(table3)
+        assert avg > 0
+
+    def test_lru_excess_bigger_than_ws(self, table3):
+        # The paper's averages: 2863 (LRU) vs 2340 (WS).
+        lru = sum(r.delta_pf_lru for r in table3.values())
+        ws = sum(r.delta_pf_ws for r in table3.values())
+        assert lru > ws
+
+    def test_conduct_row_dramatic(self, table3):
+        # Paper: CONDUCT ΔPF(LRU) = 3477, %ST = 988.3.
+        assert table3["CONDUCT"].delta_pf_lru > 3000
+        assert table3["CONDUCT"].pct_st_lru > 300
+
+    def test_init_row_dramatic(self, table3):
+        # Paper: INIT ΔPF(LRU) = 2287.
+        assert table3["INIT"].delta_pf_lru > 2000
+
+    def test_lru_frames_match_cd_memory(self, table3):
+        for row in table3.values():
+            assert abs(row.lru_frames - row.mem_cd) <= 1.0
+
+    def test_ws_memory_matched(self, table3):
+        for row in table3.values():
+            # τ was chosen to match CD's MEM; allow 15% slack (WS MEM
+            # moves in discrete jumps with τ).
+            assert row.mem_ws == pytest.approx(row.mem_cd, rel=0.15, abs=1.0)
+
+    def test_render(self, table3):
+        text = render_table3(list(table3.values()))
+        assert "dPF LRU" in text
+
+
+class TestTable4Claims:
+    """"LRU and WS need on the average [much] more memory than the CD
+    needs to generate the same number of page faults."""
+
+    def test_average_lru_memory_excess(self, table4):
+        avg = sum(r.pct_mem_lru for r in table4.values()) / len(table4)
+        assert avg > 50  # paper: 247%
+
+    def test_lru_excess_exceeds_ws_excess(self, table4):
+        lru = sum(r.pct_mem_lru for r in table4.values())
+        ws = sum(r.pct_mem_ws for r in table4.values())
+        assert lru > ws  # paper: 247% vs 175%
+
+    def test_conduct_needs_far_more_lru_memory(self, table4):
+        # Paper: 283.7%; ours is driven by the 134-page row phase.
+        assert table4["CONDUCT"].pct_mem_lru > 200
+
+    def test_matched_faults_not_exceeded(self, table4):
+        from repro.experiments.runner import artifacts_for
+
+        for label, row in table4.items():
+            if not row.lru_reached:
+                continue
+            art = artifacts_for(variant(label).workload)
+            assert art.lru.faults(row.lru_frames) <= row.pf_cd
+
+    def test_render(self, table4):
+        text = render_table4(list(table4.values()))
+        assert "%MEM LRU" in text

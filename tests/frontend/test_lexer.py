@@ -1,0 +1,145 @@
+"""Unit tests for the mini-FORTRAN lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import Lexer, TokenKind, tokenize_line
+
+
+def kinds(tokens):
+    return [t.kind for t in tokens]
+
+
+def texts(tokens):
+    return [t.text for t in tokens]
+
+
+class TestTokenizeLine:
+    def test_simple_assignment(self):
+        label, toks = tokenize_line("X = Y + 1", 1)
+        assert label is None
+        assert texts(toks) == ["X", "=", "Y", "+", "1"]
+
+    def test_statement_label(self):
+        label, toks = tokenize_line("10 CONTINUE", 3)
+        assert label == 10
+        assert texts(toks) == ["CONTINUE"]
+
+    def test_label_zero_padded(self):
+        label, toks = tokenize_line("  020 CONTINUE", 1)
+        assert label == 20
+
+    def test_comment_line_c(self):
+        assert tokenize_line("C anything goes here", 1) == (None, [])
+
+    def test_comment_line_star(self):
+        assert tokenize_line("* star comment", 1) == (None, [])
+
+    def test_call_is_not_a_comment(self):
+        # The fixed-form 'C in column 1' rule must not swallow keywords.
+        _, toks = tokenize_line("CALL SAXPY(2.0, X, Y)", 1)
+        assert texts(toks)[0] == "CALL"
+
+    def test_continue_is_not_a_comment(self):
+        _, toks = tokenize_line("CONTINUE", 1)
+        assert texts(toks) == ["CONTINUE"]
+
+    def test_bare_c_line_is_comment(self):
+        assert tokenize_line("C", 1) == (None, [])
+
+    def test_c_followed_by_space_is_comment(self):
+        assert tokenize_line("C = looks like assignment but is comment", 1) == (
+            None,
+            [],
+        )
+
+    def test_indented_c_assignment_is_statement(self):
+        _, toks = tokenize_line("  C = 1.0", 1)
+        assert texts(toks) == ["C", "=", "1.0"]
+
+    def test_trailing_bang_comment(self):
+        _, toks = tokenize_line("X = 1 ! trailing", 1)
+        assert texts(toks) == ["X", "=", "1"]
+
+    def test_case_insensitive_names(self):
+        _, toks = tokenize_line("foo = Bar", 1)
+        assert texts(toks) == ["FOO", "=", "BAR"]
+
+    def test_integer_literal(self):
+        _, toks = tokenize_line("I = 42", 1)
+        assert toks[2].kind is TokenKind.INT
+        assert toks[2].text == "42"
+
+    def test_real_literals(self):
+        _, toks = tokenize_line("X = 1.5 + .25 + 2E3 + 1.0D-2", 1)
+        reals = [t for t in toks if t.kind is TokenKind.REAL]
+        assert texts(reals) == ["1.5", ".25", "2E3", "1.0E-2"]
+
+    def test_dotted_operators_normalized(self):
+        _, toks = tokenize_line("IF (I .LT. J .AND. K .GE. 2)", 1)
+        ops = [t.text for t in toks if t.kind is TokenKind.OP]
+        assert "<" in ops and ".AND." in ops and ">=" in ops
+
+    def test_modern_relational_operators(self):
+        _, toks = tokenize_line("IF (I <= J)", 1)
+        assert "<=" in texts(toks)
+
+    def test_power_operator(self):
+        _, toks = tokenize_line("X = Y ** 2", 1)
+        assert "**" in texts(toks)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("X = Y @ Z", 7)
+
+    def test_unknown_dotted_word_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("X = .FOO. 1", 1)
+
+    def test_columns_are_one_based(self):
+        _, toks = tokenize_line("X = 1", 1)
+        assert toks[0].column == 1
+
+    def test_real_not_mistaken_for_label(self):
+        # A line can't start a statement with a number unless it's a label;
+        # make sure "10.5" style text is not chopped into a label.
+        label, toks = tokenize_line("X = 10.5", 1)
+        assert label is None
+        assert toks[2].kind is TokenKind.REAL
+
+
+class TestLexer:
+    def test_newline_tokens_separate_statements(self):
+        lx = Lexer("X = 1\nY = 2\n")
+        assert kinds(lx.tokens).count(TokenKind.NEWLINE) == 2
+        assert lx.tokens[-1].kind is TokenKind.EOF
+
+    def test_labels_map_to_first_token_index(self):
+        lx = Lexer("X = 1\n10 CONTINUE\n")
+        # label 10 attaches to the CONTINUE token (index 4: X = 1 NL -> 4)
+        (idx, label), = lx.labels.items()
+        assert label == 10
+        assert lx.tokens[idx].text == "CONTINUE"
+
+    def test_continuation_lines_joined(self):
+        lx = Lexer("X = 1 + &\n    2\n")
+        stmt = [t.text for t in lx.tokens if t.kind is not TokenKind.NEWLINE][:-1]
+        assert stmt == ["X", "=", "1", "+", "2"]
+
+    def test_blank_lines_skipped(self):
+        lx = Lexer("\n\nX = 1\n\n")
+        assert kinds(lx.tokens).count(TokenKind.NEWLINE) == 1
+
+    def test_bare_label_line_is_labeled_continue(self):
+        lx = Lexer("DO 10 I = 1, 2\nX = 1\n10\n")
+        names = [t.text for t in lx.tokens if t.kind is TokenKind.NAME]
+        assert names.count("CONTINUE") == 1
+
+    def test_line_numbers_preserved(self):
+        lx = Lexer("X = 1\nY = 2\n")
+        y_tok = [t for t in lx.tokens if t.text == "Y"][0]
+        assert y_tok.line == 2
+
+    def test_empty_source(self):
+        lx = Lexer("")
+        assert kinds(lx.tokens) == [TokenKind.EOF]

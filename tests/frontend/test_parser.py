@@ -1,0 +1,281 @@
+"""Unit tests for the mini-FORTRAN parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError, SemanticError
+from repro.frontend.parser import parse_source
+
+
+class TestDeclarations:
+    def test_program_name(self):
+        p = parse_source("PROGRAM FOO\nEND\n")
+        assert p.name == "FOO"
+
+    def test_program_name_defaults_to_main(self):
+        p = parse_source("X = 1\nEND\n")
+        assert p.name == "MAIN"
+
+    def test_dimension_vector(self):
+        p = parse_source("DIMENSION V(100)\nEND\n")
+        assert p.arrays[0].name == "V"
+        assert len(p.arrays[0].dims) == 1
+
+    def test_dimension_matrix(self):
+        p = parse_source("DIMENSION A(10, 20)\nEND\n")
+        assert len(p.arrays[0].dims) == 2
+
+    def test_dimension_multiple_declarators(self):
+        p = parse_source("DIMENSION A(10), B(5, 5), C(7)\nEND\n")
+        assert [d.name for d in p.arrays] == ["A", "B", "C"]
+
+    def test_real_declaration_with_dims(self):
+        p = parse_source("REAL A(10, 10)\nEND\n")
+        assert p.arrays[0].name == "A"
+
+    def test_integer_scalar_declaration_ignored(self):
+        p = parse_source("INTEGER I, J\nX = 1\nEND\n")
+        assert p.arrays == []
+
+    def test_parameter(self):
+        p = parse_source("PARAMETER (N = 50)\nDIMENSION A(N)\nEND\n")
+        assert p.params[0].name == "N"
+
+    def test_parameter_multiple(self):
+        p = parse_source("PARAMETER (N = 50, M = N * 2)\nEND\n")
+        assert [d.name for d in p.params] == ["N", "M"]
+
+    def test_three_dimensional_array_rejected(self):
+        with pytest.raises(SemanticError, match="dimensions"):
+            parse_source("DIMENSION A(2, 2, 2)\nEND\n")
+
+    def test_duplicate_array_rejected(self):
+        with pytest.raises(SemanticError, match="twice"):
+            parse_source("DIMENSION A(2), A(3)\nEND\n")
+
+    def test_dimension_requires_bounds(self):
+        with pytest.raises(ParseError):
+            parse_source("DIMENSION A\nEND\n")
+
+
+class TestDoLoops:
+    def test_labeled_do(self):
+        p = parse_source("DO 10 I = 1, 100\nX = I\n10 CONTINUE\nEND\n")
+        loop = p.body[0]
+        assert isinstance(loop, ast.DoLoop)
+        assert loop.var == "I"
+        assert loop.end_label == 10
+        assert isinstance(loop.body[-1], ast.Continue)
+
+    def test_block_do_enddo(self):
+        p = parse_source("DO I = 1, 100\nX = I\nENDDO\nEND\n")
+        loop = p.body[0]
+        assert isinstance(loop, ast.DoLoop)
+        assert loop.end_label is None
+        assert len(loop.body) == 1
+
+    def test_do_with_step(self):
+        p = parse_source("DO I = 1, 100, 2\nX = I\nENDDO\nEND\n")
+        assert isinstance(p.body[0].step, ast.Num)
+        assert p.body[0].step.value == 2
+
+    def test_nested_labeled_loops(self):
+        src = (
+            "DO 10 I = 1, 4\n"
+            "DO 20 J = 1, 4\n"
+            "X = I + J\n"
+            "20 CONTINUE\n"
+            "10 CONTINUE\n"
+            "END\n"
+        )
+        outer = parse_source(src).body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, ast.DoLoop)
+        assert inner.end_label == 20
+
+    def test_shared_do_terminator(self):
+        src = (
+            "DO 10 I = 1, 4\n"
+            "DO 10 J = 1, 4\n"
+            "X = I + J\n"
+            "10 CONTINUE\n"
+            "END\n"
+        )
+        outer = parse_source(src).body[0]
+        assert isinstance(outer, ast.DoLoop)
+        inner = outer.body[0]
+        assert isinstance(inner, ast.DoLoop)
+        assert outer.end_label == inner.end_label == 10
+
+    def test_loop_ids_are_preorder_unique(self):
+        src = (
+            "DO I = 1, 2\n"
+            "DO J = 1, 2\nX = 1\nENDDO\n"
+            "ENDDO\n"
+            "DO K = 1, 2\nX = 2\nENDDO\n"
+            "END\n"
+        )
+        ids = [l.loop_id for l in parse_source(src).loops()]
+        assert ids == [0, 1, 2]
+
+    def test_missing_terminator_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("DO 10 I = 1, 4\nX = 1\nEND\n")
+
+    def test_missing_enddo_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("DO I = 1, 4\nX = 1\nEND\n")
+
+
+class TestIf:
+    def test_logical_if(self):
+        p = parse_source("IF (X < 1) Y = 2\nEND\n")
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.LogicalIf)
+        assert isinstance(stmt.stmt, ast.Assign)
+
+    def test_block_if(self):
+        p = parse_source("IF (X < 1) THEN\nY = 2\nENDIF\nEND\n")
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.IfBlock)
+        assert len(stmt.branches) == 1
+
+    def test_if_else(self):
+        p = parse_source("IF (X < 1) THEN\nY = 2\nELSE\nY = 3\nENDIF\nEND\n")
+        assert len(p.body[0].branches) == 2
+        assert p.body[0].branches[1][0] is None
+
+    def test_if_elseif_else(self):
+        src = (
+            "IF (X < 1) THEN\nY = 1\n"
+            "ELSEIF (X < 2) THEN\nY = 2\n"
+            "ELSE\nY = 3\nENDIF\nEND\n"
+        )
+        branches = parse_source(src).body[0].branches
+        assert len(branches) == 3
+        assert branches[1][0] is not None
+
+    def test_logical_if_cannot_guard_do(self):
+        with pytest.raises(ParseError):
+            parse_source("IF (X < 1) DO I = 1, 2\nENDDO\nEND\n")
+
+    def test_dotted_condition(self):
+        p = parse_source("IF (I .EQ. J .OR. I .GT. 5) X = 1\nEND\n")
+        cond = p.body[0].cond
+        assert isinstance(cond, ast.LogicalOp)
+        assert cond.op == ".OR."
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        p = parse_source(f"X = {text}\nEND\n")
+        return p.body[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_power_right_associative(self):
+        e = self.parse_expr("2 ** 3 ** 2")
+        assert e.op == "**"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "**"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-X + 1")
+        assert isinstance(e.left, ast.UnaryOp)
+
+    def test_unary_plus_is_noop(self):
+        e = self.parse_expr("+X")
+        assert isinstance(e, ast.Var)
+
+    def test_parenthesized(self):
+        e = self.parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.BinOp)
+
+    def test_intrinsic_call(self):
+        e = self.parse_expr("SQRT(Y)")
+        assert isinstance(e, ast.Call)
+        assert e.name == "SQRT"
+
+    def test_call_with_two_args(self):
+        e = self.parse_expr("MOD(I, 2)")
+        assert len(e.args) == 2
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(ParseError):
+            self.parse_expr("1 +")
+
+
+class TestArrayResolution:
+    def test_declared_array_call_becomes_ref(self):
+        p = parse_source("DIMENSION A(10)\nX = A(3)\nEND\n")
+        expr = p.body[0].expr
+        assert isinstance(expr, ast.ArrayRef)
+        assert expr.name == "A"
+
+    def test_undeclared_name_stays_call(self):
+        p = parse_source("X = FOO(3)\nEND\n")
+        assert isinstance(p.body[0].expr, ast.Call)
+
+    def test_nested_array_refs_resolved(self):
+        p = parse_source("DIMENSION A(10), B(10)\nX = A(1) + SQRT(B(2))\nEND\n")
+        call = p.body[0].expr.right
+        assert isinstance(call.args[0], ast.ArrayRef)
+
+    def test_array_ref_in_target(self):
+        p = parse_source("DIMENSION A(10, 10)\nA(I, J) = 0.0\nEND\n")
+        assert isinstance(p.body[0].target, ast.ArrayRef)
+
+    def test_array_ref_inside_index(self):
+        p = parse_source("DIMENSION A(10), IDX(10)\nX = A(IDX(1))\nEND\n")
+        outer = p.body[0].expr
+        assert isinstance(outer, ast.ArrayRef)
+        assert isinstance(outer.indices[0], ast.ArrayRef)
+
+
+class TestWalkers:
+    SRC = (
+        "DIMENSION A(4, 4), V(16)\n"
+        "DO 10 I = 1, 4\n"
+        "DO 20 J = 1, 4\n"
+        "A(I, J) = V(I) + V(J)\n"
+        "20 CONTINUE\n"
+        "10 CONTINUE\n"
+        "END\n"
+    )
+
+    def test_walk_statements_preorder(self):
+        p = parse_source(self.SRC)
+        kinds = [type(s).__name__ for s in p.walk_statements()]
+        assert kinds[0] == "DoLoop"
+        assert "Assign" in kinds
+
+    def test_statement_array_refs(self):
+        p = parse_source(self.SRC)
+        assign = [s for s in p.walk_statements() if isinstance(s, ast.Assign)][0]
+        names = [r.name for r in ast.statement_array_refs(assign)]
+        assert sorted(names) == ["A", "V", "V"]
+
+    def test_loops_iterator(self):
+        p = parse_source(self.SRC)
+        assert [l.var for l in p.loops()] == ["I", "J"]
+
+
+class TestErrors:
+    def test_garbage_after_end(self):
+        with pytest.raises(ParseError):
+            parse_source("END\nX = 1\n")
+
+    def test_trailing_tokens_on_statement(self):
+        with pytest.raises(ParseError):
+            parse_source("X = 1 2\nEND\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_source("X = 1\nY = *\nEND\n")
+        except ParseError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

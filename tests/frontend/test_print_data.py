@@ -1,0 +1,173 @@
+"""Tests for the PRINT/WRITE statements and DATA declarations."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError, SemanticError
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import SymbolTable
+from repro.frontend.unparse import unparse_program
+from repro.tracegen.interpreter import Interpreter, generate_trace
+
+
+class TestPrintParsing:
+    def test_print_star_with_items(self):
+        p = parse_source("PRINT *, X, Y + 1\nEND\n")
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.Print)
+        assert len(stmt.items) == 2
+
+    def test_print_star_bare(self):
+        p = parse_source("PRINT *\nEND\n")
+        assert parse_source("PRINT *\nEND\n").body[0].items == []
+        assert isinstance(p.body[0], ast.Print)
+
+    def test_write_star_star(self):
+        p = parse_source("WRITE(*, *) X, Y\nEND\n")
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.Print)
+        assert len(stmt.items) == 2
+
+    def test_write_no_items(self):
+        p = parse_source("WRITE(*, *)\nEND\n")
+        assert p.body[0].items == []
+
+    def test_print_array_item_resolved(self):
+        p = parse_source("DIMENSION V(8)\nPRINT *, V(3)\nEND\n")
+        assert isinstance(p.body[0].items[0], ast.ArrayRef)
+
+    def test_print_items_emit_references(self):
+        trace = generate_trace(
+            parse_source("DIMENSION V(8)\nPRINT *, V(3), V(4)\nEND\n")
+        )
+        assert trace.length == 2
+
+    def test_print_inside_loop(self):
+        src = (
+            "DIMENSION V(8)\n"
+            "DO I = 1, 4\nPRINT *, V(I)\nENDDO\nEND\n"
+        )
+        trace = generate_trace(parse_source(src))
+        assert trace.length == 4
+
+    def test_unparse_print(self):
+        p = parse_source("DIMENSION V(8)\nPRINT *, V(1), 2.5\nEND\n")
+        text = unparse_program(p)
+        assert "PRINT *, V(1), 2.5" in text
+        reparsed = parse_source(text)
+        assert isinstance(reparsed.body[0], ast.Print)
+
+    def test_print_refs_seen_by_analysis(self):
+        from repro.analysis.looptree import LoopTree
+
+        src = "DIMENSION V(8)\nDO I = 1, 4\nPRINT *, V(I)\nENDDO\nEND\n"
+        tree = LoopTree(parse_source(src))
+        assert [r.name for r in tree.roots[0].direct_refs] == ["V"]
+
+
+class TestDataParsing:
+    def test_whole_array_fill(self):
+        p = parse_source("DIMENSION V(4)\nDATA V /1.0, 2.0, 3.0, 4.0/\nEND\n")
+        assert len(p.data) == 1
+        assert p.data[0].values == [1.0, 2.0, 3.0, 4.0]
+
+    def test_repeat_factor(self):
+        p = parse_source("DIMENSION V(6)\nDATA V /6*0.5/\nEND\n")
+        assert p.data[0].values == [0.5] * 6
+
+    def test_mixed_repeat_and_plain(self):
+        p = parse_source("DIMENSION V(4)\nDATA V /2*1.0, 3.5, -2/\nEND\n")
+        assert p.data[0].values == [1.0, 1.0, 3.5, -2]
+
+    def test_element_target(self):
+        p = parse_source("DIMENSION A(3, 3)\nDATA A(2, 2) /9.0/\nEND\n")
+        target = p.data[0].target
+        assert isinstance(target, ast.ArrayRef)
+        assert target.name == "A"
+
+    def test_multiple_groups(self):
+        p = parse_source(
+            "DIMENSION V(2), W(2)\nDATA V /2*1.0/, W /0.5, 0.25/\nEND\n"
+        )
+        assert len(p.data) == 2
+
+    def test_negative_repeat_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("DIMENSION V(2)\nDATA V /0*1.0, 1.0, 1.0/\nEND\n")
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("DIMENSION V(1)\nDATA V /X/\nEND\n")
+
+
+class TestDataSemantics:
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(SemanticError, match="values"):
+            SymbolTable.from_program(
+                parse_source("DIMENSION V(4)\nDATA V /1.0, 2.0/\nEND\n")
+            )
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            SymbolTable.from_program(parse_source("DATA Q /1.0/\nEND\n"))
+
+    def test_element_out_of_bounds_rejected(self):
+        with pytest.raises(SemanticError):
+            SymbolTable.from_program(
+                parse_source("DIMENSION V(2)\nDATA V(5) /1.0/\nEND\n")
+            )
+
+    def test_element_needs_single_value(self):
+        with pytest.raises(SemanticError, match="one value"):
+            SymbolTable.from_program(
+                parse_source("DIMENSION V(4)\nDATA V(1) /1.0, 2.0/\nEND\n")
+            )
+
+    def test_initialization_applied(self):
+        src = (
+            "DIMENSION V(3)\n"
+            "DATA V /1.0, 2.0, 3.0/\n"
+            "X = V(1) + V(2) + V(3)\n"
+            "END\n"
+        )
+        program = parse_source(src)
+        it = Interpreter(program)
+        it.run()
+        assert it.scalars["X"] == 6.0
+
+    def test_element_initialization_applied(self):
+        src = (
+            "DIMENSION A(2, 2)\n"
+            "DATA A(2, 1) /7.5/\n"
+            "X = A(2, 1)\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["X"] == 7.5
+
+    def test_data_emits_no_references(self):
+        src = "DIMENSION V(4)\nDATA V /4*1.0/\nX = 2\nEND\n"
+        trace = generate_trace(parse_source(src))
+        assert trace.length == 0
+
+    def test_column_major_whole_fill_order(self):
+        # Values fill in storage (column-major) order.
+        src = (
+            "DIMENSION A(2, 2)\n"
+            "DATA A /1.0, 2.0, 3.0, 4.0/\n"
+            "X = A(2, 1)\n"
+            "Y = A(1, 2)\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["X"] == 2.0
+        assert it.scalars["Y"] == 3.0
+
+    def test_unparse_data_roundtrip(self):
+        src = "DIMENSION V(3)\nDATA V /1.0, 2.0, 3.0/\nX = V(1)\nEND\n"
+        text = unparse_program(parse_source(src))
+        assert "DATA V /1.0, 2.0, 3.0/" in text
+        reparsed = parse_source(text)
+        assert reparsed.data[0].values == [1.0, 2.0, 3.0]

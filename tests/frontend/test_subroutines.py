@@ -1,0 +1,353 @@
+"""Tests for SUBROUTINE/CALL inline expansion."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError
+from repro.frontend.inline import InlineError
+from repro.frontend.parser import Parser, parse_source
+from repro.tracegen.interpreter import Interpreter, generate_trace
+
+SAXPY_STYLE = """
+PROGRAM DRIVER
+DIMENSION X(64), Y(64)
+DO 10 I = 1, 64
+  X(I) = FLOAT(I)
+  Y(I) = 1.0
+10 CONTINUE
+CALL SAXPY(2.0, X, Y)
+TOTAL = Y(1) + Y(64)
+END
+
+SUBROUTINE SAXPY(A, U, V)
+DIMENSION U(64), V(64)
+DO 20 I = 1, 64
+  V(I) = V(I) + A * U(I)
+20 CONTINUE
+RETURN
+END
+"""
+
+
+class TestParsing:
+    def test_units_parsed(self):
+        program, subs = Parser(SAXPY_STYLE).parse_units()
+        assert program.name == "DRIVER"
+        assert set(subs) == {"SAXPY"}
+        assert subs["SAXPY"].formals == ["A", "U", "V"]
+
+    def test_formal_arrays_recognized(self):
+        _, subs = Parser(SAXPY_STYLE).parse_units()
+        assert subs["SAXPY"].formal_array_names() == ["U", "V"]
+
+    def test_call_statement(self):
+        program, _ = Parser(SAXPY_STYLE).parse_units()
+        call = [s for s in program.body if isinstance(s, ast.CallStmt)][0]
+        assert call.name == "SAXPY"
+        assert len(call.args) == 3
+
+    def test_duplicate_subroutine_rejected(self):
+        src = SAXPY_STYLE + "\nSUBROUTINE SAXPY(A, U, V)\nDIMENSION U(64), V(64)\nEND\n"
+        with pytest.raises(ParseError, match="twice"):
+            parse_source(src)
+
+    def test_duplicate_formal_rejected(self):
+        src = "X = 1\nEND\nSUBROUTINE S(A, A)\nEND\n"
+        with pytest.raises(ParseError, match="duplicate formal"):
+            parse_source(src)
+
+    def test_parse_program_rejects_units(self):
+        with pytest.raises(ParseError, match="SUBROUTINE"):
+            Parser(SAXPY_STYLE).parse_program()
+
+
+class TestInlining:
+    def test_call_replaced(self):
+        program = parse_source(SAXPY_STYLE)
+        assert not any(
+            isinstance(s, ast.CallStmt) for s in program.walk_statements()
+        )
+
+    def test_numerics_correct(self):
+        it = Interpreter(parse_source(SAXPY_STYLE))
+        it.run()
+        # Y(i) = 1 + 2*i  ->  Y(1) + Y(64) = 3 + 129.
+        assert it.scalars["TOTAL"] == 132.0
+
+    def test_array_passed_by_reference(self):
+        it = Interpreter(parse_source(SAXPY_STYLE))
+        it.run()
+        assert float(it.arrays["Y"][0]) == 3.0
+
+    def test_references_traced_through_call(self):
+        trace = generate_trace(parse_source(SAXPY_STYLE))
+        # setup writes 128 + saxpy (read V, read U, write V) * 64 + 2 reads.
+        assert trace.length == 128 + 3 * 64 + 2
+
+    def test_loop_ids_unique_after_inlining(self):
+        src = SAXPY_STYLE.replace(
+            "CALL SAXPY(2.0, X, Y)",
+            "CALL SAXPY(2.0, X, Y)\nCALL SAXPY(3.0, X, Y)",
+        )
+        program = parse_source(src)
+        ids = [l.loop_id for l in program.loops()]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_labels_unique_after_double_inline(self):
+        src = SAXPY_STYLE.replace(
+            "CALL SAXPY(2.0, X, Y)",
+            "CALL SAXPY(2.0, X, Y)\nCALL SAXPY(3.0, X, Y)",
+        )
+        program = parse_source(src)
+        labels = [
+            s.end_label
+            for s in program.walk_statements()
+            if isinstance(s, ast.DoLoop) and s.end_label is not None
+        ]
+        assert len(labels) == len(set(labels))
+
+    def test_scalar_by_reference(self):
+        src = (
+            "N = 5\n"
+            "CALL BUMP(N)\n"
+            "END\n"
+            "SUBROUTINE BUMP(K)\n"
+            "K = K + 1\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["N"] == 6
+
+    def test_expression_argument_by_value(self):
+        src = (
+            "N = 5\n"
+            "CALL BUMP(N + 10)\n"
+            "M = N\n"
+            "END\n"
+            "SUBROUTINE BUMP(K)\n"
+            "K = K + 1\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["N"] == 5  # the write went to a temp
+
+    def test_locals_do_not_leak(self):
+        src = (
+            "T = 7\n"
+            "CALL WORK\n"
+            "END\n"
+            "SUBROUTINE WORK\n"
+            "T = 99\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["T"] == 7  # the subroutine's T is its own
+
+    def test_local_array_hoisted(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "V(1) = 2.0\n"
+            "CALL SQUARE(V)\n"
+            "X = V(1)\n"
+            "END\n"
+            "SUBROUTINE SQUARE(A)\n"
+            "DIMENSION A(64), TMP(64)\n"
+            "DO I = 1, 64\n"
+            "TMP(I) = A(I) * A(I)\n"
+            "ENDDO\n"
+            "DO I = 1, 64\n"
+            "A(I) = TMP(I)\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        program = parse_source(src)
+        assert len(program.arrays) == 2  # V plus the hoisted TMP
+        it = Interpreter(program)
+        it.run()
+        assert it.scalars["X"] == 4.0
+
+    def test_nested_calls(self):
+        src = (
+            "N = 1\n"
+            "CALL OUTER(N)\n"
+            "END\n"
+            "SUBROUTINE OUTER(K)\n"
+            "CALL INNER(K)\n"
+            "K = K * 2\n"
+            "END\n"
+            "SUBROUTINE INNER(J)\n"
+            "J = J + 10\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["N"] == 22
+
+    def test_subroutine_params_hoisted(self):
+        src = (
+            "DIMENSION V(8)\n"
+            "CALL FILL(V)\n"
+            "X = V(8)\n"
+            "END\n"
+            "SUBROUTINE FILL(A)\n"
+            "PARAMETER (C = 3)\n"
+            "DIMENSION A(8)\n"
+            "DO I = 1, 8\n"
+            "A(I) = FLOAT(C)\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["X"] == 3.0
+
+
+class TestInlineErrors:
+    def test_unknown_subroutine(self):
+        with pytest.raises(InlineError, match="unknown subroutine"):
+            parse_source("CALL NOPE(1)\nEND\n")
+
+    def test_arity_mismatch(self):
+        src = "CALL S(1, 2)\nEND\nSUBROUTINE S(A)\nX = A\nEND\n"
+        with pytest.raises(InlineError, match="arguments"):
+            parse_source(src)
+
+    def test_recursion_rejected(self):
+        src = (
+            "CALL S(1)\nEND\n"
+            "SUBROUTINE S(A)\nCALL S(A)\nEND\n"
+        )
+        with pytest.raises(InlineError, match="recursive"):
+            parse_source(src)
+
+    def test_mutual_recursion_rejected(self):
+        src = (
+            "CALL A(1)\nEND\n"
+            "SUBROUTINE A(X)\nCALL B(X)\nEND\n"
+            "SUBROUTINE B(X)\nCALL A(X)\nEND\n"
+        )
+        with pytest.raises(InlineError, match="recursive"):
+            parse_source(src)
+
+    def test_array_shape_mismatch(self):
+        src = (
+            "DIMENSION V(32)\n"
+            "CALL S(V)\nEND\n"
+            "SUBROUTINE S(A)\nDIMENSION A(64)\nA(1) = 0.0\nEND\n"
+        )
+        with pytest.raises(InlineError, match="does not match"):
+            parse_source(src)
+
+    def test_array_argument_must_be_name(self):
+        src = (
+            "DIMENSION V(8)\n"
+            "CALL S(V(1))\nEND\n"
+            "SUBROUTINE S(A)\nDIMENSION A(8)\nA(1) = 0.0\nEND\n"
+        )
+        with pytest.raises(InlineError, match="bare array name"):
+            parse_source(src)
+
+    def test_early_return_rejected(self):
+        src = (
+            "CALL S(1)\nEND\n"
+            "SUBROUTINE S(A)\n"
+            "IF (A > 0) THEN\nRETURN\nENDIF\n"
+            "X = A\nEND\n"
+        )
+        with pytest.raises(InlineError, match="RETURN"):
+            parse_source(src)
+
+    def test_return_in_main_rejected(self):
+        with pytest.raises(InlineError, match="outside"):
+            parse_source("CALL S\nRETURN\nEND\nSUBROUTINE S\nX = 1\nEND\n")
+
+    def test_logical_if_call_rejected(self):
+        src = (
+            "IF (1 < 2) CALL S\nEND\n"
+            "SUBROUTINE S\nX = 1\nEND\n"
+        )
+        with pytest.raises(InlineError, match="logical IF"):
+            parse_source(src)
+
+
+class TestInlineEquivalence:
+    """A program written with CALLs and its hand-inlined equivalent must
+    produce identical traces (the inliner is semantics-preserving)."""
+
+    CALLED = (
+        "DIMENSION V(128)\n"
+        "DO 10 I = 1, 128\n"
+        "V(I) = FLOAT(I)\n"
+        "10 CONTINUE\n"
+        "CALL SCALE(V)\n"
+        "CALL SCALE(V)\n"
+        "END\n"
+        "SUBROUTINE SCALE(A)\n"
+        "DIMENSION A(128)\n"
+        "DO 20 I = 1, 128\n"
+        "A(I) = A(I) * 0.5\n"
+        "20 CONTINUE\n"
+        "END\n"
+    )
+    FLAT = (
+        "DIMENSION V(128)\n"
+        "DO 10 I = 1, 128\n"
+        "V(I) = FLOAT(I)\n"
+        "10 CONTINUE\n"
+        "DO 20 I = 1, 128\n"
+        "V(I) = V(I) * 0.5\n"
+        "20 CONTINUE\n"
+        "DO 30 I = 1, 128\n"
+        "V(I) = V(I) * 0.5\n"
+        "30 CONTINUE\n"
+        "END\n"
+    )
+
+    def test_identical_traces(self):
+        a = generate_trace(parse_source(self.CALLED))
+        b = generate_trace(parse_source(self.FLAT))
+        assert a.length == b.length
+        assert (a.pages == b.pages).all()
+
+    def test_identical_values(self):
+        ia = Interpreter(parse_source(self.CALLED))
+        ia.run()
+        ib = Interpreter(parse_source(self.FLAT))
+        ib.run()
+        assert (ia.arrays["V"] == ib.arrays["V"]).all()
+
+    def test_identical_directive_structure(self):
+        from repro.directives import instrument_program
+
+        pa = parse_source(self.CALLED)
+        pb = parse_source(self.FLAT)
+        plan_a = instrument_program(pa)
+        plan_b = instrument_program(pb)
+        assert len(plan_a.allocates) == len(plan_b.allocates) == 3
+        sizes_a = sorted(
+            d.requests[-1].pages for d in plan_a.allocates.values()
+        )
+        sizes_b = sorted(
+            d.requests[-1].pages for d in plan_b.allocates.values()
+        )
+        assert sizes_a == sizes_b
+
+
+class TestAnalysisThroughCalls:
+    def test_locality_analysis_sees_inlined_loops(self):
+        from repro.analysis.locality import analyze_program
+
+        program = parse_source(SAXPY_STYLE)
+        analysis = analyze_program(program)
+        # Setup loop + inlined SAXPY loop.
+        assert len(list(analysis.tree.nodes())) == 2
+
+    def test_directives_inserted_in_inlined_code(self):
+        from repro.directives import instrument_program
+
+        program = parse_source(SAXPY_STYLE)
+        plan = instrument_program(program)
+        assert len(plan.allocates) == 2

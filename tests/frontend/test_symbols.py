@@ -1,0 +1,127 @@
+"""Unit tests for symbol resolution (array shapes, parameters, layout)."""
+
+import pytest
+
+from repro.frontend.errors import SemanticError
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import ArrayInfo, SymbolTable
+
+
+def table(src):
+    return SymbolTable.from_program(parse_source(src))
+
+
+class TestParameters:
+    def test_simple_parameter(self):
+        st = table("PARAMETER (N = 10)\nEND\n")
+        assert st.params["N"] == 10
+
+    def test_parameter_arithmetic(self):
+        st = table("PARAMETER (N = 10, M = N * 2 + 1)\nEND\n")
+        assert st.params["M"] == 21
+
+    def test_parameter_integer_division(self):
+        st = table("PARAMETER (N = 7 / 2)\nEND\n")
+        assert st.params["N"] == 3
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            table("PARAMETER (N = 1, N = 2)\nEND\n")
+
+    def test_non_constant_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            table("PARAMETER (N = X + 1)\nEND\n")
+
+
+class TestArrayShapes:
+    def test_vector_shape(self):
+        st = table("DIMENSION V(100)\nEND\n")
+        info = st.arrays["V"]
+        assert info.dims == (100,)
+        assert info.rows == 100
+        assert info.columns == 1
+        assert info.element_count == 100
+
+    def test_matrix_shape(self):
+        st = table("DIMENSION A(10, 20)\nEND\n")
+        info = st.arrays["A"]
+        assert info.dims == (10, 20)
+        assert info.element_count == 200
+
+    def test_parameterized_bounds(self):
+        st = table("PARAMETER (N = 8)\nDIMENSION A(N, N + 2)\nEND\n")
+        assert st.arrays["A"].dims == (8, 10)
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(SemanticError):
+            table("DIMENSION A(0)\nEND\n")
+
+    def test_real_bound_rejected(self):
+        with pytest.raises(SemanticError):
+            table("DIMENSION A(2.5)\nEND\n")
+
+    def test_total_virtual_elements(self):
+        st = table("DIMENSION A(10, 10), V(50)\nEND\n")
+        assert st.total_virtual_elements == 150
+
+    def test_array_order_is_declaration_order(self):
+        st = table("DIMENSION B(2), A(3), C(4)\nEND\n")
+        assert st.array_order() == ["B", "A", "C"]
+
+
+class TestLinearIndex:
+    def test_vector_indexing_is_zero_based(self):
+        info = ArrayInfo(name="V", dims=(10,))
+        assert info.linear_index((1,)) == 0
+        assert info.linear_index((10,)) == 9
+
+    def test_matrix_column_major(self):
+        # Column-major: (i, j) -> (j-1)*M + (i-1).  The paper's arrays are
+        # "stored in a column major order scheme".
+        info = ArrayInfo(name="A", dims=(3, 4))
+        assert info.linear_index((1, 1)) == 0
+        assert info.linear_index((3, 1)) == 2
+        assert info.linear_index((1, 2)) == 3
+        assert info.linear_index((3, 4)) == 11
+
+    def test_consecutive_column_elements_adjacent(self):
+        info = ArrayInfo(name="A", dims=(5, 5))
+        a = info.linear_index((2, 3))
+        b = info.linear_index((3, 3))
+        assert b == a + 1
+
+    def test_consecutive_row_elements_stride_m(self):
+        info = ArrayInfo(name="A", dims=(5, 5))
+        a = info.linear_index((2, 3))
+        b = info.linear_index((2, 4))
+        assert b == a + 5
+
+    def test_out_of_bounds_row(self):
+        info = ArrayInfo(name="A", dims=(3, 3))
+        with pytest.raises(SemanticError):
+            info.linear_index((4, 1))
+
+    def test_out_of_bounds_column(self):
+        info = ArrayInfo(name="A", dims=(3, 3))
+        with pytest.raises(SemanticError):
+            info.linear_index((1, 4))
+
+    def test_zero_index_rejected(self):
+        info = ArrayInfo(name="V", dims=(3,))
+        with pytest.raises(SemanticError):
+            info.linear_index((0,))
+
+    def test_rank_mismatch_rejected(self):
+        info = ArrayInfo(name="A", dims=(3, 3))
+        with pytest.raises(SemanticError):
+            info.linear_index((1,))
+
+
+class TestReferenceValidation:
+    def test_rank_mismatch_in_program_rejected(self):
+        with pytest.raises(SemanticError):
+            table("DIMENSION A(3, 3)\nX = A(1)\nEND\n")
+
+    def test_valid_program_accepted(self):
+        st = table("DIMENSION A(3, 3)\nX = A(1, 2)\nEND\n")
+        assert "A" in st.arrays

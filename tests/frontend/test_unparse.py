@@ -1,0 +1,98 @@
+"""Round-trip tests for the unparser."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.frontend.unparse import unparse_expr, unparse_program
+
+
+def roundtrip(src):
+    first = parse_source(src)
+    text = unparse_program(first)
+    second = parse_source(text)
+    assert unparse_program(second) == text  # idempotent after one pass
+    return first, second, text
+
+
+class TestRoundTrip:
+    def test_simple_program(self):
+        _, second, _ = roundtrip("X = 1 + 2 * 3\nEND\n")
+        assert len(second.body) == 1
+
+    def test_declarations(self):
+        _, _, text = roundtrip(
+            "PARAMETER (N = 4)\nDIMENSION A(N, N), V(16)\nX = A(1, 1)\nEND\n"
+        )
+        assert "PARAMETER (N = 4)" in text
+        assert "DIMENSION A(N, N), V(16)" in text
+
+    def test_labeled_loop(self):
+        _, second, text = roundtrip(
+            "DO 10 I = 1, 4\nX = I\n10 CONTINUE\nEND\n"
+        )
+        assert "DO 10 I = 1, 4" in text
+        assert second.body[0].end_label == 10
+
+    def test_block_loop_with_step(self):
+        _, _, text = roundtrip("DO I = 1, 9, 2\nX = I\nENDDO\nEND\n")
+        assert "DO I = 1, 9, 2" in text
+        assert "ENDDO" in text
+
+    def test_if_block(self):
+        src = (
+            "IF (X < 1) THEN\nY = 1\nELSEIF (X < 2) THEN\nY = 2\n"
+            "ELSE\nY = 3\nENDIF\nEND\n"
+        )
+        _, second, _ = roundtrip(src)
+        assert len(second.body[0].branches) == 3
+
+    def test_logical_if(self):
+        _, _, text = roundtrip("IF (I == 3) X = 1\nEND\n")
+        assert "IF (I == 3) X = 1" in text
+
+    def test_nested_structure_preserved(self):
+        src = (
+            "DIMENSION A(4, 4)\n"
+            "DO I = 1, 4\nDO J = 1, 4\nA(I, J) = I + J\nENDDO\nENDDO\nEND\n"
+        )
+        first, second, _ = roundtrip(src)
+        assert len(list(first.loops())) == len(list(second.loops())) == 2
+
+
+class TestExpressionPrinting:
+    def expr_text(self, text):
+        program = parse_source(f"X = {text}\nEND\n")
+        return unparse_expr(program.body[0].expr)
+
+    def test_precedence_no_spurious_parens(self):
+        assert self.expr_text("1 + 2 * 3") == "1 + 2 * 3"
+
+    def test_parens_preserved_semantically(self):
+        assert self.expr_text("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_unary_minus(self):
+        assert self.expr_text("-X") == "-X"
+
+    def test_power_right_assoc(self):
+        assert self.expr_text("2 ** 3 ** 2") == "2**3**2"
+
+    def test_left_nested_power_parenthesized(self):
+        # (2**3)**2 must not print as 2**3**2 (which would re-parse
+        # right-associatively).
+        text = self.expr_text("(2 ** 3) ** 2")
+        reparsed = parse_source(f"X = {text}\nEND\n").body[0].expr
+        assert reparsed.left.op == "**"
+
+    def test_subtraction_grouping(self):
+        # 1 - (2 - 3) must keep its parens.
+        text = self.expr_text("1 - (2 - 3)")
+        assert text == "1 - (2 - 3)"
+
+    def test_call(self):
+        assert self.expr_text("SQRT(ABS(X))") == "SQRT(ABS(X))"
+
+    def test_real_literal(self):
+        assert self.expr_text("1.5") == "1.5"
+
+    def test_logical(self):
+        assert self.expr_text("I < 2 .AND. J > 3") == "I < 2 .AND. J > 3"

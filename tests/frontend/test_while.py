@@ -1,0 +1,186 @@
+"""Tests for DO WHILE loops across the whole pipeline."""
+
+import pytest
+
+from repro.analysis.locality import analyze_program
+from repro.analysis.looptree import LoopTree
+from repro.directives import instrument_program, render_instrumented
+from repro.frontend import ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse_source
+from repro.frontend.unparse import unparse_program
+from repro.tracegen.interpreter import (
+    ExecutionLimitError,
+    Interpreter,
+    generate_trace,
+)
+
+
+class TestParsing:
+    def test_basic(self):
+        p = parse_source("X = 0\nDO WHILE (X < 3)\nX = X + 1\nENDDO\nEND\n")
+        loop = p.body[1]
+        assert isinstance(loop, ast.WhileLoop)
+        assert len(loop.body) == 1
+
+    def test_loop_ids_shared_with_do(self):
+        src = (
+            "X = 0\n"
+            "DO I = 1, 2\nY = I\nENDDO\n"
+            "DO WHILE (X < 1)\nX = X + 1\nENDDO\n"
+            "END\n"
+        )
+        p = parse_source(src)
+        do_loop = p.body[1]
+        while_loop = p.body[2]
+        assert do_loop.loop_id == 0
+        assert while_loop.loop_id == 1
+
+    def test_needs_enddo(self):
+        with pytest.raises(ParseError):
+            parse_source("DO WHILE (X < 3)\nX = X + 1\nEND\n")
+
+    def test_logical_if_cannot_guard_while(self):
+        with pytest.raises(ParseError):
+            parse_source("IF (X < 1) DO WHILE (X < 3)\nENDDO\nEND\n")
+
+    def test_nested_in_do(self):
+        src = (
+            "DO I = 1, 3\n"
+            "X = 0.0\n"
+            "DO WHILE (X < 1.0)\nX = X + 0.5\nENDDO\n"
+            "ENDDO\nEND\n"
+        )
+        p = parse_source(src)
+        outer = p.body[0]
+        assert isinstance(outer.body[1], ast.WhileLoop)
+
+    def test_unparse_roundtrip(self):
+        src = "X = 0\nDO WHILE (X < 3)\nX = X + 1\nENDDO\nEND\n"
+        text = unparse_program(parse_source(src))
+        assert "DO WHILE (X < 3)" in text
+        reparsed = parse_source(text)
+        assert isinstance(reparsed.body[1], ast.WhileLoop)
+
+
+class TestInterpretation:
+    def test_counts_correctly(self):
+        it = Interpreter(
+            parse_source("X = 0\nDO WHILE (X < 5)\nX = X + 1\nENDDO\nEND\n")
+        )
+        it.run()
+        assert it.scalars["X"] == 5
+
+    def test_never_entered(self):
+        it = Interpreter(
+            parse_source("X = 9\nN = 0\nDO WHILE (X < 5)\nN = 1\nENDDO\nEND\n")
+        )
+        it.run()
+        assert it.scalars["N"] == 0
+
+    def test_exit_leaves_while(self):
+        src = (
+            "X = 0\n"
+            "DO WHILE (X < 100)\n"
+            "X = X + 1\n"
+            "IF (X == 7) EXIT\n"
+            "ENDDO\nEND\n"
+        )
+        it = Interpreter(parse_source(src))
+        it.run()
+        assert it.scalars["X"] == 7
+
+    def test_infinite_loop_guarded(self):
+        src = "X = 0\nDO WHILE (X < 1)\nY = 2\nENDDO\nEND\n"
+        with pytest.raises(ExecutionLimitError):
+            generate_trace(parse_source(src), max_operations=5000)
+
+    def test_array_refs_in_condition_traced(self):
+        src = (
+            "DIMENSION V(8)\n"
+            "V(1) = 3.0\n"
+            "DO WHILE (V(1) > 0.0)\n"
+            "V(1) = V(1) - 1.0\n"
+            "ENDDO\nEND\n"
+        )
+        trace = generate_trace(parse_source(src))
+        # write + 4 condition reads + 3 iterations x (read + write).
+        assert trace.length == 1 + 4 + 6
+
+    def test_convergence_kernel(self):
+        # Jacobi iteration run by a true convergence test.
+        src = (
+            "DIMENSION V(16)\n"
+            "DO 10 I = 1, 16\n"
+            "V(I) = FLOAT(I * I)\n"  # non-harmonic: takes many sweeps
+            "10 CONTINUE\n"
+            "ERR = 1.0\n"
+            "DO WHILE (ERR > 0.01)\n"
+            "ERR = 0.0\n"
+            "DO 20 I = 2, 15\n"
+            "T = 0.5 * (V(I-1) + V(I+1))\n"
+            "ERR = ERR + ABS(T - V(I))\n"
+            "V(I) = T\n"
+            "20 CONTINUE\n"
+            "ENDDO\nEND\n"
+        )
+        trace = generate_trace(parse_source(src))
+        assert trace.length > 100
+        assert not trace.truncated
+
+
+class TestAnalysisIntegration:
+    SRC = (
+        "DIMENSION V(640)\n"
+        "X = 1.0\n"
+        "DO WHILE (X > 0.5)\n"
+        "S = 0.0\n"
+        "DO 10 I = 1, 640\n"
+        "S = S + V(I)\n"
+        "10 CONTINUE\n"
+        "X = X - 0.2\n"
+        "ENDDO\nEND\n"
+    )
+
+    def test_looptree_includes_while(self):
+        tree = LoopTree(parse_source(self.SRC))
+        root = tree.roots[0]
+        assert root.is_while
+        assert root.var == ""
+        assert len(root.children) == 1
+
+    def test_while_gets_priority_and_locality(self):
+        analysis = analyze_program(parse_source(self.SRC))
+        root = analysis.tree.roots[0]
+        report = analysis.report_for(root.loop_id)
+        assert report.priority_index == 2
+        # V is re-scanned every iteration of the WHILE: full AVS.
+        assert report.virtual_size == 10
+
+    def test_while_cond_refs_at_own_level(self):
+        src = (
+            "DIMENSION W(64)\n"
+            "W(1) = 5.0\n"
+            "DO WHILE (W(1) > 0.0)\n"
+            "W(1) = W(1) - 1.0\n"
+            "ENDDO\nEND\n"
+        )
+        tree = LoopTree(parse_source(src))
+        assert [r.name for r in tree.roots[0].direct_refs].count("W") >= 2
+
+    def test_directives_inserted_before_while(self):
+        program = parse_source(self.SRC)
+        plan = instrument_program(program)
+        tree = LoopTree(program)
+        assert tree.roots[0].loop_id in plan.allocates
+        text = render_instrumented(program, plan)
+        assert "DO WHILE" in text
+        assert text.index("ALLOCATE") < text.index("DO WHILE")
+
+    def test_while_trace_with_directives(self):
+        program = parse_source(self.SRC)
+        plan = instrument_program(program)
+        trace = generate_trace(program, plan=plan)
+        sites = {d.site for d in trace.directives}
+        tree = LoopTree(program)
+        assert tree.roots[0].loop_id in sites

@@ -1,0 +1,97 @@
+"""Hypothesis properties of the locality calculus itself."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.locality import SizingStrategy, analyze_program
+from repro.analysis.parameters import PageConfig
+from repro.frontend.parser import parse_source
+
+
+@st.composite
+def nest_programs(draw):
+    """Random 1-3 deep loop nests over one matrix and one vector, with a
+    random mix of row-wise, column-wise, and invariant references."""
+    depth = draw(st.integers(1, 3))
+    loop_vars = ["I", "J", "K"][:depth]
+    lines = ["PROGRAM NESTP", "DIMENSION A(64, 8), V(256)"]
+    for level, var in enumerate(loop_vars):
+        lines.append("  " * level + f"DO {var} = 1, 8")
+    body_indent = "  " * depth
+    n_refs = draw(st.integers(1, 3))
+    for _ in range(n_refs):
+        var = draw(st.sampled_from(loop_vars))
+        shape = draw(st.integers(0, 3))
+        if shape == 0:
+            lines.append(f"{body_indent}X = A({var}, 3)")  # column-walk
+        elif shape == 1:
+            lines.append(f"{body_indent}X = A(3, {var})")  # row-walk
+        elif shape == 2:
+            lines.append(f"{body_indent}X = V({var} * 8)")
+        else:
+            lines.append(f"{body_indent}X = V(17)")  # invariant
+    for level in reversed(range(depth)):
+        lines.append("  " * level + "ENDDO")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+class TestCalculusInvariants:
+    @given(source=nest_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_never_smaller(self, source):
+        program_a = parse_source(source)
+        program_c = parse_source(source)
+        active = analyze_program(program_a, strategy=SizingStrategy.ACTIVE_PAGE)
+        conservative = analyze_program(
+            program_c, strategy=SizingStrategy.CONSERVATIVE
+        )
+        for loop_id, report in active.reports.items():
+            assert (
+                conservative.reports[loop_id].virtual_size
+                >= report.virtual_size
+            )
+
+    @given(source=nest_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_outer_directive_covers_inner(self, source):
+        # After Algorithm 1's raise, every directive's request sizes are
+        # non-increasing from outer to inner.
+        from repro.directives import instrument_program
+
+        plan = instrument_program(parse_source(source))
+        for directive in plan.allocates.values():
+            sizes = [r.pages for r in directive.requests]
+            assert sizes == sorted(sizes, reverse=True)
+
+    @given(source=nest_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_smaller_pages_never_shrink_page_counts(self, source):
+        # Halving the page size can only increase (or keep) any locality
+        # size measured in pages.
+        big = analyze_program(
+            parse_source(source), page_config=PageConfig(page_bytes=256)
+        )
+        small = analyze_program(
+            parse_source(source), page_config=PageConfig(page_bytes=128)
+        )
+        for loop_id, report in big.reports.items():
+            assert small.reports[loop_id].virtual_size >= report.virtual_size
+
+    @given(source=nest_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_covers_trace_peak_need(self, source):
+        # Granting the outermost request must eliminate capacity misses:
+        # CD with the full directive set takes exactly cold faults when
+        # the top-level request covers the program's touched pages.
+        from repro.directives import instrument_program
+        from repro.tracegen.interpreter import generate_trace
+        from repro.vm.policies import CDPolicy
+        from repro.vm.simulator import simulate
+
+        program = parse_source(source)
+        plan = instrument_program(program)
+        trace = generate_trace(program, plan=plan)
+        top = plan.allocates[0].requests[0].pages
+        if top >= trace.total_pages:
+            result = simulate(trace, CDPolicy())
+            assert result.page_faults == trace.distinct_pages

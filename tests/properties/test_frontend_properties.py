@@ -1,0 +1,173 @@
+"""Hypothesis property tests on the frontend and analysis pipeline.
+
+A grammar-directed generator produces random (valid) mini-FORTRAN
+programs; the properties pin the pipeline end to end:
+
+* unparse∘parse is a fixpoint (round-trip stability);
+* priority indexes: innermost loops get 1, parents exceed children,
+  nothing exceeds Δ;
+* ALLOCATE directives keep the paper's invariants (strictly decreasing
+  PI, non-increasing X) on every generated program;
+* the interpreter is deterministic and in-bounds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.locality import analyze_program
+from repro.analysis.priority import assign_priority_indexes
+from repro.directives import instrument_program
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import SymbolTable
+from repro.frontend.unparse import unparse_program
+from repro.tracegen.interpreter import generate_trace
+
+
+@st.composite
+def mini_programs(draw):
+    """A random, always-valid mini-FORTRAN program.
+
+    Arrays: V (vector, 128), A and B (64x4 matrices).  Loops nest up to
+    three deep with bounds small enough to keep traces tiny; statements
+    reference arrays with loop variables from the enclosing nest, biased
+    to stay in bounds by construction (all loops run 1..4, all
+    subscripts are plain variables or +1 offsets within bounds).
+    """
+    lines = ["PROGRAM RAND", "DIMENSION V(128), A(64, 4), B(64, 4)"]
+    loop_vars = ("I", "J", "K")
+
+    def emit_block(depth, indent, available_vars):
+        n_stmts = draw(st.integers(1, 3))
+        for _ in range(n_stmts):
+            make_loop = depth < 3 and draw(st.booleans())
+            if make_loop:
+                var = loop_vars[depth]
+                bound = draw(st.integers(2, 4))
+                lines.append(f"{indent}DO {var} = 1, {bound}")
+                emit_block(depth + 1, indent + "  ", available_vars + [var])
+                lines.append(f"{indent}ENDDO")
+            else:
+                lines.append(indent + draw(_statement(available_vars)))
+
+    def _statement(available_vars):
+        refs = []
+        if available_vars:
+            v = st.sampled_from(available_vars)
+            refs.append(v.map(lambda x: f"V({x})"))
+            refs.append(v.map(lambda x: f"V({x} + 1)"))
+            refs.append(
+                st.tuples(v, st.integers(1, 4)).map(
+                    lambda t: f"A({t[0]}, {t[1]})"
+                )
+            )
+            refs.append(
+                st.tuples(st.integers(1, 60), v).map(
+                    lambda t: f"B({t[0]}, MOD({t[1]}, 4) + 1)"
+                )
+            )
+        refs.append(st.just("1.5"))
+        expr = st.sampled_from(["X", "Y"])
+        rhs = draw(st.one_of(refs))
+        lhs = draw(
+            st.one_of(
+                [st.just(draw(expr))]
+                + ([st.sampled_from(available_vars).map(lambda x: f"V({x})")]
+                   if available_vars else [])
+            )
+        )
+        return st.just(f"{lhs} = {rhs} + 0.5")
+
+    emit_block(0, "", [])
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+class TestRoundTrip:
+    @given(source=mini_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_unparse_parse_fixpoint(self, source):
+        program = parse_source(source)
+        once = unparse_program(program)
+        twice = unparse_program(parse_source(once))
+        assert once == twice
+
+    @given(source=mini_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_structure_preserved(self, source):
+        program = parse_source(source)
+        reparsed = parse_source(unparse_program(program))
+        assert len(list(program.loops())) == len(list(reparsed.loops()))
+
+
+class TestPriorityInvariants:
+    @given(source=mini_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_procedure1_invariants(self, source):
+        program = parse_source(source)
+        analysis = analyze_program(program)
+        pi = assign_priority_indexes(analysis.tree)
+        delta = analysis.tree.max_depth
+        for node in analysis.tree.nodes():
+            assert 1 <= pi[node.loop_id] <= max(delta, 1)
+            if node.is_innermost:
+                assert pi[node.loop_id] == 1
+            for child in node.children:
+                assert pi[node.loop_id] > pi[child.loop_id]
+
+
+class TestDirectiveInvariants:
+    @given(source=mini_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_allocate_invariants(self, source):
+        program = parse_source(source)
+        plan = instrument_program(program)
+        tree = analyze_program(program).tree
+        for loop_id, directive in plan.allocates.items():
+            pis = [r.priority_index for r in directive.requests]
+            sizes = [r.pages for r in directive.requests]
+            assert pis == sorted(pis, reverse=True)
+            assert all(a > b for a, b in zip(pis, pis[1:]))
+            assert sizes == sorted(sizes, reverse=True)
+            # One request per enclosing loop level.
+            node = tree.by_id[loop_id]
+            assert len(directive.requests) == node.level
+
+    @given(source=mini_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_lock_pj_at_least_two(self, source):
+        program = parse_source(source)
+        plan = instrument_program(program)
+        for lock in plan.locks_before.values():
+            assert lock.priority_index >= 2
+
+
+class TestInterpreterInvariants:
+    @given(source=mini_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, source):
+        program = parse_source(source)
+        a = generate_trace(program)
+        b = generate_trace(program)
+        assert a.length == b.length
+        assert (a.pages == b.pages).all()
+
+    @given(source=mini_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_pages_in_bounds(self, source):
+        program = parse_source(source)
+        trace = generate_trace(program)
+        if trace.length:
+            assert int(trace.pages.min()) >= 0
+            assert int(trace.pages.max()) < trace.total_pages
+
+    @given(source=mini_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_locality_sizes_bounded(self, source):
+        program = parse_source(source)
+        analysis = analyze_program(program)
+        symbols = SymbolTable.from_program(program)
+        total = sum(
+            analysis.page_config.array_virtual_size(info)
+            for info in symbols.arrays.values()
+        )
+        for report in analysis.reports.values():
+            assert 1 <= report.virtual_size <= max(total, 1)

@@ -1,0 +1,91 @@
+"""Hypothesis property test: inline expansion preserves semantics.
+
+For randomly generated loop bodies over a shared array, the program
+``setup; CALL S(V); CALL S(V)`` and its hand-flattened equivalent must
+produce identical page traces and identical final array contents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_source
+from repro.tracegen.interpreter import Interpreter, generate_trace
+
+
+@st.composite
+def loop_bodies(draw):
+    """A random single-loop body operating on formal array ``A(128)``.
+
+    Statements use the loop variable I with safe offsets, plus scalar
+    temporaries, so any draw is a valid, in-bounds program.
+    """
+    n_stmts = draw(st.integers(1, 4))
+    lines = []
+    for _ in range(n_stmts):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            c = draw(st.floats(0.1, 2.0).map(lambda v: round(v, 3)))
+            lines.append(f"A(I) = A(I) * {c}")
+        elif kind == 1:
+            lines.append("T = A(I) + 1.0")
+            lines.append("A(I) = T * 0.5")
+        elif kind == 2:
+            lines.append("IF (I > 1) A(I) = A(I) + A(I-1) * 0.25")
+        else:
+            lines.append("IF (A(I) > 10.0) A(I) = 10.0")
+    return lines
+
+
+def _sources(body_lines):
+    body = "\n".join(body_lines)
+    called = (
+        "DIMENSION V(128)\n"
+        "DO 10 I = 1, 128\n"
+        "V(I) = FLOAT(I) * 0.1\n"
+        "10 CONTINUE\n"
+        "CALL S(V)\n"
+        "CALL S(V)\n"
+        "END\n"
+        "SUBROUTINE S(A)\n"
+        "DIMENSION A(128)\n"
+        "DO 20 I = 1, 128\n"
+        f"{body}\n"
+        "20 CONTINUE\n"
+        "RETURN\n"
+        "END\n"
+    )
+    flat_body = body.replace("A(", "V(").replace("V(I) = T", "V(I) = T")
+    flat = (
+        "DIMENSION V(128)\n"
+        "DO 10 I = 1, 128\n"
+        "V(I) = FLOAT(I) * 0.1\n"
+        "10 CONTINUE\n"
+        "DO 20 I = 1, 128\n"
+        f"{flat_body}\n"
+        "20 CONTINUE\n"
+        "DO 30 I = 1, 128\n"
+        f"{flat_body}\n"
+        "30 CONTINUE\n"
+        "END\n"
+    )
+    return called, flat
+
+
+class TestInlinePreservesSemantics:
+    @given(body=loop_bodies())
+    @settings(max_examples=30, deadline=None)
+    def test_traces_identical(self, body):
+        called, flat = _sources(body)
+        a = generate_trace(parse_source(called))
+        b = generate_trace(parse_source(flat))
+        assert a.length == b.length
+        assert (a.pages == b.pages).all()
+
+    @given(body=loop_bodies())
+    @settings(max_examples=30, deadline=None)
+    def test_values_identical(self, body):
+        called, flat = _sources(body)
+        ia = Interpreter(parse_source(called))
+        ia.run()
+        ib = Interpreter(parse_source(flat))
+        ib.run()
+        assert (ia.arrays["V"] == ib.arrays["V"]).all()

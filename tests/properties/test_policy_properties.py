@@ -1,0 +1,192 @@
+"""Hypothesis property tests on the VM policies and analyzers.
+
+These pin down the classical theory the simulator must satisfy:
+
+* LRU is a stack algorithm — faults are monotone non-increasing in the
+  allocation (no Belady anomaly), and the one-pass stack analyzer agrees
+  exactly with the event simulator;
+* OPT is optimal — never more faults than LRU or FIFO at equal frames;
+* WS fault counts are monotone in τ, mean WS size is monotone in τ, and
+  the gap analyzer agrees exactly with the event simulator;
+* every policy's resident set respects its bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tracegen.events import ReferenceTrace
+from repro.vm.analyzers import LRUSweep, WSSweep
+from repro.vm.policies import (
+    CDConfig,
+    CDPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    OPTPolicy,
+    WorkingSetPolicy,
+)
+from repro.vm.simulator import simulate
+
+# Reference strings over a small page universe, with enough length to
+# exercise evictions and window expiry.
+pages_strategy = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=1, max_size=300
+)
+
+
+def trace_of(pages):
+    return ReferenceTrace(
+        program_name="PROP",
+        pages=np.asarray(pages, dtype=np.int32),
+        total_pages=max(pages) + 1,
+    )
+
+
+class TestLRUProperties:
+    @given(pages=pages_strategy, frames=st.integers(1, 14))
+    @settings(max_examples=60, deadline=None)
+    def test_analyzer_matches_simulator(self, pages, frames):
+        trace = trace_of(pages)
+        sweep = LRUSweep(trace)
+        exact = simulate(trace, LRUPolicy(frames=frames))
+        assert sweep.faults(frames) == exact.page_faults
+        assert abs(sweep.mem(frames) - exact.mem_average) < 1e-9
+        assert abs(sweep.space_time(frames) - exact.space_time) < 1e-6
+
+    @given(pages=pages_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_inclusion_property(self, pages):
+        # Stack algorithm: more frames never fault more.
+        sweep = LRUSweep(trace_of(pages))
+        faults = [sweep.faults(m) for m in range(1, 15)]
+        assert faults == sorted(faults, reverse=True)
+
+    @given(pages=pages_strategy, frames=st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_full_allocation_only_cold_faults(self, pages, frames):
+        trace = trace_of(pages)
+        sweep = LRUSweep(trace)
+        distinct = len(set(pages))
+        assert sweep.faults(max(distinct, 1)) == distinct
+
+    @given(pages=pages_strategy, frames=st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_resident_bound(self, pages, frames):
+        policy = LRUPolicy(frames=frames)
+        simulate(trace_of(pages), policy)
+        assert policy.resident_size <= frames
+
+
+class TestOPTProperties:
+    @given(pages=pages_strategy, frames=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_opt_never_worse_than_lru(self, pages, frames):
+        trace = trace_of(pages)
+        opt = simulate(trace, OPTPolicy(frames=frames))
+        lru = simulate(trace, LRUPolicy(frames=frames))
+        assert opt.page_faults <= lru.page_faults
+
+    @given(pages=pages_strategy, frames=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_opt_never_worse_than_fifo(self, pages, frames):
+        trace = trace_of(pages)
+        opt = simulate(trace, OPTPolicy(frames=frames))
+        fifo = simulate(trace, FIFOPolicy(frames=frames))
+        assert opt.page_faults <= fifo.page_faults
+
+    @given(pages=pages_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_opt_lower_bounded_by_cold_faults(self, pages):
+        trace = trace_of(pages)
+        opt = simulate(trace, OPTPolicy(frames=14))
+        assert opt.page_faults == len(set(pages))
+
+
+class TestWSProperties:
+    @given(pages=pages_strategy, tau=st.integers(1, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_analyzer_matches_simulator(self, pages, tau):
+        trace = trace_of(pages)
+        sweep = WSSweep(trace)
+        exact = simulate(trace, WorkingSetPolicy(tau=tau))
+        assert sweep.faults(tau) == exact.page_faults
+        assert abs(sweep.mem(tau) - exact.mem_average) < 1e-9
+        assert abs(sweep.space_time(tau) - exact.space_time) < 1e-6
+
+    @given(pages=pages_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_faults_monotone_in_tau(self, pages):
+        sweep = WSSweep(trace_of(pages))
+        faults = [sweep.faults(t) for t in (1, 2, 4, 8, 16, 64, 256)]
+        assert faults == sorted(faults, reverse=True)
+
+    @given(pages=pages_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_ws_size_monotone_in_tau(self, pages):
+        sweep = WSSweep(trace_of(pages))
+        sizes = [sweep.mem(t) for t in (1, 2, 4, 8, 16, 64, 256)]
+        assert all(a <= b + 1e-12 for a, b in zip(sizes, sizes[1:]))
+
+    @given(pages=pages_strategy, tau=st.integers(1, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_ws_size_bounded_by_tau_and_universe(self, pages, tau):
+        policy = WorkingSetPolicy(tau=tau)
+        simulate(trace_of(pages), policy)
+        assert policy.resident_size <= min(tau, len(set(pages)))
+
+
+class TestCDProperties:
+    @given(
+        pages=pages_strategy,
+        target=st.integers(1, 10),
+        limit=st.one_of(st.none(), st.integers(1, 10)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resident_respects_limit(self, pages, target, limit):
+        from repro.directives.model import AllocateRequest
+        from repro.tracegen.events import DirectiveEvent, DirectiveKind
+
+        trace = ReferenceTrace(
+            program_name="PROP",
+            pages=np.asarray(pages, dtype=np.int32),
+            total_pages=max(pages) + 1,
+            directives=[
+                DirectiveEvent(
+                    position=0,
+                    kind=DirectiveKind.ALLOCATE,
+                    site=0,
+                    requests=(AllocateRequest(1, target),),
+                )
+            ],
+        )
+        policy = CDPolicy(CDConfig(memory_limit=limit))
+        simulate(trace, policy)
+        # Unlocked residency never exceeds the target; total residency
+        # never exceeds the physical limit (no locks in this test).
+        assert policy.resident_size <= max(
+            policy.allocation_target, 1
+        ), "CD exceeded its allocation"
+        if limit is not None:
+            assert policy.resident_size <= limit
+
+    @given(pages=pages_strategy, target=st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_cd_with_big_target_behaves_like_lru(self, pages, target):
+        from repro.directives.model import AllocateRequest
+        from repro.tracegen.events import DirectiveEvent, DirectiveKind
+
+        trace = ReferenceTrace(
+            program_name="PROP",
+            pages=np.asarray(pages, dtype=np.int32),
+            total_pages=max(pages) + 1,
+            directives=[
+                DirectiveEvent(
+                    position=0,
+                    kind=DirectiveKind.ALLOCATE,
+                    site=0,
+                    requests=(AllocateRequest(1, target),),
+                )
+            ],
+        )
+        cd = simulate(trace, CDPolicy())
+        lru = simulate(trace.without_directives(), LRUPolicy(frames=target))
+        assert cd.page_faults == lru.page_faults

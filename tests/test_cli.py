@@ -1,0 +1,94 @@
+"""CLI smoke tests (exercising the same paths a user would)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_nine(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MAIN", "TQL", "HWSCRT"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_workload(self, capsys):
+        assert main(["analyze", "TQL"]) == 0
+        out = capsys.readouterr().out
+        assert "PI=" in out and "Λ=" in out
+
+    def test_verbose_shows_contributions(self, capsys):
+        assert main(["analyze", "FDJAC", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "FJAC" in out
+
+    def test_source_file(self, tmp_path, capsys):
+        f = tmp_path / "prog.f"
+        f.write_text("DIMENSION V(64)\nDO I = 1, 8\nX = V(I)\nENDDO\nEND\n")
+        assert main(["analyze", str(f)]) == 0
+        assert "Δ = 1" in capsys.readouterr().out
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "NO_SUCH_THING"])
+
+    def test_bad_source_reports_error(self, tmp_path, capsys):
+        f = tmp_path / "bad.f"
+        f.write_text("DO I = 1\nEND\n")
+        assert main(["analyze", str(f)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInstrument:
+    def test_directives_shown(self, capsys):
+        assert main(["instrument", "HWSCRT"]) == 0
+        out = capsys.readouterr().out
+        assert "ALLOCATE" in out
+
+    def test_no_locks(self, capsys):
+        assert main(["instrument", "TQL", "--no-locks"]) == 0
+        out = capsys.readouterr().out
+        assert "LOCK" not in out
+
+
+class TestTrace:
+    def test_summary(self, capsys):
+        assert main(["trace", "INIT"]) == 0
+        out = capsys.readouterr().out
+        assert "references" in out
+        assert "pages" in out
+
+
+class TestSimulate:
+    def test_cd_default(self, capsys):
+        assert main(["simulate", "TQL", "--pi-cap", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CD" in out and "PF=" in out
+
+    def test_lru(self, capsys):
+        assert main(["simulate", "TQL", "--policy", "LRU", "--frames", "4"]) == 0
+        assert "LRU" in capsys.readouterr().out
+
+    def test_ws(self, capsys):
+        assert main(["simulate", "TQL", "--policy", "WS", "--tau", "500"]) == 0
+        assert "WS" in capsys.readouterr().out
+
+    def test_fifo_opt_pff(self, capsys):
+        for policy in ("FIFO", "OPT", "PFF"):
+            assert main(["simulate", "TQL", "--policy", policy]) == 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "TQL", "--policy", "MAGIC"])
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "MAIN3" in capsys.readouterr().out
+
+    def test_unknown_table(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])

@@ -1,0 +1,60 @@
+"""Smoke tests: every bundled example runs to completion.
+
+Examples are deliverables; these tests keep them green as the library
+evolves.  Each runs in a subprocess (as a user would invoke it) with a
+generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamplesExistence:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+class TestEveryExample:
+    def test_runs_clean(self, name):
+        result = run_example(name)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip(), f"{name} printed nothing"
+
+
+class TestExampleContent:
+    def test_quickstart_shows_comparison(self):
+        out = run_example("quickstart.py").stdout
+        assert "CD" in out and "LRU" in out and "WS" in out
+        assert "ALLOCATE" in out  # the instrumented listing
+
+    def test_locality_analysis_shows_figure5_total(self):
+        out = run_example("locality_analysis.py").stdout
+        assert "53" in out
+
+    def test_policy_comparison_takes_argument(self):
+        out = run_example("policy_comparison.py", "TQL").stdout
+        assert "TQL" in out
+
+    def test_multiprogramming_compares_modes(self):
+        out = run_example("multiprogramming.py").stdout
+        assert "CD" in out and "WS" in out

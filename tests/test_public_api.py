@@ -1,0 +1,64 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_policy_classes_exported(self):
+        for cls_name in (
+            "LRUPolicy",
+            "FIFOPolicy",
+            "ClockPolicy",
+            "OPTPolicy",
+            "PFFPolicy",
+            "WorkingSetPolicy",
+            "CDPolicy",
+        ):
+            assert hasattr(repro, cls_name)
+
+    def test_pipeline_symbols_exported(self):
+        for sym in (
+            "parse_source",
+            "analyze_program",
+            "instrument_program",
+            "generate_trace",
+            "simulate",
+        ):
+            assert callable(getattr(repro, sym))
+
+
+class TestQuickCompare:
+    def test_returns_three_results(self):
+        results = repro.quick_compare("TQL")
+        assert [r.policy for r in results] == ["CD", "LRU", "WS"]
+
+    def test_memory_matched(self):
+        cd, lru, ws = repro.quick_compare("TQL")
+        assert lru.mem_average == pytest.approx(cd.mem_average, abs=1.0)
+        assert ws.mem_average == pytest.approx(cd.mem_average, rel=0.15, abs=1.0)
+
+    def test_pipeline_end_to_end_on_fresh_source(self):
+        source = (
+            "DIMENSION V(256)\n"
+            "DO 10 ITER = 1, 3\n"
+            "DO 20 I = 1, 256\n"
+            "V(I) = V(I) + 1.0\n"
+            "20 CONTINUE\n"
+            "10 CONTINUE\n"
+            "END\n"
+        )
+        program = repro.parse_source(source)
+        plan = repro.instrument_program(program)
+        trace = repro.generate_trace(program, plan=plan)
+        result = repro.simulate(trace, repro.CDPolicy())
+        assert result.references == 256 * 3 * 2  # read + write per element
+        assert result.page_faults >= 4  # V occupies 4 pages

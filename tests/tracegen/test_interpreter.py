@@ -1,0 +1,241 @@
+"""Unit tests for the trace-generating interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.tracegen.interpreter import (
+    ExecutionLimitError,
+    Interpreter,
+    InterpreterError,
+    generate_trace,
+)
+
+
+def run(src, **kwargs):
+    return generate_trace(parse_source(src), **kwargs)
+
+
+def interp(src, **kwargs):
+    program = parse_source(src)
+    it = Interpreter(program, **kwargs)
+    trace = it.run()
+    return it, trace
+
+
+class TestNumerics:
+    def test_scalar_arithmetic(self):
+        it, _ = interp("X = 1 + 2 * 3\nEND\n")
+        assert it.scalars["X"] == 7
+
+    def test_fortran_integer_division(self):
+        it, _ = interp("I = 7 / 2\nJ = -7 / 2\nEND\n")
+        assert it.scalars["I"] == 3
+        assert it.scalars["J"] == -3  # truncation toward zero
+
+    def test_real_division(self):
+        it, _ = interp("X = 7.0 / 2\nEND\n")
+        assert it.scalars["X"] == 3.5
+
+    def test_power(self):
+        it, _ = interp("X = 2 ** 10\nEND\n")
+        assert it.scalars["X"] == 1024
+
+    def test_mod_intrinsic(self):
+        it, _ = interp("I = MOD(8, 3)\nJ = MOD(-8, 3)\nEND\n")
+        assert it.scalars["I"] == 2
+        assert it.scalars["J"] == -2
+
+    def test_sqrt_abs(self):
+        it, _ = interp("X = SQRT(ABS(-16.0))\nEND\n")
+        assert it.scalars["X"] == 4.0
+
+    def test_min_max_variadic(self):
+        it, _ = interp("X = MAX(1, 5, 3)\nY = MIN(2.0, -1.0)\nEND\n")
+        assert it.scalars["X"] == 5
+        assert it.scalars["Y"] == -1.0
+
+    def test_sign_intrinsic(self):
+        it, _ = interp("X = SIGN(3.0, -2.0)\nY = SIGN(3.0, 2.0)\nEND\n")
+        assert it.scalars["X"] == -3.0
+        assert it.scalars["Y"] == 3.0
+
+    def test_float_int_conversion(self):
+        it, _ = interp("X = FLOAT(3)\nI = INT(3.9)\nEND\n")
+        assert it.scalars["X"] == 3.0
+        assert it.scalars["I"] == 3
+
+    def test_array_values_persist(self):
+        it, _ = interp(
+            "DIMENSION V(4)\nV(2) = 5.0\nX = V(2) * 2\nEND\n"
+        )
+        assert it.scalars["X"] == 10.0
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError, match="division by zero"):
+            interp("X = 1.0 / 0.0\nEND\n")
+
+    def test_sqrt_domain_error(self):
+        with pytest.raises(InterpreterError, match="domain"):
+            interp("X = SQRT(-1.0)\nEND\n")
+
+    def test_unknown_function(self):
+        with pytest.raises(InterpreterError, match="unknown function"):
+            interp("X = FROB(1)\nEND\n")
+
+    def test_unset_scalar(self):
+        with pytest.raises(InterpreterError, match="before assignment"):
+            interp("X = Y + 1\nEND\n")
+
+
+class TestControlFlow:
+    def test_do_loop_trip_count(self):
+        it, _ = interp("N = 0\nDO I = 1, 10\nN = N + 1\nENDDO\nEND\n")
+        assert it.scalars["N"] == 10
+
+    def test_do_loop_with_step(self):
+        it, _ = interp("N = 0\nDO I = 1, 10, 3\nN = N + I\nENDDO\nEND\n")
+        assert it.scalars["N"] == 1 + 4 + 7 + 10
+
+    def test_zero_trip_loop(self):
+        it, _ = interp("N = 0\nDO I = 5, 1\nN = N + 1\nENDDO\nEND\n")
+        assert it.scalars["N"] == 0
+
+    def test_negative_step(self):
+        it, _ = interp("N = 0\nDO I = 5, 1, -1\nN = N + I\nENDDO\nEND\n")
+        assert it.scalars["N"] == 15
+
+    def test_loop_var_after_normal_exit(self):
+        it, _ = interp("DO I = 1, 3\nX = I\nENDDO\nEND\n")
+        assert it.scalars["I"] == 4
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(InterpreterError, match="step of zero"):
+            interp("DO I = 1, 3, 0\nX = I\nENDDO\nEND\n")
+
+    def test_if_block_branch_selection(self):
+        src = (
+            "X = 5\n"
+            "IF (X < 3) THEN\nY = 1\nELSEIF (X < 10) THEN\nY = 2\n"
+            "ELSE\nY = 3\nENDIF\nEND\n"
+        )
+        it, _ = interp(src)
+        assert it.scalars["Y"] == 2
+
+    def test_logical_if(self):
+        it, _ = interp("X = 1\nIF (X == 1) X = 2\nEND\n")
+        assert it.scalars["X"] == 2
+
+    def test_logical_operators(self):
+        it, _ = interp(
+            "X = 0\nIF (1 < 2 .AND. .NOT. (3 < 2)) X = 1\nEND\n"
+        )
+        assert it.scalars["X"] == 1
+
+    def test_stop_terminates(self):
+        it, _ = interp("X = 1\nSTOP\nX = 2\nEND\n")
+        assert it.scalars["X"] == 1
+
+    def test_exit_leaves_innermost_loop(self):
+        src = (
+            "N = 0\n"
+            "DO I = 1, 5\n"
+            "IF (I == 3) EXIT\n"
+            "N = N + 1\n"
+            "ENDDO\nEND\n"
+        )
+        it, _ = interp(src)
+        assert it.scalars["N"] == 2
+
+    def test_convergence_loop(self):
+        # Data-dependent termination: Newton iteration for sqrt(2).
+        src = (
+            "X = 1.0\n"
+            "DO I = 1, 100\n"
+            "X = 0.5 * (X + 2.0 / X)\n"
+            "IF (ABS(X * X - 2.0) < 1.0E-12) EXIT\n"
+            "ENDDO\nEND\n"
+        )
+        it, _ = interp(src)
+        assert abs(it.scalars["X"] - 2.0**0.5) < 1e-9
+        assert it.scalars["I"] < 10
+
+
+class TestTraceEmission:
+    def test_one_ref_per_access(self):
+        # B read + A write per iteration = 2 refs x 4 iterations.
+        src = (
+            "DIMENSION A(4), B(4)\n"
+            "DO I = 1, 4\nA(I) = B(I)\nENDDO\nEND\n"
+        )
+        trace = run(src)
+        assert trace.length == 8
+
+    def test_read_before_write_order(self):
+        src = "DIMENSION A(64), B(64)\nA(1) = B(1)\nEND\n"
+        trace = run(src)
+        # B is laid out after A: read B page (1) then write A page (0).
+        assert list(trace.pages) == [1, 0]
+
+    def test_index_expression_refs_counted(self):
+        src = "DIMENSION A(64), IDX(64)\nIDX(1) = 2\nX = A(IDX(1))\nEND\n"
+        trace = run(src)
+        # write IDX, read IDX, read A.
+        assert trace.length == 3
+
+    def test_sequential_walk_pages(self):
+        src = "DIMENSION V(128)\nDO I = 1, 128\nV(I) = 1.0\nENDDO\nEND\n"
+        trace = run(src)
+        assert trace.length == 128
+        assert list(np.unique(trace.pages)) == [0, 1]
+        # First 64 refs hit page 0, next 64 hit page 1.
+        assert set(trace.pages[:64]) == {0}
+        assert set(trace.pages[64:]) == {1}
+
+    def test_column_major_row_walk_strides(self):
+        src = (
+            "DIMENSION A(64, 4)\n"
+            "DO J = 1, 4\nA(1, J) = 1.0\nENDDO\nEND\n"
+        )
+        trace = run(src)
+        assert list(trace.pages) == [0, 1, 2, 3]
+
+    def test_out_of_bounds_is_runtime_error(self):
+        src = "DIMENSION V(4)\nDO I = 1, 5\nV(I) = 1.0\nENDDO\nEND\n"
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run(src)
+
+    def test_scalar_only_program_empty_trace(self):
+        trace = run("X = 1\nY = X + 2\nEND\n")
+        assert trace.length == 0
+        assert trace.total_pages == 1  # clamped to 1 for simulators
+
+    def test_footprint_by_array(self):
+        src = (
+            "DIMENSION A(128), B(128)\n"
+            "DO I = 1, 64\nA(I) = 1.0\nENDDO\n"
+            "B(1) = 1.0\nEND\n"
+        )
+        trace = run(src)
+        fp = trace.footprint_by_array()
+        assert fp == {"A": 1, "B": 1}
+
+    def test_summary_mentions_program(self):
+        trace = run("PROGRAM T\nDIMENSION V(4)\nV(1) = 1.0\nEND\n")
+        assert "T" in trace.summary()
+
+
+class TestLimits:
+    def test_reference_cap_truncates(self):
+        src = (
+            "DIMENSION V(64)\n"
+            "DO I = 1, 1000\nV(1) = V(1) + 1.0\nENDDO\nEND\n"
+        )
+        trace = run(src, max_references=100)
+        assert trace.truncated
+        assert trace.length == 100
+
+    def test_operation_budget(self):
+        src = "DO I = 1, 100000\nX = 1\nENDDO\nEND\n"
+        with pytest.raises(ExecutionLimitError):
+            run(src, max_operations=1000)

@@ -1,0 +1,88 @@
+"""Round-trip tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.directives import instrument_program
+from repro.frontend.parser import parse_source
+from repro.tracegen.interpreter import generate_trace
+from repro.tracegen.io import FORMAT_VERSION, load_trace, save_trace
+
+SRC = (
+    "PROGRAM IOT\n"
+    "DIMENSION U(64), W(640)\n"
+    "DO I = 1, 4\n"
+    "Y = U(I)\n"
+    "DO J = 1, 8\n"
+    "Z = W(J)\n"
+    "ENDDO\n"
+    "ENDDO\n"
+    "END\n"
+)
+
+
+@pytest.fixture
+def trace():
+    program = parse_source(SRC)
+    plan = instrument_program(program)
+    return generate_trace(program, plan=plan)
+
+
+class TestRoundTrip:
+    def test_pages_identical(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t")
+        loaded = load_trace(path)
+        assert (loaded.pages == trace.pages).all()
+        assert loaded.pages.dtype == np.int32
+
+    def test_metadata_preserved(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t"))
+        assert loaded.program_name == trace.program_name
+        assert loaded.total_pages == trace.total_pages
+        assert loaded.truncated == trace.truncated
+        assert loaded.array_pages == trace.array_pages
+
+    def test_directives_preserved(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t"))
+        assert len(loaded.directives) == len(trace.directives)
+        for a, b in zip(loaded.directives, trace.directives):
+            assert a == b
+
+    def test_npz_suffix_appended(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "mytrace")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_replay_equivalence(self, trace, tmp_path):
+        from repro.vm.policies import CDPolicy
+        from repro.vm.simulator import simulate
+
+        loaded = load_trace(save_trace(trace, tmp_path / "t"))
+        a = simulate(trace, CDPolicy())
+        b = simulate(loaded, CDPolicy())
+        assert a.page_faults == b.page_faults
+        assert a.space_time == b.space_time
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ValueError, match="not a saved trace"):
+            load_trace(path)
+
+    def test_version_mismatch(self, trace, tmp_path):
+        import json
+
+        path = save_trace(trace, tmp_path / "t")
+        with np.load(path) as archive:
+            pages = archive["pages"]
+            header = json.loads(archive["header"].tobytes().decode())
+        header["format_version"] = FORMAT_VERSION + 10
+        np.savez(
+            path,
+            pages=pages,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)

@@ -1,0 +1,87 @@
+"""Unit tests for the page-aligned column-major memory layout."""
+
+import pytest
+
+from repro.analysis.parameters import PageConfig
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import SymbolTable
+from repro.tracegen.paging import MemoryLayout
+
+
+def layout_for(src, **cfg):
+    symbols = SymbolTable.from_program(parse_source(src))
+    return MemoryLayout(symbols, PageConfig(**cfg) if cfg else None)
+
+
+class TestPlacement:
+    def test_arrays_page_aligned_in_declaration_order(self):
+        lo = layout_for("DIMENSION A(100), B(64), C(10)\nEND\n")
+        assert lo.placements["A"].first_page == 0
+        assert lo.placements["A"].page_count == 2  # ceil(100/64)
+        assert lo.placements["B"].first_page == 2
+        assert lo.placements["B"].page_count == 1
+        assert lo.placements["C"].first_page == 3
+        assert lo.total_pages == 4
+
+    def test_total_pages_is_sum_of_avs(self):
+        lo = layout_for("DIMENSION A(64, 10), V(100)\nEND\n")
+        assert lo.total_pages == 10 + 2
+
+    def test_no_arrays(self):
+        lo = layout_for("X = 1\nEND\n")
+        assert lo.total_pages == 0
+
+
+class TestPageOf:
+    def test_vector_pages(self):
+        lo = layout_for("DIMENSION V(130)\nEND\n")
+        assert lo.page_of("V", (1,)) == 0
+        assert lo.page_of("V", (64,)) == 0
+        assert lo.page_of("V", (65,)) == 1
+        assert lo.page_of("V", (130,)) == 2
+
+    def test_matrix_column_major_pages(self):
+        # 64 x 4: each column fills exactly one page.
+        lo = layout_for("DIMENSION A(64, 4)\nEND\n")
+        assert lo.page_of("A", (1, 1)) == 0
+        assert lo.page_of("A", (64, 1)) == 0
+        assert lo.page_of("A", (1, 2)) == 1
+        assert lo.page_of("A", (64, 4)) == 3
+
+    def test_row_walk_touches_every_column_page(self):
+        lo = layout_for("DIMENSION A(64, 4)\nEND\n")
+        pages = {lo.page_of("A", (5, j)) for j in range(1, 5)}
+        assert pages == {0, 1, 2, 3}
+
+    def test_second_array_offset(self):
+        lo = layout_for("DIMENSION A(64), B(64)\nEND\n")
+        assert lo.page_of("B", (1,)) == 1
+
+    def test_page_of_linear(self):
+        lo = layout_for("DIMENSION A(64), B(64)\nEND\n")
+        assert lo.page_of_linear("B", 0) == 1
+        with pytest.raises(ValueError):
+            lo.page_of_linear("B", 64)
+
+    def test_custom_page_size(self):
+        lo = layout_for("DIMENSION V(64)\nEND\n", page_bytes=128)
+        # 32 elements/page.
+        assert lo.page_of("V", (33,)) == 1
+        assert lo.total_pages == 2
+
+
+class TestReverseLookup:
+    def test_pages_of_array(self):
+        lo = layout_for("DIMENSION A(100), B(64)\nEND\n")
+        assert list(lo.pages_of_array("B")) == [2]
+
+    def test_array_of_page(self):
+        lo = layout_for("DIMENSION A(100), B(64)\nEND\n")
+        assert lo.array_of_page(0) == "A"
+        assert lo.array_of_page(1) == "A"
+        assert lo.array_of_page(2) == "B"
+
+    def test_array_of_page_out_of_range(self):
+        lo = layout_for("DIMENSION A(64)\nEND\n")
+        with pytest.raises(ValueError):
+            lo.array_of_page(5)

@@ -1,0 +1,142 @@
+"""Tests for the synthetic reference-string generators."""
+
+import numpy as np
+import pytest
+
+from repro.tracegen.synthetic import (
+    independent_references,
+    nested_loop_walk,
+    phased_localities,
+    sequential_sweep,
+    with_allocate_events,
+)
+from repro.vm.policies import CDPolicy, LRUPolicy, WorkingSetPolicy
+from repro.vm.simulator import simulate
+
+
+class TestSequentialSweep:
+    def test_shape(self):
+        trace = sequential_sweep(10, sweeps=3)
+        assert trace.length == 30
+        assert trace.total_pages == 10
+
+    def test_lru_worst_case(self):
+        # Cyclic sweep at any allocation below the set size: every
+        # reference faults under LRU.
+        trace = sequential_sweep(10, sweeps=5)
+        result = simulate(trace, LRUPolicy(frames=9))
+        assert result.page_faults == trace.length
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_sweep(0)
+        with pytest.raises(ValueError):
+            sequential_sweep(5, sweeps=0)
+
+
+class TestNestedLoopWalk:
+    def test_length(self):
+        trace = nested_loop_walk(
+            outer_iterations=3, inner_pages=4, inner_repeats=2, shared_pages=2
+        )
+        assert trace.length == 3 * (2 + 2 * 4)
+
+    def test_shared_pages_precede_inner(self):
+        trace = nested_loop_walk(
+            outer_iterations=1, inner_pages=3, inner_repeats=1, shared_pages=2
+        )
+        assert list(trace.pages[:2]) == [0, 1]
+        assert list(trace.pages[2:]) == [2, 3, 4]
+
+    def test_inner_locality_fits_small_allocation(self):
+        trace = nested_loop_walk(
+            outer_iterations=10, inner_pages=3, inner_repeats=5
+        )
+        result = simulate(trace, LRUPolicy(frames=3))
+        assert result.page_faults == 3  # cold only: the locality fits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nested_loop_walk(0, 1, 1)
+        with pytest.raises(ValueError):
+            nested_loop_walk(1, 1, 1, shared_pages=-1)
+
+
+class TestPhasedLocalities:
+    def test_disjoint_phases(self):
+        trace = phased_localities([(2, 10), (3, 9)])
+        assert trace.length == 19
+        assert set(trace.pages[:10]) == {0, 1}
+        assert set(trace.pages[10:]) == {2, 3, 4}
+
+    def test_overlapping_phases(self):
+        trace = phased_localities([(2, 10), (3, 9)], disjoint=False)
+        assert set(trace.pages[10:]) == {0, 1, 2}
+
+    def test_ws_transition_behavior(self):
+        trace = phased_localities([(3, 300), (3, 300)])
+        result = simulate(trace, WorkingSetPolicy(tau=50))
+        assert result.page_faults == 6  # cold faults of both phases
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phased_localities([])
+        with pytest.raises(ValueError):
+            phased_localities([(0, 5)])
+
+
+class TestIndependentReferences:
+    def test_reproducible(self):
+        a = independent_references(10, 100, seed=42)
+        b = independent_references(10, 100, seed=42)
+        assert (a.pages == b.pages).all()
+
+    def test_uniform_covers_universe(self):
+        trace = independent_references(8, 4000, seed=1)
+        assert set(np.unique(trace.pages)) == set(range(8))
+
+    def test_skew_concentrates_low_pages(self):
+        trace = independent_references(16, 4000, seed=1, skew=0.5)
+        counts = np.bincount(trace.pages, minlength=16)
+        assert counts[0] > counts[4] > counts[10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independent_references(0, 10)
+        with pytest.raises(ValueError):
+            independent_references(4, 10, skew=1.0)
+
+
+class TestOracleAllocate:
+    def test_events_align_with_phases(self):
+        phases = [(2, 100), (5, 100)]
+        trace = with_allocate_events(phased_localities(phases), phases)
+        assert [d.position for d in trace.directives] == [0, 100]
+        assert [d.requests[0].pages for d in trace.directives] == [2, 5]
+
+    def test_oracle_cd_only_cold_faults(self):
+        # With perfectly-sized per-phase allocations CD faults only on
+        # cold pages.
+        phases = [(2, 200), (5, 200), (3, 200)]
+        trace = with_allocate_events(phased_localities(phases), phases)
+        result = simulate(trace, CDPolicy())
+        assert result.page_faults == 2 + 5 + 3
+
+    def test_oracle_cd_releases_memory_between_phases(self):
+        phases = [(8, 200), (2, 200)]
+        trace = with_allocate_events(phased_localities(phases), phases)
+        policy = CDPolicy()
+        simulate(trace, policy)
+        assert policy.resident_size <= 2
+
+    def test_oracle_cd_beats_matched_lru(self):
+        # A big phase followed by small ones: LRU at CD's average memory
+        # thrashes the big phase.
+        phases = [(20, 400), (2, 400), (20, 400), (2, 400)]
+        trace = with_allocate_events(phased_localities(phases), phases)
+        cd = simulate(trace, CDPolicy())
+        lru = simulate(
+            trace.without_directives(),
+            LRUPolicy(frames=max(1, round(cd.mem_average))),
+        )
+        assert cd.page_faults < lru.page_faults

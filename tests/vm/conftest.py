@@ -1,0 +1,31 @@
+"""Shared fixtures for VM-simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracegen.events import ReferenceTrace
+
+
+def make_trace(pages, directives=None, name="TEST"):
+    pages = np.asarray(pages, dtype=np.int32)
+    total = int(pages.max()) + 1 if len(pages) else 1
+    return ReferenceTrace(
+        program_name=name,
+        pages=pages,
+        total_pages=total,
+        directives=list(directives or []),
+    )
+
+
+@pytest.fixture
+def cyclic_trace():
+    """Three pages referenced cyclically: the classic LRU worst case."""
+    return make_trace([0, 1, 2] * 20)
+
+
+@pytest.fixture
+def locality_trace():
+    """Two phase-localities with a transition."""
+    phase1 = [0, 1, 0, 1, 0, 1] * 10
+    phase2 = [5, 6, 7, 5, 6, 7] * 10
+    return make_trace(phase1 + phase2)

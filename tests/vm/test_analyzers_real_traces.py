@@ -1,0 +1,41 @@
+"""Cross-validation of the sweep analyzers against the event simulator
+on the *real* benchmark traces (not just synthetic strings).
+
+The analyzers power every table; a divergence on a real trace would
+silently skew the reproduction, so this is the load-bearing check.
+"""
+
+import pytest
+
+from repro.experiments.runner import artifacts_for
+from repro.vm.policies import LRUPolicy, WorkingSetPolicy
+from repro.vm.simulator import simulate
+
+# Small/medium programs keep the exact replays fast; CONDUCT covers the
+# largest virtual space.
+PROGRAMS = ["TQL", "FDJAC", "HWSCRT", "CONDUCT"]
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+class TestLRUOnRealTraces:
+    @pytest.mark.parametrize("fraction", [0.1, 0.5])
+    def test_matches_simulator(self, name, fraction):
+        artifacts = artifacts_for(name)
+        frames = max(1, int(artifacts.lru.max_useful_frames * fraction))
+        exact = simulate(artifacts.trace, LRUPolicy(frames=frames))
+        assert artifacts.lru.faults(frames) == exact.page_faults
+        assert artifacts.lru.mem(frames) == pytest.approx(exact.mem_average)
+        assert artifacts.lru.space_time(frames) == pytest.approx(
+            exact.space_time
+        )
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+class TestWSOnRealTraces:
+    @pytest.mark.parametrize("tau", [100, 2500])
+    def test_matches_simulator(self, name, tau):
+        artifacts = artifacts_for(name)
+        exact = simulate(artifacts.trace, WorkingSetPolicy(tau=tau))
+        assert artifacts.ws.faults(tau) == exact.page_faults
+        assert artifacts.ws.mem(tau) == pytest.approx(exact.mem_average)
+        assert artifacts.ws.space_time(tau) == pytest.approx(exact.space_time)

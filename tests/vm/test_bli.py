@@ -1,0 +1,143 @@
+"""Tests for the BLI (bounded locality interval) detector."""
+
+import numpy as np
+import pytest
+
+from repro.vm.bli import BLIAnalyzer, LocalityInterval, compare_with_predictions
+
+from .conftest import make_trace
+
+
+def phased_pages(phases, span=300):
+    """Concatenate phases; each phase cycles over its own page set."""
+    pages = []
+    for page_set in phases:
+        for i in range(span):
+            pages.append(page_set[i % len(page_set)])
+    return pages
+
+
+class TestDetection:
+    def test_single_phase_single_interval(self):
+        pages = phased_pages([[0, 1, 2]], span=600)
+        analyzer = BLIAnalyzer(pages, windows=(64,))
+        ivs = analyzer.intervals(0)
+        assert len(ivs) == 1
+        assert ivs[0].pages == frozenset({0, 1, 2})
+        assert ivs[0].start == 0
+        assert ivs[0].end == 600
+
+    def test_two_phases_detected(self):
+        pages = phased_pages([[0, 1, 2], [7, 8, 9]], span=600)
+        analyzer = BLIAnalyzer(pages, windows=(64,))
+        ivs = analyzer.intervals(0)
+        assert len(ivs) == 2
+        assert ivs[0].pages == frozenset({0, 1, 2})
+        assert ivs[1].pages == frozenset({7, 8, 9})
+
+    def test_boundary_near_transition(self):
+        pages = phased_pages([[0, 1], [5, 6]], span=400)
+        analyzer = BLIAnalyzer(pages, windows=(32,))
+        ivs = analyzer.intervals(0)
+        assert len(ivs) == 2
+        assert abs(ivs[0].end - 400) <= 32
+
+    def test_interval_properties(self):
+        iv = LocalityInterval(start=10, end=50, pages=frozenset({1, 2}), level=0)
+        assert iv.length == 40
+        assert iv.size == 2
+
+    def test_intervals_cover_trace(self):
+        pages = phased_pages([[0, 1], [4, 5], [8, 9]], span=300)
+        analyzer = BLIAnalyzer(pages, windows=(32,))
+        ivs = analyzer.intervals(0)
+        assert ivs[0].start == 0
+        assert ivs[-1].end == len(pages)
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.end == b.start
+
+    def test_empty_trace(self):
+        analyzer = BLIAnalyzer([], windows=(32,))
+        assert analyzer.intervals(0) == []
+        assert analyzer.mean_size(0) == 0.0
+
+    def test_coarse_scale_merges_phases(self):
+        # At a window longer than each phase the two phases fuse.
+        pages = phased_pages([[0, 1], [5, 6]] * 3, span=100)
+        analyzer = BLIAnalyzer(pages, windows=(16, 4096))
+        fine = analyzer.intervals(0)
+        coarse = analyzer.intervals(1)
+        assert len(coarse) < len(fine)
+        assert analyzer.mean_size(1) >= analyzer.mean_size(0)
+
+    def test_results_cached(self):
+        analyzer = BLIAnalyzer([0, 1] * 100, windows=(16,))
+        assert analyzer.intervals(0) is analyzer.intervals(0)
+
+
+class TestValidation:
+    def test_bad_level(self):
+        analyzer = BLIAnalyzer([0, 1], windows=(16,))
+        with pytest.raises(ValueError):
+            analyzer.intervals(1)
+
+    def test_bad_windows(self):
+        with pytest.raises(ValueError):
+            BLIAnalyzer([0], windows=())
+        with pytest.raises(ValueError):
+            BLIAnalyzer([0], windows=(0,))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BLIAnalyzer([0], windows=(16,), similarity_threshold=1.5)
+
+    def test_summary_mentions_levels(self):
+        analyzer = BLIAnalyzer([0, 1] * 200, windows=(16, 64))
+        text = analyzer.summary()
+        assert "level 0" in text and "level 1" in text
+
+
+class TestPredictionComparison:
+    def test_requires_allocate_events(self):
+        trace = make_trace([0, 1, 2])
+        with pytest.raises(ValueError, match="no ALLOCATE"):
+            compare_with_predictions(trace)
+
+    def test_on_real_workload(self):
+        from repro.experiments.runner import artifacts_for
+
+        art = artifacts_for("TQL")
+        comparison = compare_with_predictions(art.trace)
+        assert comparison.program == "TQL"
+        assert comparison.predicted_mean > 0
+        assert comparison.detected_mean > 0
+        # The compiler's inner-level sizes land within a small factor of
+        # the measured fine-scale localities.
+        assert 0.2 < comparison.ratio < 5.0
+
+    def test_describe(self):
+        from repro.experiments.runner import artifacts_for
+
+        art = artifacts_for("TQL")
+        text = compare_with_predictions(art.trace).describe()
+        assert "TQL" in text and "pages" in text
+
+
+class TestHierarchyOnRealTraces:
+    @pytest.mark.parametrize("name", ["MAIN", "CONDUCT", "TQL"])
+    def test_hierarchical_structure(self, name):
+        # The paper's claim: numerical programs exhibit hierarchical
+        # locality structure.  Coarser scales must show fewer, larger
+        # localities.
+        from repro.experiments.runner import artifacts_for
+
+        analyzer = BLIAnalyzer(artifacts_for(name).trace)
+        counts = [len(analyzer.intervals(lv)) for lv in range(3)]
+        sizes = [analyzer.mean_size(lv) for lv in range(3)]
+        # Monotone across scales, with a genuine contraction overall
+        # (two adjacent scales may coincide when one loop level
+        # dominates, as in MAIN's time-step phases).
+        assert counts[0] >= counts[1] >= counts[2]
+        assert counts[0] > counts[2]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        assert sizes[2] > sizes[0]

@@ -1,0 +1,215 @@
+"""Unit tests for the Compiler Directed policy (Figure 6 semantics)."""
+
+import pytest
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind
+from repro.vm.policies import CDConfig, CDPolicy
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+def allocate_event(position, *pairs, site=0):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.ALLOCATE,
+        site=site,
+        requests=tuple(AllocateRequest(pi, x) for pi, x in pairs),
+    )
+
+
+def lock_event(position, pages, pj=2, site=1):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.LOCK,
+        site=site,
+        lock_pages=tuple(pages),
+        priority_index=pj,
+    )
+
+
+def unlock_event(position, pages, site=0):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.UNLOCK,
+        site=site,
+        lock_pages=tuple(pages),
+    )
+
+
+class TestAllocationTarget:
+    def test_grants_largest_request_unlimited(self):
+        policy = CDPolicy()
+        policy.on_directive(allocate_event(0, (3, 10), (1, 2)))
+        assert policy.allocation_target == 10
+
+    def test_pi_cap_selects_inner_request(self):
+        policy = CDPolicy(CDConfig(pi_cap=1))
+        policy.on_directive(allocate_event(0, (3, 10), (2, 5), (1, 2)))
+        assert policy.allocation_target == 2
+
+    def test_pi_cap_middle(self):
+        policy = CDPolicy(CDConfig(pi_cap=2))
+        policy.on_directive(allocate_event(0, (3, 10), (2, 5), (1, 2)))
+        assert policy.allocation_target == 5
+
+    def test_cap_with_no_eligible_falls_back_to_innermost(self):
+        policy = CDPolicy(CDConfig(pi_cap=1))
+        policy.on_directive(allocate_event(0, (3, 10), (2, 5)))
+        assert policy.allocation_target == 5
+
+    def test_memory_limit_denies_large_request(self):
+        policy = CDPolicy(CDConfig(memory_limit=6))
+        policy.on_directive(allocate_event(0, (3, 10), (1, 2)))
+        assert policy.allocation_target == 2
+        assert policy.denied_requests == 1
+
+    def test_unsatisfiable_outer_keeps_current_allocation(self):
+        # PI > 1 cannot be granted: "continue the execution of the
+        # program with the current allocation".
+        policy = CDPolicy(CDConfig(memory_limit=4))
+        policy.on_directive(allocate_event(0, (1, 3)))
+        assert policy.allocation_target == 3
+        policy.on_directive(allocate_event(1, (3, 10), (2, 8)))
+        assert policy.allocation_target == 3
+        assert policy.swaps == 0
+
+    def test_unsatisfiable_pi1_swaps(self):
+        # PI = 1 cannot be granted: the swapper is invoked.
+        policy = CDPolicy(CDConfig(memory_limit=4))
+        policy.on_directive(allocate_event(0, (2, 9), (1, 6)))
+        assert policy.swaps == 1
+        assert policy.allocation_target == 4  # runs with what exists
+
+    def test_shrinking_grant_evicts_immediately(self):
+        trace = make_trace(
+            [0, 1, 2, 3, 4, 4],
+            directives=[
+                allocate_event(0, (2, 5)),
+                allocate_event(5, (2, 5), (1, 2)),
+            ],
+        )
+        policy = CDPolicy(CDConfig(pi_cap=1))
+        simulate(trace, policy)
+        assert policy.resident_size == 2
+
+    def test_replacement_is_lru_within_allocation(self):
+        trace = make_trace(
+            [0, 1, 2, 0],
+            directives=[allocate_event(0, (1, 2))],
+        )
+        result = simulate(trace, CDPolicy())
+        # 2 frames: 0,1 cold; 2 evicts LRU(0); 0 refaults = 4 faults.
+        assert result.page_faults == 4
+
+    def test_default_min_allocation_without_directives(self):
+        result = simulate(make_trace([0, 1, 0, 1]), CDPolicy())
+        # Target stays at min_allocation=1: every reference faults.
+        assert result.page_faults == 4
+
+    def test_parameter_reported(self):
+        policy = CDPolicy(CDConfig(pi_cap=2))
+        assert policy.describe_parameter() == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CDConfig(pi_cap=0)
+        with pytest.raises(ValueError):
+            CDConfig(memory_limit=0)
+        with pytest.raises(ValueError):
+            CDConfig(min_allocation=0)
+
+    def test_config_label(self):
+        assert CDConfig().label() == "CD"
+        assert "pi<=1" in CDConfig(pi_cap=1).label()
+
+
+class TestLocking:
+    def test_locked_page_survives_replacement(self):
+        # Allocation of 1; page 9 locked; stream of other pages churns,
+        # then 9 is re-referenced without a fault.
+        trace = make_trace(
+            [9, 0, 1, 2, 9],
+            directives=[
+                allocate_event(0, (2, 1)),
+                lock_event(1, [9]),
+            ],
+        )
+        result = simulate(trace, CDPolicy())
+        # Faults: 9, 0, 1, 2 — the final 9 hits because it is pinned.
+        assert result.page_faults == 4
+
+    def test_unlocked_page_would_have_faulted(self):
+        trace = make_trace([9, 0, 1, 2, 9], directives=[allocate_event(0, (2, 1))])
+        result = simulate(trace, CDPolicy())
+        assert result.page_faults == 5
+
+    def test_relock_at_same_site_moves_pin(self):
+        trace = make_trace(
+            [9, 0, 8, 0, 9],
+            directives=[
+                allocate_event(0, (2, 1)),
+                lock_event(1, [9]),
+                lock_event(3, [8]),  # same site: supersedes the pin on 9
+            ],
+        )
+        result = simulate(trace, CDPolicy())
+        # 9 is no longer pinned when re-referenced: it faulted out.
+        assert result.page_faults == 5
+
+    def test_unlock_releases_pin(self):
+        trace = make_trace(
+            [9, 0, 1, 9],
+            directives=[
+                allocate_event(0, (2, 1)),
+                lock_event(1, [9]),
+                unlock_event(2, [9]),
+            ],
+        )
+        policy = CDPolicy()
+        result = simulate(trace, policy)
+        # After UNLOCK the target (1) evicts 9; final 9 refaults.
+        assert result.page_faults == 4
+        assert policy.locked_page_count == 0
+
+    def test_honor_locks_false_ignores_pins(self):
+        trace = make_trace(
+            [9, 0, 1, 2, 9],
+            directives=[allocate_event(0, (2, 1)), lock_event(1, [9])],
+        )
+        result = simulate(trace, CDPolicy(CDConfig(honor_locks=False)))
+        assert result.page_faults == 5
+
+    def test_pressure_releases_highest_pj_first(self):
+        # memory_limit 2; two pins with PJ 2 and 3; pressure releases PJ 3.
+        trace = make_trace(
+            [5, 6, 0, 1, 5, 6],
+            directives=[
+                allocate_event(0, (2, 2)),
+                lock_event(0, [5], pj=2, site=10),
+                lock_event(1, [6], pj=3, site=11),
+            ],
+        )
+        policy = CDPolicy(CDConfig(memory_limit=2))
+        simulate(trace, policy)
+        # The PJ=3 pin (page 6) was sacrificed at some point.
+        assert policy.lock_releases >= 1
+
+    def test_locked_pages_ride_above_target(self):
+        # Target 1 plus one pinned page: resident can be 2.
+        trace = make_trace(
+            [9, 0, 0],
+            directives=[allocate_event(0, (2, 1)), lock_event(1, [9])],
+        )
+        policy = CDPolicy()
+        simulate(trace, policy)
+        assert policy.resident_size == 2
+
+    def test_swap_counters_surface_in_result(self):
+        trace = make_trace(
+            [0, 1],
+            directives=[allocate_event(0, (2, 9), (1, 6))],
+        )
+        result = simulate(trace, CDPolicy(CDConfig(memory_limit=4)))
+        assert result.swaps == 1

@@ -1,0 +1,66 @@
+"""Unit tests for the CLOCK (second chance) policy."""
+
+import pytest
+
+from repro.vm.policies import ClockPolicy, FIFOPolicy, LRUPolicy, OPTPolicy
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+class TestClock:
+    def test_cold_faults(self):
+        result = simulate(make_trace([0, 1, 2]), ClockPolicy(frames=4))
+        assert result.page_faults == 3
+
+    def test_second_chance_saves_retouched_page(self):
+        # 3 frames.  Loading 3 sweeps all bits clear and evicts 0; the
+        # hit on 1 re-sets its bit; loading 4 then skips 1 (second
+        # chance) and evicts 2, so the final 1 hits.
+        trace = make_trace([0, 1, 2, 3, 1, 4, 1])
+        result = simulate(trace, ClockPolicy(frames=3))
+        assert result.page_faults == 5
+
+    def test_fifo_would_evict_retouched_page(self):
+        trace = make_trace([0, 1, 2, 3, 1, 4, 1])
+        clock = simulate(trace, ClockPolicy(frames=3))
+        fifo = simulate(trace, FIFOPolicy(frames=3))
+        assert clock.page_faults < fifo.page_faults == 6
+
+    def test_degenerates_to_fifo_without_rereference(self):
+        # No re-references: use bits never matter; fault counts match FIFO.
+        trace = make_trace(list(range(10)) * 2)
+        clock = simulate(trace, ClockPolicy(frames=4))
+        fifo = simulate(trace, FIFOPolicy(frames=4))
+        assert clock.page_faults == fifo.page_faults
+
+    def test_between_lru_and_fifo_on_mixed_string(self):
+        pages = [0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1] * 3
+        trace = make_trace(pages)
+        lru = simulate(trace, LRUPolicy(frames=3))
+        clock = simulate(trace, ClockPolicy(frames=3))
+        opt = simulate(trace, OPTPolicy(frames=3))
+        assert opt.page_faults <= min(lru.page_faults, clock.page_faults)
+        # CLOCK approximates LRU: within a reasonable factor.
+        assert clock.page_faults <= lru.page_faults * 1.5 + 3
+
+    def test_resident_bounded(self):
+        policy = ClockPolicy(frames=3)
+        simulate(make_trace(list(range(20))), policy)
+        assert policy.resident_size == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockPolicy(frames=0)
+
+    def test_reset(self):
+        policy = ClockPolicy(frames=2)
+        a = simulate(make_trace([0, 1, 2]), policy)
+        b = simulate(make_trace([0, 1, 2]), policy)
+        assert a.page_faults == b.page_faults
+
+    def test_hand_wraps(self):
+        # Enough churn to wrap the hand several times.
+        policy = ClockPolicy(frames=3)
+        result = simulate(make_trace(list(range(5)) * 6), policy)
+        assert result.page_faults == 30  # cyclic over 5 > 3 frames: thrash

@@ -1,0 +1,160 @@
+"""Failure-injection tests: malformed and adversarial inputs.
+
+The simulator substrate must fail loudly on invalid data and shrug off
+adversarial-but-legal directive streams (locks on absent pages, unlocks
+without locks, churned allocations) without corrupting its accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.vm.policies import CDConfig, CDPolicy
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+def alloc(position, *pairs, site=0):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.ALLOCATE,
+        site=site,
+        requests=tuple(AllocateRequest(pi, x) for pi, x in pairs),
+    )
+
+
+def lock(position, pages, pj=2, site=9):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.LOCK,
+        site=site,
+        lock_pages=tuple(pages),
+        priority_index=pj,
+    )
+
+
+def unlock(position, pages, site=9):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.UNLOCK,
+        site=site,
+        lock_pages=tuple(pages),
+    )
+
+
+class TestMalformedTraces:
+    def test_negative_page_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ReferenceTrace(
+                program_name="BAD",
+                pages=np.asarray([0, -3], dtype=np.int32),
+                total_pages=4,
+            )
+
+    def test_total_pages_too_small_rejected(self):
+        with pytest.raises(ValueError, match="total_pages"):
+            ReferenceTrace(
+                program_name="BAD",
+                pages=np.asarray([0, 9], dtype=np.int32),
+                total_pages=5,
+            )
+
+    def test_unsorted_directives_rejected(self):
+        with pytest.raises(ValueError, match="position-ordered"):
+            make_trace([0, 1, 2], directives=[alloc(2, (1, 1)), alloc(0, (1, 1))])
+
+
+class TestAdversarialDirectives:
+    def test_lock_on_never_referenced_page(self):
+        # Pinning a page that is never resident must not break MEM/PF
+        # accounting.
+        trace = make_trace(
+            [0, 1, 0, 1],
+            directives=[alloc(0, (2, 2)), lock(1, [99], site=3)],
+        )
+        trace.pages = np.asarray([0, 1, 0, 1], dtype=np.int32)
+        policy = CDPolicy()
+        result = simulate(trace, policy)
+        assert result.page_faults == 2
+        assert policy.resident_size == 2
+
+    def test_unlock_without_lock_is_noop(self):
+        trace = make_trace(
+            [0, 1, 0],
+            directives=[alloc(0, (2, 2)), unlock(2, [0, 5])],
+        )
+        policy = CDPolicy()
+        result = simulate(trace, policy)
+        assert result.page_faults == 2
+        assert policy.locked_page_count == 0
+
+    def test_double_lock_same_page_different_sites(self):
+        # The second site must not steal the pin; unlocking the first
+        # site releases it.
+        trace = make_trace(
+            [7, 0, 1, 7],
+            directives=[
+                alloc(0, (2, 1)),
+                lock(1, [7], site=1),
+                lock(2, [7], site=2),
+                unlock(3, [7], site=1),
+            ],
+        )
+        policy = CDPolicy()
+        simulate(trace, policy)
+        assert policy.locked_page_count == 0
+
+    def test_allocation_churn(self):
+        # Rapidly alternating grants must keep residency consistent.
+        directives = []
+        for i in range(0, 40, 2):
+            directives.append(alloc(i, (2, 8), site=1))
+            directives.append(alloc(i + 1, (2, 8), (1, 1), site=2))
+        trace = make_trace(list(range(8)) * 5, directives=directives)
+        policy = CDPolicy(CDConfig(pi_cap=1))
+        result = simulate(trace, policy)
+        assert policy.resident_size <= 1
+        assert result.page_faults <= trace.length
+
+    def test_directive_after_last_reference(self):
+        trace = make_trace(
+            [0, 1],
+            directives=[alloc(0, (1, 2)), unlock(2, [0])],
+        )
+        result = simulate(trace, CDPolicy())
+        assert result.references == 2
+
+    def test_relock_unlock_interleaving_preserves_counter(self):
+        # locked_resident must track residency exactly through lock /
+        # supersede / unlock cycles.
+        trace = make_trace(
+            [3, 4, 3, 4, 3],
+            directives=[
+                alloc(0, (2, 2)),
+                lock(1, [3], site=1),
+                lock(2, [4], site=1),  # supersedes the pin on 3
+                unlock(4, [4], site=1),
+            ],
+        )
+        policy = CDPolicy()
+        simulate(trace, policy)
+        assert policy.locked_page_count == 0
+        assert policy._locked_resident == 0
+
+    def test_empty_trace_with_directives(self):
+        trace = make_trace([], directives=[alloc(0, (1, 4))])
+        result = simulate(trace, CDPolicy())
+        assert result.references == 0
+        assert result.page_faults == 0
+
+    def test_deliver_directives_false_starves_cd(self):
+        trace = make_trace(
+            [0, 1, 0, 1],
+            directives=[alloc(0, (1, 2))],
+        )
+        fed = simulate(trace, CDPolicy())
+        starved = simulate(trace, CDPolicy(), deliver_directives=False)
+        assert fed.page_faults == 2
+        assert starved.page_faults == 4  # stuck at min_allocation=1

@@ -1,0 +1,119 @@
+"""Unit tests for the fixed-partition policies: LRU, FIFO, OPT."""
+
+import pytest
+
+from repro.vm.policies import FIFOPolicy, LRUPolicy, OPTPolicy
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+class TestLRU:
+    def test_cold_faults_counted(self):
+        result = simulate(make_trace([0, 1, 2]), LRUPolicy(frames=4))
+        assert result.page_faults == 3
+
+    def test_hits_do_not_fault(self):
+        result = simulate(make_trace([0, 1, 0, 1]), LRUPolicy(frames=2))
+        assert result.page_faults == 2
+
+    def test_evicts_least_recently_used(self):
+        # [0 1 2] with 2 frames: after 0,1 -> touch 0 -> evict 1 on 2.
+        policy = LRUPolicy(frames=2)
+        trace = make_trace([0, 1, 0, 2, 1])
+        result = simulate(trace, policy)
+        # faults: 0, 1, 2, then 1 again (evicted) = 4
+        assert result.page_faults == 4
+
+    def test_cyclic_thrash_with_too_few_frames(self, cyclic_trace):
+        result = simulate(cyclic_trace, LRUPolicy(frames=2))
+        assert result.page_faults == cyclic_trace.length  # every ref faults
+
+    def test_cyclic_no_faults_with_enough_frames(self, cyclic_trace):
+        result = simulate(cyclic_trace, LRUPolicy(frames=3))
+        assert result.page_faults == 3  # only cold faults
+
+    def test_resident_never_exceeds_frames(self):
+        policy = LRUPolicy(frames=3)
+        simulate(make_trace(list(range(10))), policy)
+        assert policy.resident_size == 3
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(frames=0)
+
+    def test_mem_average_accounts_warmup(self):
+        # Pages 0..3 each once with 10 frames: resident grows 1,2,3,4.
+        result = simulate(make_trace([0, 1, 2, 3]), LRUPolicy(frames=10))
+        assert result.mem_average == pytest.approx((1 + 2 + 3 + 4) / 4)
+
+    def test_space_time_includes_fault_service(self):
+        result = simulate(
+            make_trace([0, 1]), LRUPolicy(frames=4), fault_service=100
+        )
+        # refs contribute 1 + 2; faults contribute 100*1 + 100*2.
+        assert result.space_time == 3 + 300
+
+    def test_reset_between_runs(self):
+        policy = LRUPolicy(frames=2)
+        first = simulate(make_trace([0, 1, 2]), policy)
+        second = simulate(make_trace([0, 1, 2]), policy)
+        assert first.page_faults == second.page_faults
+
+
+class TestFIFO:
+    def test_evicts_oldest(self):
+        # 2 frames, refs 0 1 0 2 0: FIFO evicts 0 on page 2 despite recency.
+        result = simulate(make_trace([0, 1, 0, 2, 0]), FIFOPolicy(frames=2))
+        assert result.page_faults == 4  # 0, 1, 2, 0-again
+
+    def test_lru_differs_on_same_string(self):
+        trace = make_trace([0, 1, 0, 2, 0])
+        fifo = simulate(trace, FIFOPolicy(frames=2))
+        lru = simulate(trace, LRUPolicy(frames=2))
+        assert lru.page_faults == 3 < fifo.page_faults
+
+    def test_belady_anomaly_exists(self):
+        # The textbook string exhibiting Belady's anomaly under FIFO.
+        string = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        three = simulate(make_trace(string), FIFOPolicy(frames=3))
+        four = simulate(make_trace(string), FIFOPolicy(frames=4))
+        assert four.page_faults > three.page_faults
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            FIFOPolicy(frames=0)
+
+
+class TestOPT:
+    def test_textbook_example(self):
+        # Classic Belady example: OPT gets 9 faults with 3 frames.
+        string = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1]
+        result = simulate(make_trace(string), OPTPolicy(frames=3))
+        assert result.page_faults == 9
+
+    def test_opt_never_worse_than_lru(self, locality_trace):
+        for frames in (1, 2, 3, 5, 8):
+            opt = simulate(locality_trace, OPTPolicy(frames=frames))
+            lru = simulate(locality_trace, LRUPolicy(frames=frames))
+            assert opt.page_faults <= lru.page_faults
+
+    def test_requires_prepare(self):
+        policy = OPTPolicy(frames=2)
+        with pytest.raises(RuntimeError):
+            policy.access(0, 0)
+
+    def test_simulator_calls_prepare(self):
+        result = simulate(make_trace([0, 1, 0]), OPTPolicy(frames=2))
+        assert result.page_faults == 2
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            OPTPolicy(frames=0)
+
+    def test_reset_requires_new_prepare(self):
+        policy = OPTPolicy(frames=2)
+        simulate(make_trace([0, 1]), policy)
+        policy.reset()
+        with pytest.raises(RuntimeError):
+            policy.access(0, 0)

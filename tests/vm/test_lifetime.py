@@ -1,0 +1,60 @@
+"""Tests for lifetime curves (Denning's g(m)) on the sweep analyzers."""
+
+import pytest
+
+from repro.vm.analyzers import LRUSweep, WSSweep
+
+from .conftest import make_trace
+
+
+class TestLRULifetime:
+    def test_lifetime_is_mean_interfault_time(self):
+        trace = make_trace([0, 1, 2] * 20)  # 60 refs
+        sweep = LRUSweep(trace)
+        # 2 frames: every reference faults -> lifetime 1.
+        assert sweep.lifetime(2) == pytest.approx(1.0)
+        # 3 frames: only 3 cold faults -> lifetime 20.
+        assert sweep.lifetime(3) == pytest.approx(20.0)
+
+    def test_lifetime_infinite_when_no_faults(self):
+        sweep = LRUSweep(make_trace([]))
+        assert sweep.lifetime(1) == float("inf")
+
+    def test_lifetime_monotone(self):
+        pages = ([0, 1, 2, 3] * 10 + [7, 8] * 10) * 3
+        sweep = LRUSweep(make_trace(pages))
+        values = [sweep.lifetime(m) for m in range(1, 8)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_knee_finds_locality_size(self):
+        # A strong 3-page locality: the knee sits at 3 frames, where the
+        # lifetime jumps from ~1 to ~R/3.
+        sweep = LRUSweep(make_trace([0, 1, 2] * 40))
+        assert sweep.knee_frames() == 3
+
+    def test_knee_on_two_phase_trace(self):
+        phase1 = [0, 1] * 40
+        phase2 = [5, 6, 7, 8] * 40
+        sweep = LRUSweep(make_trace(phase1 + phase2))
+        # The knee lands at one of the two locality sizes (never between
+        # or beyond).
+        assert sweep.knee_frames() in (2, 4)
+
+
+class TestWSLifetime:
+    def test_lifetime_values(self):
+        trace = make_trace([0, 1, 0, 1, 0, 1])
+        sweep = WSSweep(trace)
+        # tau = 1: everything faults except nothing (each re-ref gap 2).
+        assert sweep.lifetime(1) == pytest.approx(1.0)
+        # tau = 2: only the two cold faults.
+        assert sweep.lifetime(2) == pytest.approx(3.0)
+
+    def test_lifetime_monotone_in_tau(self):
+        pages = ([0, 1, 2] * 20 + [8, 9] * 15) * 2
+        sweep = WSSweep(make_trace(pages))
+        values = [sweep.lifetime(t) for t in (1, 2, 4, 8, 16, 32)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_infinite_on_empty(self):
+        assert WSSweep(make_trace([])).lifetime(4) == float("inf")

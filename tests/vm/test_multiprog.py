@@ -1,0 +1,177 @@
+"""Tests for the multiprogramming extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.vm.multiprog import MultiprogSimulator, ProcessState
+
+from .conftest import make_trace
+
+
+def alloc(position, *pairs):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.ALLOCATE,
+        site=0,
+        requests=tuple(AllocateRequest(pi, x) for pi, x in pairs),
+    )
+
+
+def cd_trace(pages, directives=None, name="P"):
+    return make_trace(pages, directives=directives, name=name)
+
+
+class TestBasics:
+    def test_single_process_completes(self):
+        trace = cd_trace([0, 1, 0, 1] * 50, [alloc(0, (1, 2))])
+        sim = MultiprogSimulator([("A", trace)], total_frames=8, mode="cd")
+        result = sim.run()
+        assert result.processes[0].references == 200
+        assert result.processes[0].finish_time is not None
+
+    def test_all_processes_complete(self):
+        traces = [
+            ("A", cd_trace([0, 1] * 100, [alloc(0, (1, 2))])),
+            ("B", cd_trace([5, 6, 7] * 60, [alloc(0, (1, 3))])),
+        ]
+        result = MultiprogSimulator(traces, total_frames=10, mode="cd").run()
+        assert all(p.finish_time is not None for p in result.processes)
+        assert result.processes[0].references == 200
+        assert result.processes[1].references == 180
+
+    def test_fault_service_blocks(self):
+        # One process, every ref a fault with target 1 over 3 pages.
+        trace = cd_trace([0, 1, 2] * 10, [alloc(0, (1, 1))])
+        result = MultiprogSimulator(
+            [("A", trace)], total_frames=4, mode="cd", fault_service=100
+        ).run()
+        stats = result.processes[0]
+        assert stats.faults == 30
+        # Makespan includes the serialized fault services.
+        assert result.makespan >= 30 * 100
+
+    def test_overlap_hides_fault_latency(self):
+        # Two processes: while one waits on a fault, the other runs —
+        # the makespan is far below the sum of serialized times.
+        thrash = cd_trace(list(range(50)) * 4, [alloc(0, (1, 1))], name="T")
+        cozy = cd_trace([90, 91] * 2000, [alloc(0, (1, 2))], name="C")
+        both = MultiprogSimulator(
+            [("T", thrash), ("C", cozy)],
+            total_frames=8,
+            mode="cd",
+            fault_service=500,
+        ).run()
+        solo = MultiprogSimulator(
+            [("T", thrash)], total_frames=8, mode="cd", fault_service=500
+        ).run()
+        # The cozy process's 4000 references fit inside T's fault stalls.
+        assert both.makespan < solo.makespan + 4000
+
+    def test_validation(self):
+        trace = cd_trace([0])
+        with pytest.raises(ValueError):
+            MultiprogSimulator([("A", trace), ("B", trace)], total_frames=1)
+        with pytest.raises(ValueError):
+            MultiprogSimulator([("A", trace)], total_frames=4, quantum=0)
+        with pytest.raises(ValueError):
+            MultiprogSimulator([("A", trace)], total_frames=4, mode="xx")
+
+
+class TestCDAllocation:
+    def test_grant_respects_available_memory(self):
+        # Request 10 with only 4 frames: falls through to the PI=1
+        # request of 2.
+        trace = cd_trace([0, 1] * 20, [alloc(0, (2, 10), (1, 2))])
+        sim = MultiprogSimulator([("A", trace)], total_frames=4, mode="cd")
+        sim.run()
+        assert sim.processes[0].target == 2
+
+    def test_pi1_denial_invokes_swapper(self):
+        # HOG fills 18 of 20 frames; NEEDY's late PI=1 request for 4
+        # pages cannot be granted, so the swapper evicts HOG.  Fast
+        # fault service lets HOG build up residency before the request.
+        hog_pages = list(range(18)) * 6000  # long-running: outlives NEEDY
+        hog = cd_trace(hog_pages, [alloc(0, (1, 18))], name="HOG")
+        needy = cd_trace(
+            [50, 51, 52, 53] * 200,
+            [alloc(40, (1, 4))],  # fires once HOG is fully resident
+            name="NEEDY",
+        )
+        result = MultiprogSimulator(
+            [("HOG", hog), ("NEEDY", needy)],
+            total_frames=20,
+            mode="cd",
+        ).run()
+        assert result.swaps >= 1
+
+    def test_outer_denial_does_not_swap(self):
+        # A PI=2 request that cannot be granted keeps the current
+        # allocation without invoking the swapper.
+        hog = cd_trace(list(range(18)) * 20, [alloc(0, (1, 18))], name="HOG")
+        modest = cd_trace(
+            [40, 41] * 100,
+            [alloc(0, (2, 19))],  # innermost PI is 2: never swaps
+            name="MODEST",
+        )
+        result = MultiprogSimulator(
+            [("HOG", hog), ("MODEST", modest)], total_frames=20, mode="cd"
+        ).run()
+        assert result.swaps == 0
+
+    def test_shrinking_target_releases_frames(self):
+        trace = cd_trace(
+            [0, 1, 2, 3, 4, 5, 0, 0, 0, 0],
+            [alloc(0, (2, 6)), alloc(6, (2, 6), (1, 1))],
+        )
+        sim = MultiprogSimulator([("A", trace)], total_frames=10, mode="cd")
+        sim.run()
+        assert sim.processes[0].resident_size <= 1 or sim.processes[
+            0
+        ].state is ProcessState.DONE
+
+
+class TestWSMode:
+    def test_ws_processes_complete(self):
+        traces = [
+            ("A", make_trace([0, 1, 2] * 100)),
+            ("B", make_trace([7, 8] * 120)),
+        ]
+        result = MultiprogSimulator(
+            traces, total_frames=12, mode="ws", ws_tau=50
+        ).run()
+        assert all(p.finish_time is not None for p in result.processes)
+
+    def test_ws_load_control_swaps_under_pressure(self):
+        # Two processes whose combined working sets exceed memory.
+        a = make_trace(list(range(10)) * 50, name="A")
+        b = make_trace(list(range(10)) * 50, name="B")
+        result = MultiprogSimulator(
+            [("A", a), ("B", b)], total_frames=12, mode="ws", ws_tau=100
+        ).run()
+        assert result.swaps >= 1
+
+    def test_ws_mem_tracks_window(self):
+        trace = make_trace([0, 1, 2, 3] * 100)
+        result = MultiprogSimulator(
+            [("A", trace)], total_frames=16, mode="ws", ws_tau=4
+        ).run()
+        assert result.processes[0].mem_average <= 4.5
+
+
+class TestResultAccounting:
+    def test_throughput(self):
+        trace = cd_trace([0, 1] * 100, [alloc(0, (1, 2))])
+        result = MultiprogSimulator([("A", trace)], total_frames=4).run()
+        assert 0 < result.throughput <= 1.0
+
+    def test_utilization_bounded(self):
+        trace = cd_trace([0, 1] * 100, [alloc(0, (1, 2))])
+        result = MultiprogSimulator([("A", trace)], total_frames=4).run()
+        assert 0 <= result.mem_utilization <= 1.0
+
+    def test_describe_lists_processes(self):
+        trace = cd_trace([0, 1] * 10, [alloc(0, (1, 2))])
+        result = MultiprogSimulator([("A", trace)], total_frames=4).run()
+        assert "A" in result.describe()

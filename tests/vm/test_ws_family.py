@@ -1,0 +1,148 @@
+"""Unit tests for the WS-family policies: DWS, SWS, VSWS."""
+
+import pytest
+
+from repro.vm.policies import (
+    DampedWorkingSetPolicy,
+    SampledWorkingSetPolicy,
+    VariableSampledWorkingSetPolicy,
+    WorkingSetPolicy,
+)
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+class TestDWS:
+    def test_cold_faults(self):
+        result = simulate(make_trace([0, 1, 2]), DampedWorkingSetPolicy(tau=10))
+        assert result.page_faults == 3
+
+    def test_expiry_batched_between_faults(self):
+        # With a large damp interval and no faults, stale pages linger
+        # beyond τ — until the next scan.
+        policy = DampedWorkingSetPolicy(tau=2, damp=100)
+        pages = [0, 1, 1, 1, 1, 1]
+        simulate(make_trace(pages), policy)
+        # Page 0 left the τ-window long ago but no fault/scan dropped it.
+        assert policy.resident_size == 2
+
+    def test_fault_forces_expiry(self):
+        # The same string plus a fault at the end: the fault triggers
+        # the expiry scan and page 0 is dropped with the new page added.
+        policy = DampedWorkingSetPolicy(tau=2, damp=100)
+        pages = [0, 1, 1, 1, 1, 1, 2]
+        simulate(make_trace(pages), policy)
+        assert policy.resident_size == 2  # {1, 2}; 0 was shed at the fault
+
+    def test_matches_ws_fault_count_on_stable_locality(self, cyclic_trace):
+        dws = simulate(cyclic_trace, DampedWorkingSetPolicy(tau=10))
+        ws = simulate(cyclic_trace, WorkingSetPolicy(tau=10))
+        assert dws.page_faults == ws.page_faults  # only cold faults
+
+    def test_dws_mem_at_most_slightly_above_ws(self, locality_trace):
+        # DWS holds stale pages a bit longer: MEM(DWS) >= MEM(WS),
+        # but the damping is bounded by the scan interval.
+        dws = simulate(locality_trace, DampedWorkingSetPolicy(tau=12, damp=3))
+        ws = simulate(locality_trace, WorkingSetPolicy(tau=12))
+        assert dws.mem_average >= ws.mem_average - 1e-9
+        assert dws.mem_average <= ws.mem_average + 2.0
+
+    def test_default_damp_is_quarter_window(self):
+        policy = DampedWorkingSetPolicy(tau=40)
+        assert policy.damp == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DampedWorkingSetPolicy(tau=0)
+        with pytest.raises(ValueError):
+            DampedWorkingSetPolicy(tau=5, damp=-1)
+
+    def test_reset(self):
+        policy = DampedWorkingSetPolicy(tau=5)
+        a = simulate(make_trace([0, 1, 2]), policy)
+        b = simulate(make_trace([0, 1, 2]), policy)
+        assert a.page_faults == b.page_faults
+
+
+class TestSWS:
+    def test_cold_faults(self):
+        result = simulate(make_trace([0, 1, 2]), SampledWorkingSetPolicy(interval=4))
+        assert result.page_faults == 3
+
+    def test_grows_between_samples(self):
+        policy = SampledWorkingSetPolicy(interval=100)
+        simulate(make_trace([0, 1, 2, 3, 4]), policy)
+        assert policy.resident_size == 5
+
+    def test_sample_drops_unreferenced(self):
+        # interval 4: at the sample boundary only pages used in the last
+        # interval survive.
+        policy = SampledWorkingSetPolicy(interval=4)
+        pages = [0, 1, 2, 3, 9, 9, 9, 9, 9]
+        simulate(make_trace(pages), policy)
+        assert policy.resident_size == 1  # only 9 survives the samples
+
+    def test_refault_after_sampling_out(self):
+        pages = [0, 9, 9, 9, 9, 9, 9, 9, 0]
+        result = simulate(make_trace(pages), SampledWorkingSetPolicy(interval=4))
+        # 0, 9 cold; 0 again after being sampled out.
+        assert result.page_faults == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledWorkingSetPolicy(interval=0)
+
+    def test_sws_cheaper_but_coarser_than_ws(self, locality_trace):
+        # At interval == τ the SWS resident set brackets the true WS:
+        # never smaller at sampling points, possibly larger between.
+        sws = simulate(locality_trace, SampledWorkingSetPolicy(interval=12))
+        ws = simulate(locality_trace, WorkingSetPolicy(tau=12))
+        assert sws.mem_average >= ws.mem_average * 0.5
+        assert sws.page_faults <= ws.page_faults + 5
+
+
+class TestVSWS:
+    def test_cold_faults(self):
+        policy = VariableSampledWorkingSetPolicy(m_min=2, l_max=20, q_faults=3)
+        result = simulate(make_trace([0, 1, 2]), policy)
+        assert result.page_faults == 3
+
+    def test_transition_triggers_early_sample(self):
+        # A fault burst after m_min forces a sample well before l_max.
+        policy = VariableSampledWorkingSetPolicy(m_min=2, l_max=1000, q_faults=2)
+        pages = [0, 1, 0, 1, 0, 1, 5, 6, 7, 8, 5, 6, 7, 8]
+        simulate(make_trace(pages), policy)
+        # The old locality {0, 1} was shed by the early sample.
+        assert 0 not in policy._resident
+        assert 1 not in policy._resident
+
+    def test_l_max_bounds_staleness(self):
+        policy = VariableSampledWorkingSetPolicy(m_min=1, l_max=4, q_faults=99)
+        pages = [0, 9, 9, 9, 9, 9, 9, 9, 9]
+        simulate(make_trace(pages), policy)
+        assert policy.resident_size == 1
+
+    def test_no_sample_before_m_min(self):
+        # Faults alone cannot trigger sampling before m_min elapses.
+        policy = VariableSampledWorkingSetPolicy(m_min=50, l_max=100, q_faults=1)
+        simulate(make_trace([0, 1, 2, 3, 4]), policy)
+        assert policy.resident_size == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableSampledWorkingSetPolicy(m_min=0, l_max=5, q_faults=1)
+        with pytest.raises(ValueError):
+            VariableSampledWorkingSetPolicy(m_min=6, l_max=5, q_faults=1)
+        with pytest.raises(ValueError):
+            VariableSampledWorkingSetPolicy(m_min=1, l_max=5, q_faults=0)
+
+    def test_reset(self):
+        policy = VariableSampledWorkingSetPolicy(m_min=2, l_max=8, q_faults=2)
+        a = simulate(make_trace([0, 1, 2, 0, 1]), policy)
+        b = simulate(make_trace([0, 1, 2, 0, 1]), policy)
+        assert a.page_faults == b.page_faults
+
+    def test_parameter_reported(self):
+        policy = VariableSampledWorkingSetPolicy(m_min=2, l_max=8, q_faults=2)
+        assert policy.describe_parameter() == 8

@@ -1,0 +1,89 @@
+"""Unit tests for the dynamic baselines: Working Set and PFF."""
+
+import pytest
+
+from repro.vm.policies import PFFPolicy, WorkingSetPolicy
+from repro.vm.simulator import simulate
+
+from .conftest import make_trace
+
+
+class TestWorkingSet:
+    def test_cold_faults(self):
+        result = simulate(make_trace([0, 1, 2]), WorkingSetPolicy(tau=10))
+        assert result.page_faults == 3
+
+    def test_rereference_within_window_hits(self):
+        result = simulate(make_trace([0, 1, 0]), WorkingSetPolicy(tau=2))
+        assert result.page_faults == 2
+
+    def test_rereference_outside_window_faults(self):
+        # gap of 2 with tau=1: page 0 left the working set.
+        result = simulate(make_trace([0, 1, 0]), WorkingSetPolicy(tau=1))
+        assert result.page_faults == 3
+
+    def test_window_size_one_keeps_one_page(self):
+        policy = WorkingSetPolicy(tau=1)
+        simulate(make_trace([0, 1, 2, 3]), policy)
+        assert policy.resident_size == 1
+
+    def test_ws_size_tracks_locality(self, locality_trace):
+        # A window spanning one phase holds ~2-3 pages, not 5.
+        result = simulate(locality_trace, WorkingSetPolicy(tau=6))
+        assert 1.5 < result.mem_average < 3.5
+
+    def test_large_window_holds_everything(self, locality_trace):
+        policy = WorkingSetPolicy(tau=locality_trace.length)
+        result = simulate(locality_trace, policy)
+        assert result.page_faults == 5  # only cold faults
+        assert policy.resident_size == 5
+
+    def test_transition_faults(self, locality_trace):
+        # Interlocality transition: the second phase cold-faults.
+        result = simulate(locality_trace, WorkingSetPolicy(tau=12))
+        assert result.page_faults == 5
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            WorkingSetPolicy(tau=0)
+
+    def test_mem_average_reflects_expiry(self):
+        # tau=1: exactly one page resident after each reference.
+        result = simulate(make_trace([0, 1, 2, 3]), WorkingSetPolicy(tau=1))
+        assert result.mem_average == 1.0
+
+
+class TestPFF:
+    def test_cold_faults(self):
+        result = simulate(make_trace([0, 1, 2]), PFFPolicy(threshold=2))
+        assert result.page_faults == 3
+
+    def test_grows_under_rapid_faulting(self):
+        # Faults closer together than the threshold accumulate pages.
+        policy = PFFPolicy(threshold=10)
+        simulate(make_trace([0, 1, 2, 3]), policy)
+        assert policy.resident_size == 4
+
+    def test_shrinks_on_slow_faulting(self):
+        # Long hit run, then a fault: shrink to used-since-last-fault + new.
+        policy = PFFPolicy(threshold=3)
+        pages = [0, 1, 1, 1, 1, 1, 2]
+        simulate(make_trace(pages), policy)
+        # At the fault on 2: used-since-last-fault = {1}; resident = {1, 2}.
+        assert policy.resident_size == 2
+
+    def test_never_evicts_on_hits(self):
+        policy = PFFPolicy(threshold=1)
+        trace = make_trace([0, 1, 0, 1, 0, 1])
+        simulate(trace, policy)
+        assert policy.resident_size == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PFFPolicy(threshold=0)
+
+    def test_reset(self):
+        policy = PFFPolicy(threshold=5)
+        first = simulate(make_trace([0, 1, 2]), policy)
+        second = simulate(make_trace([0, 1, 2]), policy)
+        assert first.page_faults == second.page_faults == 3

@@ -1,0 +1,178 @@
+"""Catalog-level tests: every benchmark parses, runs, and has the
+documented shape."""
+
+import math
+
+import pytest
+
+from repro.analysis.locality import analyze_program
+from repro.directives import instrument_program
+from repro.tracegen.interpreter import Interpreter, generate_trace
+from repro.workloads import all_workloads, get_workload, workload_names
+
+NAMES = [
+    "MAIN",
+    "FDJAC",
+    "TQL",
+    "FIELD",
+    "INIT",
+    "APPROX",
+    "HYBRJ",
+    "CONDUCT",
+    "HWSCRT",
+]
+
+
+class TestCatalog:
+    def test_all_nine_present(self):
+        assert workload_names() == NAMES
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("tql").name == "TQL"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("NOPE")
+
+    def test_programs_cached(self):
+        w = get_workload("MAIN")
+        assert w.program() is w.program()
+        assert w.symbols() is w.symbols()
+
+    def test_descriptions_and_origins(self):
+        for w in all_workloads():
+            assert w.description
+            assert w.origin
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestEveryWorkload:
+    def test_parses_and_runs(self, name):
+        w = get_workload(name)
+        trace = generate_trace(w.program(), symbols=w.symbols())
+        assert trace.length > 1000
+        assert not trace.truncated
+
+    def test_instrumentable(self, name):
+        w = get_workload(name)
+        plan = instrument_program(w.program(), symbols=w.symbols())
+        assert plan.allocates  # every loop got an ALLOCATE
+
+    def test_directive_trace(self, name):
+        w = get_workload(name)
+        plan = instrument_program(w.program(), symbols=w.symbols())
+        trace = generate_trace(w.program(), plan=plan, symbols=w.symbols())
+        assert trace.directives
+        assert trace.directives[0].position == 0
+
+    def test_touches_most_of_its_space(self, name):
+        w = get_workload(name)
+        trace = generate_trace(w.program(), symbols=w.symbols())
+        assert trace.distinct_pages >= 0.9 * trace.total_pages
+
+
+class TestDocumentedShapes:
+    def test_conduct_virtual_size_matches_paper(self):
+        # "program CONDUCT has a total of 270 pages in its virtual space"
+        w = get_workload("CONDUCT")
+        trace = generate_trace(w.program(), symbols=w.symbols())
+        assert trace.total_pages == 270
+
+    def test_hwscrt_virtual_size_matches_paper(self):
+        # "program HWSCRT has 69 pages in its virtual space"
+        w = get_workload("HWSCRT")
+        trace = generate_trace(w.program(), symbols=w.symbols())
+        assert trace.total_pages == 69
+
+    def test_main_has_three_directive_levels(self):
+        # Table 1 needs MAIN1/MAIN2/MAIN3: the nest must be 3 deep.
+        w = get_workload("MAIN")
+        analysis = analyze_program(w.program(), symbols=w.symbols())
+        assert analysis.tree.max_depth >= 3
+
+    def test_fdjac_fills_jacobian_column_wise(self):
+        w = get_workload("FDJAC")
+        analysis = analyze_program(w.program(), symbols=w.symbols())
+        from repro.analysis.reference_order import (
+            ReferenceOrder,
+            classify_references,
+        )
+
+        ranks = {n: i.rank for n, i in w.symbols().arrays.items()}
+        orders = set()
+        for root in analysis.tree.roots:
+            for g in classify_references(analysis.tree, root, ranks):
+                if g.array == "FJAC":
+                    orders.add(g.order)
+        assert ReferenceOrder.COLUMN_WISE in orders
+        assert ReferenceOrder.ROW_WISE in orders  # the final J*x product
+
+
+class TestNumericalCorrectness:
+    """The interpreter runs real numerics: validate the algorithms."""
+
+    def run_interp(self, name):
+        w = get_workload(name)
+        it = Interpreter(w.program(), symbols=w.symbols())
+        it.run()
+        return it
+
+    def test_tql_eigenvalues(self):
+        # Eigenvalues of the N x N (-1, 2, -1) Toeplitz matrix are
+        # 2 - 2 cos(k pi / (N+1)).
+        it = self.run_interp("TQL")
+        n = it.symbols.params["N"]
+        computed = sorted(float(it.arrays["D"][i]) for i in range(n))
+        expected = sorted(
+            2.0 - 2.0 * math.cos(k * math.pi / (n + 1)) for k in range(1, n + 1)
+        )
+        for got, want in zip(computed, expected):
+            assert got == pytest.approx(want, abs=1e-6)
+
+    def test_approx_fits_the_data(self):
+        # The Chebyshev fit of sin(3x) + x/2 on [-1, 1] with 10 basis
+        # functions reproduces the samples to high accuracy.
+        it = self.run_interp("APPROX")
+        coef = it.arrays["COEF"]
+        x = it.arrays["X"]
+        y = it.arrays["Y"]
+        n_basis = it.symbols.params["NBASIS"]
+        for idx in (0, 100, 300, 511):
+            t = [1.0, float(x[idx])]
+            for k in range(2, n_basis):
+                t.append(2.0 * float(x[idx]) * t[k - 1] - t[k - 2])
+            fit = sum(float(coef[k]) * t[k] for k in range(n_basis))
+            # 10 Chebyshev terms truncate sin(3x) + x/2 at ~1e-5.
+            assert fit == pytest.approx(float(y[idx]), abs=1e-4)
+
+    def test_conduct_temperatures_bounded(self):
+        # Explicit diffusion with a 100-degree strip: the field stays in
+        # [0, 100] (the scheme is stable at r = 0.2).
+        it = self.run_interp("CONDUCT")
+        t_field = it.arrays["T"]
+        assert t_field.min() >= 0.0
+        assert t_field.max() <= 100.0 + 1e-9
+        # Heat flowed into the row adjacent to the strip.
+        nx = it.symbols.params["NX"]
+        assert float(t_field[nx + 1]) > 0.0  # element (2, 2), column-major
+
+    def test_hybrj_converges_toward_root(self):
+        # The damped Newton iterations shrink the residual norm.
+        it = self.run_interp("HYBRJ")
+        f = it.arrays["F"]
+        residual = sum(float(v) ** 2 for v in f) ** 0.5
+        assert residual < 1.0  # started at ~several
+
+    def test_field_solution_sign_structure(self):
+        # Positive charge raises the potential near it.
+        it = self.run_interp("FIELD")
+        phi = it.arrays["PHI"]
+        assert phi.max() > 0.0
+        assert phi.min() < 0.0
+
+    def test_init_normalized_columns(self):
+        it = self.run_interp("INIT")
+        c = it.arrays["C"]
+        nx = it.symbols.params["NX"]
+        column0 = c[:nx]
+        assert abs(sum(abs(v) for v in column0) - 1.0) < 1e-9
