@@ -86,3 +86,143 @@ def bench_trace_generation(benchmark, warm_artifacts):
 
     trace = benchmark(generate)
     benchmark.extra_info["refs"] = trace.length
+
+
+def bench_replay_cd_fast(benchmark, conduct_trace):
+    """Closed-form CD replay (the path the tables actually take)."""
+    from repro.vm.analyzers import LRUSweep
+    from repro.vm.fastsim import simulate_cd_fast
+    from repro.vm.policies import CDConfig
+
+    distances = LRUSweep(conduct_trace)._distances
+    result = benchmark(
+        simulate_cd_fast, conduct_trace, CDConfig(pi_cap=2), distances
+    )
+    benchmark.extra_info["refs_per_sec"] = round(
+        conduct_trace.length / benchmark.stats.stats.mean
+    )
+    assert result.page_faults > 0
+
+
+# -- standalone summary writer -------------------------------------------------
+#
+# ``python benchmarks/bench_simulator.py`` measures the headline numbers
+# without pytest-benchmark and writes them to BENCH_simulator.json at
+# the repo root: per-policy replay throughput, per-table wall times, and
+# the cold/warm ``table 2`` CLI walls against the pre-optimization seed.
+
+
+#: seed-tree wall time of ``python -m repro table 2`` (measured before
+#: the affine trace compiler / fast CD replay / artifact cache landed)
+SEED_TABLE2_WALL = 8.78
+
+
+def _time(fn, repeat=3):
+    import time as _time_mod
+
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = _time_mod.perf_counter()
+        fn()
+        best = min(best, _time_mod.perf_counter() - t0)
+    return best
+
+
+def _cli_wall(args, env):
+    import subprocess
+    import sys
+    import time as _time_mod
+
+    t0 = _time_mod.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        check=True,
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    return _time_mod.perf_counter() - t0
+
+
+def write_summary(path="BENCH_simulator.json"):
+    import json
+    import os
+    import sys
+    import tempfile
+
+    from repro.experiments.runner import clear_cache
+    from repro.tracegen.interpreter import generate_trace
+    from repro.vm.analyzers import LRUSweep as _LRU
+    from repro.vm.fastsim import simulate_cd_fast
+    from repro.vm.policies import CDConfig
+    from repro.workloads import get_workload, workload_names
+
+    summary = {"seed_table2_wall_sec": SEED_TABLE2_WALL}
+
+    trace = artifacts_for("CONDUCT").trace
+    replay = {}
+    policies = {
+        "LRU": lambda: simulate(trace, LRUPolicy(frames=32)),
+        "FIFO": lambda: simulate(trace, FIFOPolicy(frames=32)),
+        "WS": lambda: simulate(trace, WorkingSetPolicy(tau=2000)),
+        "CD": lambda: simulate(trace, CDPolicy()),
+    }
+    distances = _LRU(trace)._distances
+    policies["CD_fast"] = lambda: simulate_cd_fast(
+        trace, CDConfig(pi_cap=2), distances
+    )
+    for name, fn in policies.items():
+        secs = _time(fn)
+        replay[name] = {
+            "wall_sec": round(secs, 4),
+            "refs_per_sec": round(trace.length / secs),
+        }
+    summary["replay_conduct"] = replay
+
+    tracegen = {}
+    for name in workload_names():
+        w = get_workload(name)
+        secs = _time(
+            lambda: generate_trace(w.program(), symbols=w.symbols()), repeat=1
+        )
+        t = w.program()  # noqa: F841 - keep parse warm across timings
+        tracegen[name] = {"wall_sec": round(secs, 4)}
+    summary["tracegen"] = tracegen
+
+    # True CLI wall times, in fresh processes: cold (empty cache) and
+    # warm (cache populated by the cold run).  Best of two runs each —
+    # single-sample process walls are noisy on small machines.
+    with tempfile.TemporaryDirectory() as cache:
+        env = dict(os.environ, REPRO_CACHE_DIR=cache, PYTHONPATH="src")
+        tables = {}
+
+        def cold_run():
+            for entry in os.listdir(cache):
+                os.unlink(os.path.join(cache, entry))
+            return _cli_wall(["table", "2"], env)
+
+        cold2 = min(cold_run(), cold_run())
+        warm2 = min(_cli_wall(["table", "2"], env) for _ in range(2))
+        tables["2"] = {
+            "cold_wall_sec": round(cold2, 3),
+            "warm_wall_sec": round(warm2, 3),
+            "cold_speedup_vs_seed": round(SEED_TABLE2_WALL / cold2, 2),
+            "warm_speedup_vs_seed": round(SEED_TABLE2_WALL / warm2, 2),
+        }
+        for which in ("1", "3", "4"):
+            tables[which] = {
+                "warm_wall_sec": round(_cli_wall(["table", which], env), 3)
+            }
+        summary["tables"] = tables
+
+    clear_cache(disk=False)
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}", file=sys.stderr)
+    return summary
+
+
+if __name__ == "__main__":
+    import sys
+
+    write_summary(*sys.argv[1:2])

@@ -153,7 +153,14 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    import time
+
+    from repro.experiments.runner import STATS, warm_for_table
+
+    t0 = time.perf_counter()
     which = args.which.lower()
+    if args.jobs and args.jobs > 1:
+        warm_for_table(which, jobs=args.jobs)
     if which == "1":
         from repro.experiments.table1 import render_table1
 
@@ -204,6 +211,30 @@ def _cmd_table(args) -> int:
         print(render_adaptive_study())
     else:
         raise SystemExit(f"error: unknown table {args.which!r}")
+    if args.stats:
+        wall = time.perf_counter() - t0
+        print(f"[stats] wall {wall:.2f}s · {STATS.describe()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.experiments.runner import cache_dir, cache_info, clear_cache
+
+    action = args.action
+    if action == "path":
+        cdir = cache_dir()
+        print(cdir if cdir is not None else "(disabled)")
+    elif action == "info":
+        info = cache_info()
+        print(f"dir:          {info['dir'] or '(disabled)'}")
+        print(f"disk entries: {info['disk_entries']}")
+        print(f"disk bytes:   {info['disk_bytes']}")
+    elif action == "clear":
+        before = cache_info()["disk_entries"]
+        clear_cache()
+        print(f"removed {before} cached file(s)")
+    else:
+        raise SystemExit(f"error: unknown cache action {action!r}")
     return 0
 
 
@@ -323,7 +354,25 @@ def build_parser() -> argparse.ArgumentParser:
             "wsfamily, control, or adaptive"
         ),
     )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="build missing artifacts with this many worker processes",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage wall time and cache hit counts to stderr",
+    )
     p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    p.add_argument("action", choices=["info", "clear", "path"])
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
         "bli", help="detect locality intervals and compare with predictions"

@@ -1,28 +1,85 @@
 """Per-workload artifact cache and CD simulation entry points.
 
-Generating a trace and its LRU/WS sweeps costs seconds; every table
-needs the same artifacts.  :func:`artifacts_for` memoizes them per
-(workload, geometry) so the whole evaluation reuses one trace per
-program, exactly as the paper replays one trace per program through all
-policies.
+Generating a trace and its LRU/WS sweeps costs real time; every table
+needs the same artifacts.  Three layers keep that cost paid once:
+
+* an in-process memo (:data:`_CACHE`) so one Python run reuses one
+  trace per (workload, geometry), exactly as the paper replays one
+  trace per program through all policies;
+* a **persistent disk cache** (``.repro-cache/`` by default, see
+  :func:`cache_dir`) holding the trace and the per-reference sweep
+  arrays keyed by a content hash of everything that determines them —
+  workload source, page geometry, sizing strategy, lock mode, and the
+  on-disk format version — so fresh processes warm-start;
+* a process-pool warm-up (:func:`warm_artifacts`) that builds missing
+  cache entries for many workloads in parallel (``--jobs``).
+
+CD replays go through the closed-form fast path
+(:mod:`repro.vm.fastsim`) whenever it is exact, and fall back to the
+event-driven simulator for memory ceilings and LOCK pinning.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.analysis.locality import LocalityAnalysis, SizingStrategy, analyze_program
 from repro.analysis.parameters import PageConfig
 from repro.directives import instrument_program
 from repro.directives.model import InstrumentationPlan
+from repro.tracegen import io as trace_io
 from repro.tracegen.events import ReferenceTrace
 from repro.tracegen.interpreter import generate_trace
 from repro.vm.analyzers import LRUSweep, WSSweep
+from repro.vm.fastsim import cd_fast_applicable, simulate_cd_fast
 from repro.vm.metrics import SimulationResult
 from repro.vm.policies import CDConfig, CDPolicy
 from repro.vm.simulator import simulate
 from repro.workloads import get_workload
+
+
+class StageStats:
+    """Wall-time/throughput accounting per pipeline stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.units: Dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def add(self, stage: str, seconds: float, units: int = 0) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        self.units[stage] = self.units.get(stage, 0) + units
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.units.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def describe(self) -> str:
+        parts = []
+        for stage in sorted(self.seconds):
+            secs = self.seconds[stage]
+            units = self.units.get(stage, 0)
+            if units and secs > 0:
+                parts.append(f"{stage} {secs:.2f}s ({units / secs / 1e3:.0f}k refs/s)")
+            else:
+                parts.append(f"{stage} {secs:.2f}s")
+        parts.append(f"cache {self.cache_hits} hit / {self.cache_misses} miss")
+        return " · ".join(parts)
+
+
+#: process-wide stage accounting (rendered by ``table --stats``)
+STATS = StageStats()
 
 
 @dataclass
@@ -37,8 +94,22 @@ class WorkloadArtifacts:
     ws: WSSweep = field(repr=False, default=None)
 
     def cd_result(self, config: Optional[CDConfig] = None) -> SimulationResult:
-        """Replay the trace under CD with ``config``."""
-        return simulate(self.trace, CDPolicy(config))
+        """Replay the trace under CD with ``config``.
+
+        Uses the closed-form replay when it is provably exact (no
+        memory ceiling, no LOCK pinning); the event-driven simulator
+        otherwise.
+        """
+        config = config or CDConfig()
+        t0 = time.perf_counter()
+        if cd_fast_applicable(self.trace, config):
+            result = simulate_cd_fast(
+                self.trace, config, distances=self.lru._distances
+            )
+        else:
+            result = simulate(self.trace, CDPolicy(config))
+        STATS.add("simulate", time.perf_counter() - t0, len(self.trace.pages))
+        return result
 
     def best_cd_result(
         self, caps: Tuple[Optional[int], ...] = (None, 2, 1)
@@ -53,6 +124,136 @@ class WorkloadArtifacts:
 
 
 _CACHE: Dict[Tuple[str, PageConfig, SizingStrategy, bool], WorkloadArtifacts] = {}
+
+
+# -- disk cache ----------------------------------------------------------------
+
+
+def cache_dir() -> Optional[Path]:
+    """The on-disk artifact cache directory, or None when disabled.
+
+    ``REPRO_CACHE_DIR`` overrides the default ``.repro-cache``; setting
+    it to an empty string disables persistence entirely.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return Path(env) if env else None
+    return Path(".repro-cache")
+
+
+def _cache_key(
+    source: str,
+    page_config: PageConfig,
+    strategy: SizingStrategy,
+    with_locks: bool,
+) -> str:
+    payload = json.dumps(
+        {
+            "source": source,
+            "page_bytes": page_config.page_bytes,
+            "word_bytes": page_config.word_bytes,
+            "strategy": strategy.value,
+            "with_locks": with_locks,
+            "format": trace_io.FORMAT_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _entry_paths(cdir: Path, key: str) -> Tuple[Path, Path]:
+    return cdir / f"trace-{key}.npz", cdir / f"sweeps-{key}.npz"
+
+
+def _load_entry(
+    cdir: Path, key: str, name: str
+) -> Optional[Tuple[ReferenceTrace, LRUSweep, WSSweep]]:
+    trace_path, sweeps_path = _entry_paths(cdir, key)
+    if not (trace_path.exists() and sweeps_path.exists()):
+        return None
+    try:
+        trace = trace_io.load_trace(trace_path)
+        arrays = trace_io.load_sweeps(sweeps_path)
+        lru = LRUSweep.from_arrays(
+            {
+                "pages": trace.pages,
+                "distances": arrays["distances"],
+                "distinct": arrays["distinct"],
+            },
+            program=name,
+        )
+        ws = WSSweep.from_arrays(
+            {
+                "pages": trace.pages,
+                "backward": arrays["backward"],
+                "forward": arrays["forward"],
+            },
+            program=name,
+        )
+        best = arrays.get("ws_best")
+        if best is not None and int(best[4]) == ws.fault_service:
+            # Rehydrate the default-grid WS optimum so warm runs skip
+            # the ~80-window scan entirely.
+            ws._min_st_cache = SimulationResult(
+                policy="WS",
+                program=name,
+                page_faults=int(best[1]),
+                references=len(trace.pages),
+                mem_average=float(best[2]),
+                space_time=float(best[3]),
+                parameter=int(best[0]),
+                fault_service=ws.fault_service,
+            )
+    except (OSError, ValueError, KeyError, IndexError):
+        return None  # stale/corrupt entry: rebuild (and overwrite)
+    return trace, lru, ws
+
+
+def _store_entry(
+    cdir: Path, key: str, trace: ReferenceTrace, lru: LRUSweep, ws: WSSweep
+) -> None:
+    try:
+        cdir.mkdir(parents=True, exist_ok=True)
+        trace_path, sweeps_path = _entry_paths(cdir, key)
+        # Write-then-rename so a concurrent reader (or a crash) never
+        # sees a half-written archive.
+        tmp = trace_path.with_name(trace_path.name + f".tmp{os.getpid()}.npz")
+        try:
+            trace_io.save_trace(trace, tmp, compress=False)
+            os.replace(tmp, trace_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        best = ws.min_space_time()  # computed once, reused warm
+        tmp = sweeps_path.with_name(sweeps_path.name + f".tmp{os.getpid()}.npz")
+        try:
+            trace_io.save_sweeps(
+                {
+                    "distances": lru._distances,
+                    "distinct": lru._distinct,
+                    "backward": ws._backward,
+                    "forward": ws._forward,
+                    "ws_best": np.array(
+                        [
+                            float(best.parameter),
+                            float(best.page_faults),
+                            best.mem_average,
+                            best.space_time,
+                            float(best.fault_service),
+                        ]
+                    ),
+                },
+                tmp,
+            )
+            os.replace(tmp, sweeps_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+    except OSError:
+        pass  # a read-only filesystem must not break the experiments
+
+
+# -- artifact construction -----------------------------------------------------
 
 
 def artifacts_for(
@@ -79,21 +280,162 @@ def artifacts_for(
         program, symbols=symbols, page_config=page_config, strategy=strategy
     )
     plan = instrument_program(program, analysis=analysis, with_locks=with_locks)
-    trace = generate_trace(
-        program, plan=plan, symbols=symbols, page_config=page_config
-    )
+
+    cdir = cache_dir()
+    disk_key = _cache_key(workload.source, page_config, strategy, with_locks)
+    entry = _load_entry(cdir, disk_key, workload.name) if cdir else None
+    if entry is not None:
+        trace, lru, ws = entry
+        STATS.cache_hits += 1
+    else:
+        STATS.cache_misses += 1
+        t0 = time.perf_counter()
+        trace = generate_trace(
+            program, plan=plan, symbols=symbols, page_config=page_config
+        )
+        t1 = time.perf_counter()
+        STATS.add("tracegen", t1 - t0, len(trace.pages))
+        lru = LRUSweep(trace)
+        ws = WSSweep(trace)
+        STATS.add("sweeps", time.perf_counter() - t1, 2 * len(trace.pages))
+        if cdir is not None:
+            _store_entry(cdir, disk_key, trace, lru, ws)
+
     artifacts = WorkloadArtifacts(
         name=workload.name,
         analysis=analysis,
         plan=plan,
         trace=trace,
-        lru=LRUSweep(trace),
-        ws=WSSweep(trace),
+        lru=lru,
+        ws=ws,
     )
     _CACHE[key] = artifacts
     return artifacts
 
 
-def clear_cache() -> None:
-    """Drop all memoized artifacts (tests use this for isolation)."""
+def clear_cache(disk: bool = True) -> None:
+    """Drop all memoized artifacts — in-memory and (by default) the
+    on-disk entries too (tests use this for isolation)."""
     _CACHE.clear()
+    if not disk:
+        return
+    cdir = cache_dir()
+    if cdir is None or not cdir.is_dir():
+        return
+    for path in cdir.glob("trace-*.npz"):
+        path.unlink(missing_ok=True)
+    for path in cdir.glob("sweeps-*.npz"):
+        path.unlink(missing_ok=True)
+
+
+def cache_info() -> Dict[str, object]:
+    """Inspect the artifact caches (for the ``cache`` CLI subcommand)."""
+    cdir = cache_dir()
+    info: Dict[str, object] = {
+        "memory_entries": len(_CACHE),
+        "dir": str(cdir) if cdir else None,
+        "disk_entries": 0,
+        "disk_bytes": 0,
+    }
+    if cdir is not None and cdir.is_dir():
+        files = list(cdir.glob("trace-*.npz")) + list(cdir.glob("sweeps-*.npz"))
+        info["disk_entries"] = len(files)
+        info["disk_bytes"] = sum(f.stat().st_size for f in files)
+    return info
+
+
+# -- parallel warm-up ----------------------------------------------------------
+
+
+#: (workload name, with_locks) pairs; geometry/strategy ride along per call
+WarmSpec = Tuple[str, bool]
+
+
+def _warm_worker(args) -> str:
+    """Child-process entry: build one workload's artifacts so the disk
+    cache is populated; the parent then loads the result."""
+    name, with_locks, page_bytes, word_bytes, strategy_value = args
+    artifacts_for(
+        name,
+        page_config=PageConfig(page_bytes=page_bytes, word_bytes=word_bytes),
+        strategy=SizingStrategy(strategy_value),
+        with_locks=with_locks,
+    )
+    return name
+
+
+def warm_artifacts(
+    specs: Iterable[WarmSpec],
+    page_config: Optional[PageConfig] = None,
+    strategy: SizingStrategy = SizingStrategy.ACTIVE_PAGE,
+    jobs: Optional[int] = None,
+) -> None:
+    """Ensure artifacts exist for every (workload, with_locks) spec,
+    fanning independent builds across a process pool when ``jobs`` > 1.
+
+    Parallel builds communicate through the disk cache; with persistence
+    disabled (``REPRO_CACHE_DIR=""``) the fan-out would be wasted work,
+    so everything runs sequentially in-process instead.
+    """
+    page_config = page_config or PageConfig()
+    specs = list(dict.fromkeys(specs))
+    todo: List[WarmSpec] = []
+    cdir = cache_dir()
+    for name, with_locks in specs:
+        mem_key = (name.upper(), page_config, strategy, with_locks)
+        if mem_key in _CACHE:
+            continue
+        if cdir is not None:
+            disk_key = _cache_key(
+                get_workload(name).source, page_config, strategy, with_locks
+            )
+            trace_path, sweeps_path = _entry_paths(cdir, disk_key)
+            if trace_path.exists() and sweeps_path.exists():
+                continue
+        todo.append((name, with_locks))
+
+    jobs = jobs or 1
+    if jobs > 1 and cdir is not None and len(todo) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        t0 = time.perf_counter()
+        worker_args = [
+            (name, with_locks, page_config.page_bytes, page_config.word_bytes,
+             strategy.value)
+            for name, with_locks in todo
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            for _ in pool.map(_warm_worker, worker_args):
+                pass
+        STATS.add("warm-pool", time.perf_counter() - t0)
+        todo = []
+    for name, with_locks in todo:
+        artifacts_for(
+            name, page_config=page_config, strategy=strategy,
+            with_locks=with_locks,
+        )
+    # pull everything (parallel builds included) into the process memo
+    for name, with_locks in specs:
+        artifacts_for(
+            name, page_config=page_config, strategy=strategy,
+            with_locks=with_locks,
+        )
+
+
+def warm_for_table(which: str, jobs: Optional[int] = None) -> None:
+    """Pre-build the artifacts a ``table`` subcommand will need."""
+    from repro.experiments.config import table1_rows, table2_rows
+
+    which = which.lower()
+    if which == "1":
+        rows = table1_rows()
+    elif which in ("2", "3", "4"):
+        rows = table2_rows()
+    else:  # ablations/studies pull broadly: warm the full default set
+        from repro.workloads import all_workloads
+
+        warm_artifacts([(w.name, False) for w in all_workloads()], jobs=jobs)
+        return
+    warm_artifacts(
+        [(v.workload, v.with_locks) for v in rows], jobs=jobs
+    )

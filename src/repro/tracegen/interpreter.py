@@ -117,7 +117,14 @@ class Interpreter:
         plan: Optional[InstrumentationPlan] = None,
         max_references: int = 5_000_000,
         max_operations: int = 100_000_000,
+        compile_nests: bool = False,
     ):
+        # compile_nests enables the affine fast path, which tracks
+        # values only for names that can influence the trace: the
+        # returned trace is exact, but scalar/array state left behind
+        # is not.  Use it when the trace is the only observable output
+        # (generate_trace does); direct Interpreter users who inspect
+        # ``scalars``/``arrays`` afterwards need pure interpretation.
         self.program = program
         self.symbols = symbols or SymbolTable.from_program(program)
         self.page_config = page_config or PageConfig()
@@ -141,6 +148,12 @@ class Interpreter:
         self._loop_stack: List[int] = []
         self._operations = 0
         self._truncated = False
+        if compile_nests:
+            from repro.tracegen.compile import TraceCompiler
+
+            self._compiler: Optional[TraceCompiler] = TraceCompiler(self)
+        else:
+            self._compiler = None
 
     # -- public -------------------------------------------------------------
 
@@ -197,7 +210,8 @@ class Interpreter:
         if isinstance(stmt, ast.Assign):
             self._exec_assign(stmt)
         elif isinstance(stmt, ast.DoLoop):
-            self._exec_do(stmt)
+            if self._compiler is None or not self._compiler.try_execute(stmt):
+                self._exec_do(stmt)
         elif isinstance(stmt, ast.WhileLoop):
             self._exec_while(stmt)
         elif isinstance(stmt, ast.IfBlock):
@@ -487,8 +501,14 @@ def generate_trace(
     page_config: Optional[PageConfig] = None,
     max_references: int = 5_000_000,
     max_operations: int = 100_000_000,
+    compile_nests: bool = True,
 ) -> ReferenceTrace:
-    """Execute ``program`` and return its reference trace."""
+    """Execute ``program`` and return its reference trace.
+
+    ``compile_nests=False`` disables the affine fast path
+    (:mod:`repro.tracegen.compile`) and forces pure interpretation —
+    the reference behaviour the compiler is tested against.
+    """
     interpreter = Interpreter(
         program,
         symbols=symbols,
@@ -496,5 +516,6 @@ def generate_trace(
         plan=plan,
         max_references=max_references,
         max_operations=max_operations,
+        compile_nests=compile_nests,
     )
     return interpreter.run()

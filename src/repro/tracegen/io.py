@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -24,7 +24,8 @@ from repro.directives.model import AllocateRequest
 from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
 
 #: bumped on any incompatible change to the on-disk layout
-FORMAT_VERSION = 1
+#: (v2: companion sweep-array archives, version-stamped like traces)
+FORMAT_VERSION = 2
 
 
 def _event_to_dict(event: DirectiveEvent) -> dict:
@@ -54,8 +55,14 @@ def _event_from_dict(data: dict) -> DirectiveEvent:
     )
 
 
-def save_trace(trace: ReferenceTrace, path: Union[str, Path]) -> Path:
-    """Write ``trace`` to ``path`` (``.npz`` appended when missing)."""
+def save_trace(
+    trace: ReferenceTrace, path: Union[str, Path], compress: bool = True
+) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended when missing).
+
+    ``compress=False`` trades disk for wall time — right for cache
+    files that are rewritten often, wrong for archival traces.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -70,7 +77,8 @@ def save_trace(trace: ReferenceTrace, path: Union[str, Path]) -> Path:
         },
         "directives": [_event_to_dict(d) for d in trace.directives],
     }
-    np.savez_compressed(
+    writer = np.savez_compressed if compress else np.savez
+    writer(
         path,
         pages=trace.pages,
         header=np.frombuffer(
@@ -107,3 +115,33 @@ def load_trace(path: Union[str, Path]) -> ReferenceTrace:
         },
         truncated=bool(header["truncated"]),
     )
+
+
+def save_sweeps(
+    arrays: Dict[str, np.ndarray], path: Union[str, Path]
+) -> Path:
+    """Write precomputed sweep arrays (LRU distances, WS gaps, …) to a
+    version-stamped ``.npz`` companion of a saved trace."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    stamped = dict(arrays)
+    stamped["format_version"] = np.array(FORMAT_VERSION, dtype=np.int64)
+    # Uncompressed: these are cache files, and deflate costs more wall
+    # time per table run than the disk it saves.
+    np.savez(path, **stamped)
+    return path
+
+
+def load_sweeps(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read sweep arrays written by :func:`save_sweeps`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    version = int(arrays.pop("format_version", -1))
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses sweep format {version}; this build reads "
+            f"{FORMAT_VERSION}"
+        )
+    return arrays

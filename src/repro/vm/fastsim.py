@@ -1,0 +1,159 @@
+"""Closed-form CD replay for the uniprogrammed, lock-free case.
+
+The paper's main experiments run CD with no physical-memory ceiling and
+no LOCK directives.  Under those conditions the policy degenerates to
+*LRU with a piecewise-constant allocation target*: the resident set is
+always the top ``r`` entries of the global LRU stack, where ``r`` grows
+by one per fault up to the current target and is clamped down whenever
+an ALLOCATE grants less.  A reference faults iff its LRU stack distance
+exceeds the current ``r`` — and stack distances are computed once per
+trace (shared with :class:`~repro.vm.analyzers.LRUSweep`), so replaying
+a directive set costs one pass over the *segments* between directives
+instead of one Python-level step per reference.
+
+Every number produced here is exactly equal to driving
+:class:`~repro.vm.policies.cd.CDPolicy` through
+:func:`~repro.vm.simulator.simulate` (asserted by the test suite); the
+event-driven pair remains the reference implementation and handles the
+general case (memory ceilings, LOCK pinning).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tracegen.events import DirectiveKind, ReferenceTrace
+from repro.vm.metrics import FAULT_SERVICE_REFERENCES, SimulationResult
+from repro.vm.policies.cd import CDConfig
+
+
+def cd_fast_applicable(trace: ReferenceTrace, config: CDConfig) -> bool:
+    """True when the closed-form replay reproduces the full simulator.
+
+    Requires the uniprogramming assumption (no memory ceiling) and no
+    LOCK pinning in play; UNLOCK events without a prior LOCK are inert
+    and do not disqualify a trace.
+    """
+    if config.memory_limit is not None:
+        return False
+    if config.honor_locks and any(
+        d.kind is DirectiveKind.LOCK for d in trace.directives
+    ):
+        return False
+    return True
+
+
+def _allocation_schedule(
+    trace: ReferenceTrace, config: CDConfig
+) -> List[Tuple[int, int]]:
+    """(position, new_target) per ALLOCATE, mirroring CDPolicy's grant
+    rule for the no-ceiling case: the first eligible (outermost) request
+    is always affordable."""
+    cap = config.pi_cap
+    floor = config.min_allocation
+    schedule: List[Tuple[int, int]] = []
+    for event in trace.directives:
+        if event.kind is not DirectiveKind.ALLOCATE:
+            continue
+        requests = event.requests
+        if cap is None:
+            granted = requests[0].pages
+        else:
+            eligible = [r for r in requests if r.priority_index <= cap]
+            granted = eligible[0].pages if eligible else requests[-1].pages
+        schedule.append((event.position, max(granted, floor)))
+    return schedule
+
+
+def simulate_cd_fast(
+    trace: ReferenceTrace,
+    config: Optional[CDConfig] = None,
+    distances: Optional[np.ndarray] = None,
+    fault_service: int = FAULT_SERVICE_REFERENCES,
+) -> SimulationResult:
+    """Replay ``trace`` under CD without a per-reference loop.
+
+    ``distances`` are the trace's LRU stack distances (cold = huge); pass
+    ``LRUSweep(trace)._distances`` — or leave None to compute them here.
+    Raises ValueError if :func:`cd_fast_applicable` is False.
+    """
+    config = config or CDConfig()
+    if not cd_fast_applicable(trace, config):
+        raise ValueError("trace/config requires the event-driven simulator")
+    if distances is None:
+        from repro.vm.analyzers import LRUSweep
+
+        distances = LRUSweep(trace)._distances
+    n = len(trace.pages)
+    d = distances
+
+    # Prefix fault counts per distinct target, built lazily: entry T
+    # holds P with P[k] = #references in [0, k) whose distance > T.
+    prefix_cache: Dict[int, np.ndarray] = {}
+
+    def prefix(target: int) -> np.ndarray:
+        p = prefix_cache.get(target)
+        if p is None:
+            p = np.empty(n + 1, dtype=np.int64)
+            p[0] = 0
+            np.cumsum(d > target, out=p[1:])
+            prefix_cache[target] = p
+        return p
+
+    r = 0  # resident-set size == depth of the LRU-stack prefix held
+    target = config.min_allocation
+    mem_sum = 0
+    fault_space = 0
+    faults = 0
+
+    def run_segment(a: int, b: int) -> None:
+        nonlocal r, mem_sum, fault_space, faults
+        cur = a
+        # Ramp phase: below target, each fault grows the residency.
+        while r < target and cur < b:
+            window = d[cur:b] > r
+            hit_run = int(np.argmax(window))
+            if not window[hit_run]:
+                mem_sum += r * (b - cur)
+                return
+            mem_sum += r * hit_run
+            r = min(r + 1, target)
+            mem_sum += r
+            fault_space += r * fault_service
+            faults += 1
+            cur += hit_run + 1
+        if cur < b:
+            # Saturated: residency pinned at the target for the rest.
+            p = prefix(target)
+            seg_faults = int(p[b] - p[cur])
+            faults += seg_faults
+            mem_sum += target * (b - cur)
+            fault_space += target * fault_service * seg_faults
+
+    at = 0
+    for position, new_target in _allocation_schedule(trace, config):
+        position = min(position, n)
+        if position > at:
+            run_segment(at, position)
+            at = position
+        target = new_target
+        if r > target:
+            r = target
+    if at < n:
+        run_segment(at, n)
+
+    return SimulationResult(
+        policy="CD",
+        program=trace.program_name,
+        page_faults=faults,
+        references=n,
+        mem_average=mem_sum / n if n else 0.0,
+        space_time=float(mem_sum + fault_space),
+        parameter=config.pi_cap,
+        fault_service=fault_service,
+        swaps=0,
+        denied_requests=0,
+        lock_releases=0,
+    )

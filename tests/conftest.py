@@ -1,0 +1,16 @@
+"""Suite-wide fixtures.
+
+The artifact cache persists to disk (``.repro-cache`` by default);
+tests must neither depend on nor pollute a developer's cache, so the
+whole session is pointed at a throwaway directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory, request):
+    cache_root = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(cache_root))
+    request.addfinalizer(mp.undo)

@@ -1,0 +1,136 @@
+"""The persistent artifact cache: correctness across processes.
+
+These tests simulate a cold process by dropping the in-memory memo
+while leaving the disk entries in place (``clear_cache(disk=False)``).
+A warm load must reproduce the built artifacts exactly — same pages,
+same directives, same policy results — and stale or corrupt entries
+must be rebuilt, never trusted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    STATS,
+    artifacts_for,
+    cache_dir,
+    cache_info,
+    clear_cache,
+    warm_artifacts,
+)
+from repro.tracegen import io as trace_io
+from repro.vm.policies import CDConfig
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_cache()
+    STATS.reset()
+    yield tmp_path / "cache"
+    clear_cache()
+    STATS.reset()
+
+
+class TestDiskCache:
+    def test_build_writes_entries(self, fresh_cache):
+        artifacts_for("FIELD")
+        info = cache_info()
+        assert info["disk_entries"] == 2  # trace + sweeps
+        assert info["disk_bytes"] > 0
+        assert STATS.cache_misses == 1
+
+    def test_warm_load_is_identical(self, fresh_cache):
+        built = artifacts_for("FIELD")
+        built_cd = built.best_cd_result()
+        built_ws = built.ws.min_space_time()
+        clear_cache(disk=False)  # cold process, warm disk
+        loaded = artifacts_for("FIELD")
+        assert loaded is not built
+        assert STATS.cache_hits == 1
+        np.testing.assert_array_equal(loaded.trace.pages, built.trace.pages)
+        assert list(loaded.trace.directives) == list(built.trace.directives)
+        loaded_cd = loaded.best_cd_result()
+        assert loaded_cd.page_faults == built_cd.page_faults
+        assert loaded_cd.space_time == built_cd.space_time
+        loaded_ws = loaded.ws.min_space_time()
+        assert loaded_ws.parameter == built_ws.parameter
+        assert loaded_ws.space_time == built_ws.space_time
+
+    def test_key_separates_lock_modes(self, fresh_cache):
+        artifacts_for("FIELD", with_locks=False)
+        artifacts_for("FIELD", with_locks=True)
+        assert cache_info()["disk_entries"] == 4
+
+    def test_clear_cache_removes_disk(self, fresh_cache):
+        artifacts_for("FIELD")
+        clear_cache()
+        assert cache_info()["disk_entries"] == 0
+        # And the next build is a miss, not a stale hit.
+        STATS.reset()
+        artifacts_for("FIELD")
+        assert STATS.cache_misses == 1
+
+    def test_stale_format_version_rebuilt(self, fresh_cache, monkeypatch):
+        artifacts_for("FIELD")
+        clear_cache(disk=False)
+        monkeypatch.setattr(trace_io, "FORMAT_VERSION", trace_io.FORMAT_VERSION + 1)
+        STATS.reset()
+        artifacts = artifacts_for("FIELD")
+        # A version bump changes the content hash: old entries are
+        # simply never looked at, and a fresh pair is written.
+        assert STATS.cache_misses == 1
+        assert artifacts.trace.pages.size > 0
+
+    def test_corrupt_entry_rebuilt(self, fresh_cache):
+        artifacts_for("FIELD")
+        clear_cache(disk=False)
+        for path in fresh_cache.glob("*.npz"):
+            path.write_bytes(b"not an npz archive")
+        STATS.reset()
+        artifacts = artifacts_for("FIELD")
+        assert STATS.cache_misses == 1
+        assert artifacts.trace.pages.size > 0
+
+    def test_disabled_cache_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        clear_cache()
+        assert cache_dir() is None
+        artifacts_for("FIELD")
+        assert cache_info()["disk_entries"] == 0
+        clear_cache()
+
+
+class TestWarmArtifacts:
+    def test_sequential_warm(self, fresh_cache):
+        warm_artifacts([("FIELD", False), ("INIT", False)])
+        assert cache_info()["disk_entries"] == 4
+        STATS.reset()
+        artifacts_for("FIELD")
+        artifacts_for("INIT")
+        assert STATS.cache_misses == 0  # both memoized already
+
+    def test_warm_is_idempotent(self, fresh_cache):
+        warm_artifacts([("FIELD", False)])
+        STATS.reset()
+        warm_artifacts([("FIELD", False)])
+        assert STATS.cache_misses == 0
+
+
+class TestFastSimIntegration:
+    def test_cd_results_match_event_driven(self, fresh_cache):
+        from repro.vm.policies import CDPolicy
+        from repro.vm.simulator import simulate
+
+        artifacts = artifacts_for("FIELD")
+        for cap in (None, 2, 1):
+            fast = artifacts.cd_result(CDConfig(pi_cap=cap))
+            slow = simulate(artifacts.trace, CDPolicy(CDConfig(pi_cap=cap)))
+            assert fast.page_faults == slow.page_faults
+            assert fast.space_time == slow.space_time
+            assert fast.mem_average == slow.mem_average
+
+    def test_memory_limit_uses_event_driven(self, fresh_cache):
+        artifacts = artifacts_for("FIELD")
+        result = artifacts.cd_result(CDConfig(pi_cap=2, memory_limit=4))
+        assert result.page_faults > 0  # exercised the general simulator

@@ -5,8 +5,15 @@ import pytest
 
 from repro.directives import instrument_program
 from repro.frontend.parser import parse_source
+from repro.tracegen.events import DirectiveKind
 from repro.tracegen.interpreter import generate_trace
-from repro.tracegen.io import FORMAT_VERSION, load_trace, save_trace
+from repro.tracegen.io import (
+    FORMAT_VERSION,
+    load_sweeps,
+    load_trace,
+    save_sweeps,
+    save_trace,
+)
 
 SRC = (
     "PROGRAM IOT\n"
@@ -62,6 +69,73 @@ class TestRoundTrip:
         b = simulate(loaded, CDPolicy())
         assert a.page_faults == b.page_faults
         assert a.space_time == b.space_time
+
+
+class TestFullEventRoundTrip:
+    """A trace carrying every directive kind plus the truncation flag."""
+
+    @pytest.fixture
+    def locked_trace(self):
+        program = parse_source(SRC)
+        plan = instrument_program(program, with_locks=True)
+        # Truncate mid-run so the flag exercises the header too.
+        return generate_trace(program, plan=plan, max_references=20)
+
+    def test_event_kinds_present(self, locked_trace):
+        kinds = {d.kind for d in locked_trace.directives}
+        assert DirectiveKind.ALLOCATE in kinds
+        assert DirectiveKind.LOCK in kinds
+
+    def test_round_trip(self, locked_trace, tmp_path):
+        assert locked_trace.truncated
+        loaded = load_trace(save_trace(locked_trace, tmp_path / "t"))
+        assert loaded.truncated
+        assert (loaded.pages == locked_trace.pages).all()
+        assert list(loaded.directives) == list(locked_trace.directives)
+        for a, b in zip(loaded.directives, locked_trace.directives):
+            assert a.kind is b.kind
+            assert a.position == b.position
+            assert a.lock_pages == b.lock_pages
+            assert tuple(a.requests) == tuple(b.requests)
+
+    def test_unlock_round_trip(self, tmp_path):
+        program = parse_source(SRC)
+        plan = instrument_program(program, with_locks=True)
+        trace = generate_trace(program, plan=plan)  # runs to completion
+        kinds = {d.kind for d in trace.directives}
+        assert DirectiveKind.UNLOCK in kinds
+        loaded = load_trace(save_trace(trace, tmp_path / "t"))
+        assert list(loaded.directives) == list(trace.directives)
+        assert not loaded.truncated
+
+
+class TestSweepRoundTrip:
+    def test_arrays_identical(self, tmp_path):
+        arrays = {
+            "distances": np.array([9, 1, 4], dtype=np.int64),
+            "distinct": np.array([1, 2, 2], dtype=np.int64),
+        }
+        path = save_sweeps(arrays, tmp_path / "s")
+        loaded = load_sweeps(path)
+        assert set(loaded) == {"distances", "distinct"}
+        for key in arrays:
+            np.testing.assert_array_equal(loaded[key], arrays[key])
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "s.npz"
+        np.savez(
+            path,
+            distances=np.zeros(3),
+            format_version=np.array(FORMAT_VERSION + 10),
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_sweeps(path)
+
+    def test_unstamped_archive_rejected(self, tmp_path):
+        path = tmp_path / "s.npz"
+        np.savez(path, distances=np.zeros(3))
+        with pytest.raises(ValueError, match="format"):
+            load_sweeps(path)
 
 
 class TestErrors:
