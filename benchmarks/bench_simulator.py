@@ -222,7 +222,70 @@ def write_summary(path="BENCH_simulator.json"):
     return summary
 
 
+def quick_check(baseline_path="BENCH_simulator.json", slowdown_factor=4.0):
+    """Warn-only benchmark smoke: re-measure the per-policy replay
+    throughput on CONDUCT and compare with the committed baseline.
+
+    CI shares runners of wildly varying speed, so this never fails the
+    build — it prints a WARNING when a policy replays more than
+    ``slowdown_factor`` times slower than the recorded numbers, which is
+    loose enough to only trip on a genuine algorithmic regression.
+    """
+    import json
+    import sys
+
+    from repro.vm.analyzers import LRUSweep as _LRU
+    from repro.vm.fastsim import simulate_cd_fast
+    from repro.vm.policies import CDConfig
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)["replay_conduct"]
+    except (OSError, KeyError, ValueError) as err:
+        print(f"quick: no usable baseline ({err}); nothing to compare")
+        return 0
+
+    trace = artifacts_for("CONDUCT").trace
+    distances = _LRU(trace)._distances
+    policies = {
+        "LRU": lambda: simulate(trace, LRUPolicy(frames=32)),
+        "FIFO": lambda: simulate(trace, FIFOPolicy(frames=32)),
+        "WS": lambda: simulate(trace, WorkingSetPolicy(tau=2000)),
+        "CD": lambda: simulate(trace, CDPolicy()),
+        "CD_fast": lambda: simulate_cd_fast(
+            trace, CDConfig(pi_cap=2), distances
+        ),
+    }
+    warnings = 0
+    for name, fn in policies.items():
+        expected = baseline.get(name, {}).get("refs_per_sec")
+        secs = _time(fn, repeat=2)
+        measured = round(trace.length / secs)
+        if expected is None:
+            print(f"quick: {name:8s} {measured:>12,} refs/s (no baseline)")
+            continue
+        ratio = expected / measured
+        status = "ok"
+        if ratio > slowdown_factor:
+            status = f"WARNING: {ratio:.1f}x slower than baseline"
+            warnings += 1
+        print(
+            f"quick: {name:8s} {measured:>12,} refs/s "
+            f"(baseline {expected:,}) {status}"
+        )
+    if warnings:
+        print(
+            f"quick: {warnings} polic{'y' if warnings == 1 else 'ies'} "
+            "below threshold — investigate before trusting table timings",
+            file=sys.stderr,
+        )
+    return 0  # warn-only by design
+
+
 if __name__ == "__main__":
     import sys
 
+    if "--quick" in sys.argv[1:]:
+        args = [a for a in sys.argv[1:] if a != "--quick"]
+        sys.exit(quick_check(*args[:1]))
     write_summary(*sys.argv[1:2])

@@ -21,6 +21,12 @@ Subcommands
 
 ``list``
     List the bundled benchmark workloads.
+
+``verify [--seeds N] [--time-budget S]``
+    Run the differential-testing oracle: random loop nests through the
+    compiled/interpreted trace paths, the fast/slow metric paths, and
+    the policy invariants.  Divergences are shrunk and written to
+    ``results/oracle_failures/``.
 """
 
 from __future__ import annotations
@@ -305,6 +311,25 @@ def _cmd_bli(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.oracle import verify
+
+    report = verify(
+        seeds=args.seeds,
+        time_budget=args.time_budget,
+        start_seed=args.start_seed,
+        out_dir=Path(args.output) if args.output else None,
+        shrink=not args.no_shrink,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  seed {failure.seed}: {failure.check} — {failure.detail}")
+        for path in failure.paths:
+            print(f"    {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cdmm",
@@ -386,6 +411,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program", help="bundled workload name")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
     p.set_defaults(func=_cmd_curves)
+
+    p = sub.add_parser(
+        "verify",
+        help="run the differential-testing oracle over random loop nests",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=50, help="number of seeds to run"
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        dest="time_budget",
+        help="stop cleanly after this many seconds (always runs >= 1 seed)",
+    )
+    p.add_argument(
+        "--start-seed",
+        type=int,
+        default=0,
+        dest="start_seed",
+        help="first seed (replay a reproducer with --seeds 1 --start-seed N)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="failure-reproducer directory (default results/oracle_failures)",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        dest="no_shrink",
+        help="write the original failing source without minimizing it",
+    )
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "reproduce",

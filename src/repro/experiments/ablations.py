@@ -26,11 +26,9 @@ from repro.vm.metrics import SimulationResult
 from repro.vm.policies import (
     AdaptiveCDPolicy,
     CDConfig,
-    CDPolicy,
     ClockPolicy,
     DampedWorkingSetPolicy,
     FIFOPolicy,
-    LRUPolicy,
     OPTPolicy,
     PFFPolicy,
     SampledWorkingSetPolicy,

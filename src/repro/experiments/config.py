@@ -16,7 +16,7 @@ are also what an OS under moderate contention would grant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.vm.policies import CDConfig
 

@@ -1,0 +1,41 @@
+"""Differential-testing oracle for the fast paths.
+
+PR 1 introduced three fast paths that must stay *element-identical* to
+the reference implementations they replace: the affine trace compiler
+(:mod:`repro.tracegen.compile` vs the tree-walking interpreter), the
+closed-form CD replay (:mod:`repro.vm.fastsim` vs the event-driven
+simulator), and the one-pass LRU/WS sweep analyzers
+(:mod:`repro.vm.analyzers` vs per-parameter simulation).  The nine
+bundled workloads exercise only a slice of the input space; this
+package generates the rest.
+
+* :mod:`repro.oracle.generator` — a seeded property-based generator of
+  random FORTRAN DO-nests (varying dims, depth, reference order,
+  triangular/strided bounds, index expressions, directive placement),
+  emitted through the real frontend so parse/unparse round-trips are
+  exercised too.
+* :mod:`repro.oracle.harness` — the differential checks: compiled trace
+  ≡ interpreted trace, fast metrics ≡ event-driven metrics, and policy
+  invariants (LRU inclusion, WS window contents, CD lock balance and
+  PJ-ordered release).
+* :mod:`repro.oracle.shrink` — greedy source-level minimization of a
+  failing program.
+* :mod:`repro.oracle.runner` — the ``python -m repro verify`` driver:
+  run N seeds under a time budget, shrink any failure, and write a
+  reproducer (source + seed) to ``results/oracle_failures/``.
+"""
+
+from repro.oracle.generator import GeneratedCase, generate_case
+from repro.oracle.harness import Divergence, check_case
+from repro.oracle.runner import VerifyReport, verify
+from repro.oracle.shrink import shrink_source
+
+__all__ = [
+    "Divergence",
+    "GeneratedCase",
+    "VerifyReport",
+    "check_case",
+    "generate_case",
+    "shrink_source",
+    "verify",
+]

@@ -1,0 +1,526 @@
+"""Differential checks: fast path ≡ slow path, plus policy invariants.
+
+Three check classes, mirroring the three fast paths the repo depends
+on (each identified by the ``check`` field of a :class:`Divergence`):
+
+* ``trace-*`` — the affine trace compiler against the pure interpreter
+  (element-for-element pages, directive events, truncation), plus the
+  frontend parse → unparse → parse round-trip;
+* ``metric-*`` — the closed-form CD replay and the one-pass LRU/WS
+  analyzers against the event-driven simulator;
+* ``invariant-*`` — policy laws that hold independently of any fast
+  path: the LRU inclusion property across memory sizes, WS window
+  contents, CD's LRU-prefix residency, and CD lock bookkeeping
+  (balance at exit, PJ-ordered forced release).
+
+All comparisons are exact — both sides compute in integer or identical
+float arithmetic, so any difference at all is a real divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.directives import instrument_program
+from repro.frontend import ast
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_source
+from repro.frontend.unparse import unparse_program
+from repro.tracegen.events import DirectiveKind, ReferenceTrace
+from repro.tracegen.interpreter import generate_trace
+from repro.vm import fastsim
+from repro.vm.analyzers import LRUSweep, WSSweep
+from repro.vm.policies import CDConfig, CDPolicy, LRUPolicy, WorkingSetPolicy
+from repro.vm.simulator import simulate
+
+__all__ = ["Divergence", "check_case", "check_program"]
+
+#: reference cap for generated programs — also exercises truncation
+#: equivalence when a case overruns it
+_MAX_REFERENCES = 200_000
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between a fast path and its reference."""
+
+    check: str  # e.g. "trace-pages", "metric-cd", "invariant-ws"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.check}] {self.detail}"
+
+
+def _result_fields(result) -> Tuple:
+    return (
+        result.page_faults,
+        result.references,
+        result.mem_average,
+        result.space_time,
+    )
+
+
+# -- check class 1: trace equivalence ----------------------------------------
+
+
+def _trace_pair(program, plan, max_references):
+    """(slow, fast) traces, or (exception, exception) when both raise."""
+    outcomes = []
+    for compiled in (False, True):
+        try:
+            trace = generate_trace(
+                program,
+                plan=plan,
+                compile_nests=compiled,
+                max_references=max_references,
+            )
+            outcomes.append(("ok", trace))
+        except Exception as err:  # any raise is data: the paths must agree
+            outcomes.append(("error", f"{type(err).__name__}: {err}"))
+    return outcomes
+
+
+def check_trace_equivalence(
+    program: ast.Program, plan, label: str, max_references: int = _MAX_REFERENCES
+) -> Tuple[List[Divergence], Optional[ReferenceTrace]]:
+    """Compiled trace ≡ interpreted trace, element for element."""
+    out: List[Divergence] = []
+    (skind, slow), (fkind, fast) = _trace_pair(program, plan, max_references)
+    if skind != fkind:
+        out.append(
+            Divergence(
+                "trace-outcome",
+                f"{label}: interpreter {skind} ({slow if skind == 'error' else ''})"
+                f" but compiler {fkind} ({fast if fkind == 'error' else ''})",
+            )
+        )
+        return out, None
+    if skind == "error":
+        if slow != fast:
+            out.append(
+                Divergence(
+                    "trace-outcome",
+                    f"{label}: error mismatch: {slow!r} vs {fast!r}",
+                )
+            )
+        return out, None
+    if slow.truncated != fast.truncated:
+        out.append(
+            Divergence(
+                "trace-truncation",
+                f"{label}: truncated {slow.truncated} vs {fast.truncated}",
+            )
+        )
+    if len(slow.pages) != len(fast.pages):
+        out.append(
+            Divergence(
+                "trace-pages",
+                f"{label}: length {len(slow.pages)} vs {len(fast.pages)}",
+            )
+        )
+    else:
+        diff = np.nonzero(slow.pages != fast.pages)[0]
+        if len(diff):
+            i = int(diff[0])
+            out.append(
+                Divergence(
+                    "trace-pages",
+                    f"{label}: first page mismatch at {i}: "
+                    f"{int(slow.pages[i])} vs {int(fast.pages[i])} "
+                    f"({len(diff)} total)",
+                )
+            )
+    if slow.array_pages != fast.array_pages:
+        out.append(Divergence("trace-layout", f"{label}: array layouts differ"))
+    if len(slow.directives) != len(fast.directives):
+        out.append(
+            Divergence(
+                "trace-directives",
+                f"{label}: {len(slow.directives)} vs "
+                f"{len(fast.directives)} directive events",
+            )
+        )
+    else:
+        for i, (a, b) in enumerate(zip(slow.directives, fast.directives)):
+            if (
+                a.position != b.position
+                or a.kind is not b.kind
+                or a.site != b.site
+                or tuple(a.requests) != tuple(b.requests)
+                or a.lock_pages != b.lock_pages
+            ):
+                out.append(
+                    Divergence(
+                        "trace-directives",
+                        f"{label}: directive {i} differs: {a} vs {b}",
+                    )
+                )
+                break
+    return out, (slow if skind == "ok" else None)
+
+
+def check_roundtrip(program: ast.Program) -> List[Divergence]:
+    """unparse → parse → unparse must be a fixed point, and the
+    re-parsed program must produce the identical trace."""
+    text1 = unparse_program(program)
+    try:
+        reparsed = parse_source(text1)
+    except FrontendError as err:
+        return [Divergence("trace-roundtrip", f"unparse output fails to parse: {err}")]
+    text2 = unparse_program(reparsed)
+    if text1 != text2:
+        return [Divergence("trace-roundtrip", "unparse/parse not a fixed point")]
+    t1 = generate_trace(program, compile_nests=False)
+    t2 = generate_trace(reparsed, compile_nests=False)
+    if len(t1.pages) != len(t2.pages) or (t1.pages != t2.pages).any():
+        return [
+            Divergence(
+                "trace-roundtrip", "re-parsed program produces a different trace"
+            )
+        ]
+    return []
+
+
+# -- check class 2: metric equivalence ---------------------------------------
+
+
+def _frames_samples(v: int) -> List[int]:
+    return sorted({1, 2, 3, max(1, v // 2), max(1, v - 1), v, v + 2})
+
+
+def _tau_samples(n: int) -> List[int]:
+    return sorted({1, 2, 5, 13, max(1, n // 3), max(1, n // 2), n + 5})
+
+
+def check_metrics(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    """Analyzers and closed-form CD vs the event-driven simulator."""
+    out: List[Divergence] = []
+    n = len(trace.pages)
+    lru = LRUSweep(trace)
+    for frames in _frames_samples(max(lru.max_useful_frames, 1)):
+        fast = lru.result(frames)
+        slow = simulate(trace, LRUPolicy(frames=frames))
+        if _result_fields(fast) != _result_fields(slow):
+            out.append(
+                Divergence(
+                    "metric-lru",
+                    f"{label}: frames={frames}: sweep "
+                    f"{_result_fields(fast)} vs simulator {_result_fields(slow)}",
+                )
+            )
+    ws = WSSweep(trace)
+    for tau in _tau_samples(max(n, 1)):
+        fast = ws.result(tau)
+        slow = simulate(trace, WorkingSetPolicy(tau=tau))
+        if _result_fields(fast) != _result_fields(slow):
+            out.append(
+                Divergence(
+                    "metric-ws",
+                    f"{label}: tau={tau}: sweep "
+                    f"{_result_fields(fast)} vs simulator {_result_fields(slow)}",
+                )
+            )
+    has_locks = any(d.kind is DirectiveKind.LOCK for d in trace.directives)
+    configs = [
+        CDConfig(),
+        CDConfig(pi_cap=1),
+        CDConfig(pi_cap=2),
+        CDConfig(min_allocation=3),
+        CDConfig(honor_locks=False),
+    ]
+    for config in configs:
+        applicable = fastsim.cd_fast_applicable(trace, config)
+        if applicable != (
+            config.memory_limit is None and not (config.honor_locks and has_locks)
+        ):
+            out.append(
+                Divergence(
+                    "metric-cd",
+                    f"{label}: cd_fast_applicable={applicable} "
+                    f"inconsistent for {config}",
+                )
+            )
+            continue
+        if not applicable:
+            continue
+        fast = fastsim.simulate_cd_fast(trace, config, distances=lru._distances)
+        slow = simulate(trace, CDPolicy(config))
+        if _result_fields(fast) != _result_fields(slow) or fast.swaps != slow.swaps:
+            out.append(
+                Divergence(
+                    "metric-cd",
+                    f"{label}: {config.label()}: fast "
+                    f"{_result_fields(fast)} vs simulator {_result_fields(slow)}",
+                )
+            )
+    return out
+
+
+# -- check class 3: policy invariants ----------------------------------------
+
+
+def _drive(trace: ReferenceTrace, policy, with_directives: bool = True):
+    """Step a policy through the trace, yielding it after each access."""
+    policy.reset()
+    directives = trace.directives if with_directives else []
+    event_index = 0
+    for time in range(len(trace.pages)):
+        while (
+            event_index < len(directives)
+            and directives[event_index].position <= time
+        ):
+            policy.on_directive(directives[event_index])
+            event_index += 1
+        fault = policy.access(int(trace.pages[time]), time)
+        yield time, fault, policy
+    while event_index < len(directives):
+        policy.on_directive(directives[event_index])
+        event_index += 1
+
+
+def check_lru_inclusion(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    """The stack property: LRU(m) resident ⊆ LRU(m+1) resident at every
+    instant, so faults at m+1 are a subset of faults at m."""
+    out: List[Divergence] = []
+    v = len(set(trace.pages.tolist()))
+    for m in sorted({2, max(2, v // 2)}):
+        small = LRUPolicy(frames=m)
+        big = LRUPolicy(frames=m + 1)
+        stepper = zip(_drive(trace, small), _drive(trace, big))
+        for (t, fault_s, _), (_, fault_b, _) in stepper:
+            if fault_b and not fault_s:
+                out.append(
+                    Divergence(
+                        "invariant-lru",
+                        f"{label}: t={t}: fault at {m + 1} frames "
+                        f"but not at {m} (inclusion violated)",
+                    )
+                )
+                return out
+            if not set(small._resident).issubset(big._resident):
+                out.append(
+                    Divergence(
+                        "invariant-lru",
+                        f"{label}: t={t}: LRU({m}) resident set not "
+                        f"contained in LRU({m + 1})",
+                    )
+                )
+                return out
+    return out
+
+
+def check_ws_window(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    """WS resident set == exact contents of the trailing-τ window."""
+    out: List[Divergence] = []
+    pages = trace.pages.tolist()
+    for tau in (3, 17):
+        policy = WorkingSetPolicy(tau=tau)
+        window_count: Dict[int, int] = {}
+        for t, fault, _ in _drive(trace, policy, with_directives=False):
+            page = pages[t]
+            window_count[page] = window_count.get(page, 0) + 1
+            if t >= tau:
+                old = pages[t - tau]
+                window_count[old] -= 1
+                if not window_count[old]:
+                    del window_count[old]
+            expected_fault = page not in set(pages[max(0, t - tau) : t])
+            if fault != expected_fault:
+                out.append(
+                    Divergence(
+                        "invariant-ws",
+                        f"{label}: tau={tau} t={t}: fault={fault}, "
+                        f"window says {expected_fault}",
+                    )
+                )
+                return out
+            if set(policy._last_ref) != set(window_count):
+                out.append(
+                    Divergence(
+                        "invariant-ws",
+                        f"{label}: tau={tau} t={t}: resident set is not "
+                        "W(t, tau)",
+                    )
+                )
+                return out
+    return out
+
+
+def check_cd_lru_prefix(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    """Lock-free, no-ceiling CD must hold exactly the top-r of the
+    global LRU stack — the law the closed-form replay is built on."""
+    if any(d.kind is DirectiveKind.LOCK for d in trace.directives):
+        return []
+    out: List[Divergence] = []
+    policy = CDPolicy(CDConfig())
+    stack: List[int] = []  # LRU order, most recent last
+    for t, _fault, _ in _drive(trace, policy):
+        page = int(trace.pages[t])
+        if page in stack:
+            stack.remove(page)
+        stack.append(page)
+        r = policy.resident_size
+        if set(policy._resident) != set(stack[-r:]):
+            out.append(
+                Divergence(
+                    "invariant-cd",
+                    f"{label}: t={t}: CD resident set is not the "
+                    f"top-{r} of the LRU stack",
+                )
+            )
+            return out
+        if r > policy.allocation_target:
+            out.append(
+                Divergence(
+                    "invariant-cd",
+                    f"{label}: t={t}: residency {r} exceeds target "
+                    f"{policy.allocation_target}",
+                )
+            )
+            return out
+    return out
+
+
+class _AuditedCD(CDPolicy):
+    """CD with forced lock releases audited for PJ order."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.release_violations: List[str] = []
+
+    def _release_highest_pj_site(self) -> bool:
+        if self._site_pj:
+            chosen = max(self._site_pj, key=lambda s: (self._site_pj[s], s))
+            top = max(self._site_pj.values())
+            if self._site_pj[chosen] != top:  # pragma: no cover - safety net
+                self.release_violations.append(
+                    f"released PJ {self._site_pj[chosen]} while PJ {top} active"
+                )
+        before = dict(self._site_pj)
+        released = super()._release_highest_pj_site()
+        if released:
+            gone = set(before) - set(self._site_pj)
+            for site in gone:
+                if before[site] != max(before.values()):
+                    self.release_violations.append(
+                        f"forced release of site {site} (PJ {before[site]}) "
+                        f"before PJ {max(before.values())}"
+                    )
+        return released
+
+
+def check_cd_locks(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    """Lock bookkeeping: pins balance to zero at program exit; every
+    UNLOCK covers pages some LOCK actually pinned; under memory
+    pressure forced releases go highest-PJ-first."""
+    out: List[Divergence] = []
+    lock_events = [d for d in trace.directives if d.kind is DirectiveKind.LOCK]
+    if not lock_events:
+        return out
+    positions = [d.position for d in trace.directives]
+    if positions != sorted(positions):
+        out.append(
+            Divergence("invariant-cd", f"{label}: directive positions not monotone")
+        )
+    ever_locked = set()
+    for d in lock_events:
+        ever_locked.update(d.lock_pages)
+    for d in trace.directives:
+        if d.kind is DirectiveKind.UNLOCK and not set(d.lock_pages) <= ever_locked:
+            out.append(
+                Divergence(
+                    "invariant-cd",
+                    f"{label}: UNLOCK at {d.position} names never-locked pages",
+                )
+            )
+    total = trace.total_pages
+    for d in lock_events:
+        if any(p < 0 or p >= total for p in d.lock_pages):
+            out.append(
+                Divergence(
+                    "invariant-cd",
+                    f"{label}: LOCK at {d.position} pins an out-of-range page",
+                )
+            )
+    policy = CDPolicy(CDConfig(honor_locks=True))
+    simulate(trace, policy)
+    if policy.locked_page_count != 0:
+        out.append(
+            Divergence(
+                "invariant-cd",
+                f"{label}: {policy.locked_page_count} pages still pinned "
+                "after the final UNLOCK (lock/unlock imbalance)",
+            )
+        )
+    # Pressure run: a tiny ceiling forces PJ-ordered pin releases.
+    audited = _AuditedCD(CDConfig(honor_locks=True, memory_limit=2))
+    simulate(trace, audited)
+    for violation in audited.release_violations:
+        out.append(Divergence("invariant-cd", f"{label}: {violation}"))
+    return out
+
+
+# -- the full battery --------------------------------------------------------
+
+
+def check_program(
+    program: ast.Program,
+    max_references: int = _MAX_REFERENCES,
+    deep: bool = True,
+) -> List[Divergence]:
+    """Run every check on one program, across directive variants.
+
+    Variants: uninstrumented, ALLOCATE-only, and ALLOCATE+LOCK — so
+    directive placement, event splicing, and lock resolution are all
+    exercised on every generated nest shape.
+    """
+    out: List[Divergence] = []
+    out.extend(check_roundtrip(program))
+    variants = [
+        ("plain", None),
+        ("alloc", instrument_program(program, with_locks=False)),
+        ("locks", instrument_program(program, with_locks=True)),
+    ]
+    for label, plan in variants:
+        divs, trace = check_trace_equivalence(
+            program, plan, label, max_references=max_references
+        )
+        out.extend(divs)
+        if trace is None or not len(trace.pages):
+            continue
+        out.extend(check_metrics(trace, label))
+        if deep:
+            out.extend(check_lru_inclusion(trace, label))
+            out.extend(check_ws_window(trace, label))
+            out.extend(check_cd_lru_prefix(trace, label))
+            out.extend(check_cd_locks(trace, label))
+    return out
+
+
+def check_case(case, deep: bool = True) -> List[Divergence]:
+    """Run the battery on one :class:`~repro.oracle.generator.GeneratedCase`.
+
+    Every ninth seed is additionally replayed under a tiny reference
+    cap, so mid-nest truncation (the trace filling up *inside* a
+    compiled batch) is exercised continuously, not just by the fixed
+    regression tests.
+    """
+    out = check_program(case.program, deep=deep)
+    if case.seed % 9 == 0:
+        divs, _trace = check_trace_equivalence(
+            case.program, None, "truncated", max_references=257
+        )
+        out.extend(divs)
+    return out
+
+
+def check_source(source: str, deep: bool = True) -> List[Divergence]:
+    """Parse ``source`` and run the battery (used by the shrinker)."""
+    try:
+        program = parse_source(source)
+    except FrontendError:
+        return []  # an unparsable candidate exhibits nothing
+    return check_program(program, deep=deep)

@@ -1,0 +1,161 @@
+"""The ``python -m repro verify`` driver.
+
+Runs seeds 0..N-1 (or ``--start-seed`` onward) through the generator
+and the full differential battery, stops early when the time budget is
+exhausted, shrinks every failure, and writes reproducers to
+``results/oracle_failures/`` — ``seed<NNNN>-<check>.f`` (the minimized
+source) plus a ``.json`` sidecar with the seed, the check class, the
+divergence details, and the original un-shrunk source, so one command
+replays the exact failure:
+
+    python -m repro verify --seeds 1 --start-seed <NNNN>
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.frontend.errors import FrontendError
+from repro.oracle import harness
+from repro.oracle.generator import generate_case
+from repro.oracle.shrink import shrink_source
+
+__all__ = ["FailureRecord", "VerifyReport", "verify"]
+
+DEFAULT_FAILURE_DIR = Path("results") / "oracle_failures"
+
+
+@dataclass
+class FailureRecord:
+    """One divergent seed, with its minimized reproducer."""
+
+    seed: int
+    check: str
+    detail: str
+    source: str
+    shrunk_source: str
+    paths: List[str] = field(default_factory=list)
+
+
+@dataclass
+class VerifyReport:
+    seeds_run: int = 0
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.failures)} DIVERGENCE(S)"
+        extra = " (time budget reached)" if self.budget_exhausted else ""
+        return (
+            f"oracle: {self.seeds_run} seed(s) in {self.elapsed:.1f}s{extra} "
+            f"— {state}"
+        )
+
+
+def _check_class(check: str) -> str:
+    """'metric-cd' -> 'metric': shrinking pins the class, not the leaf."""
+    return check.split("-", 1)[0]
+
+
+def _write_reproducer(out_dir: Path, record: FailureRecord) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"seed{record.seed:06d}-{_check_class(record.check)}"
+    src_path = out_dir / f"{stem}.f"
+    meta_path = out_dir / f"{stem}.json"
+    src_path.write_text(record.shrunk_source)
+    meta_path.write_text(
+        json.dumps(
+            {
+                "seed": record.seed,
+                "check": record.check,
+                "detail": record.detail,
+                "original_source": record.source,
+                "replay": "python -m repro verify --seeds 1 "
+                f"--start-seed {record.seed}",
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    record.paths = [str(src_path), str(meta_path)]
+
+
+def verify(
+    seeds: int = 50,
+    time_budget: Optional[float] = None,
+    start_seed: int = 0,
+    out_dir: Optional[Path] = None,
+    shrink: bool = True,
+    deep: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Run the differential oracle over ``seeds`` seeds.
+
+    ``time_budget`` (seconds) stops cleanly between seeds — always at
+    least one seed runs.  Failures are shrunk (bounded work) and
+    written to ``out_dir`` (default ``results/oracle_failures/``).
+    """
+    out_dir = DEFAULT_FAILURE_DIR if out_dir is None else Path(out_dir)
+    report = VerifyReport()
+    t0 = time.perf_counter()
+    say = progress or (lambda _msg: None)
+    for seed in range(start_seed, start_seed + seeds):
+        if (
+            time_budget is not None
+            and report.seeds_run > 0
+            and time.perf_counter() - t0 > time_budget
+        ):
+            report.budget_exhausted = True
+            break
+        try:
+            case = generate_case(seed)
+        except FrontendError as err:
+            # A generator program the frontend rejects is itself a bug.
+            record = FailureRecord(
+                seed=seed,
+                check="trace-generate",
+                detail=f"generated source failed to parse: {err}",
+                source="",
+                shrunk_source="",
+            )
+            report.failures.append(record)
+            report.seeds_run += 1
+            continue
+        divergences = harness.check_case(case, deep=deep)
+        report.seeds_run += 1
+        if not divergences:
+            if report.seeds_run % 25 == 0:
+                say(f"  {report.seeds_run} seeds, no divergence")
+            continue
+        first = divergences[0]
+        say(f"  seed {seed}: {first}")
+        shrunk = case.source
+        if shrink:
+            wanted = _check_class(first.check)
+
+            def still_failing(candidate: str) -> bool:
+                found = harness.check_source(candidate, deep=deep)
+                return any(_check_class(d.check) == wanted for d in found)
+
+            shrunk = shrink_source(case.source, still_failing)
+        record = FailureRecord(
+            seed=seed,
+            check=first.check,
+            detail="; ".join(str(d) for d in divergences[:5]),
+            source=case.source,
+            shrunk_source=shrunk,
+        )
+        _write_reproducer(out_dir, record)
+        say(f"  reproducer: {record.paths[0]}")
+        report.failures.append(record)
+    report.elapsed = time.perf_counter() - t0
+    return report

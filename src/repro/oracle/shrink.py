@@ -1,0 +1,98 @@
+"""Greedy source-level minimization of a failing program.
+
+Mini-FORTRAN is line-oriented, so shrinking works on lines: drop whole
+DO/IF blocks, drop single executable statements, and halve integer
+literals (dimensions, loop bounds).  A candidate is accepted when it
+still parses *and* still exhibits a divergence under the caller's
+predicate; the loop repeats until no candidate helps.  The result is
+the small reproducer written next to the failing seed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, List, Tuple
+
+__all__ = ["shrink_source"]
+
+_BLOCK_OPEN = re.compile(r"^\s*(DO\b|IF\s*\(.*\)\s*THEN\b)", re.IGNORECASE)
+_BLOCK_CLOSE = re.compile(r"^\s*(ENDDO|ENDIF|\d+\s+CONTINUE)\b", re.IGNORECASE)
+_STRUCTURAL = re.compile(
+    r"^\s*(PROGRAM|END\b|ENDDO|ENDIF|ELSE|DIMENSION|DATA|DO\b|IF\s*\(.*\)\s*THEN)",
+    re.IGNORECASE,
+)
+_INT_LITERAL = re.compile(r"\b([3-9]|[1-9]\d+)\b")
+
+
+def _block_spans(lines: List[str]) -> List[range]:
+    """Line spans of every DO/IF-THEN block (header through its end)."""
+    spans: List[range] = []
+    stack: List[int] = []
+    for i, line in enumerate(lines):
+        if _BLOCK_OPEN.match(line):
+            stack.append(i)
+        elif _BLOCK_CLOSE.match(line) and stack:
+            start = stack.pop()
+            spans.append(range(start, i + 1))
+    return spans
+
+
+def _candidates(source: str) -> Iterator[Tuple[str, str]]:
+    """(kind, candidate) pairs; ``kind`` is 'delete' or 'halve'."""
+    lines = source.splitlines()
+    # 1. whole blocks, outermost (largest) first
+    for span in sorted(_block_spans(lines), key=len, reverse=True):
+        kept = [ln for i, ln in enumerate(lines) if i not in span]
+        yield "delete", "\n".join(kept) + "\n"
+    # 2. single executable statements
+    for i, line in enumerate(lines):
+        if not line.strip() or _STRUCTURAL.match(line):
+            continue
+        kept = lines[:i] + lines[i + 1 :]
+        yield "delete", "\n".join(kept) + "\n"
+    # 3. halve integer literals (dims, bounds, constants)
+    for i, line in enumerate(lines):
+        for match in _INT_LITERAL.finditer(line):
+            value = int(match.group(0))
+            smaller = max(2, value // 2)
+            if smaller == value:
+                continue
+            new_line = line[: match.start()] + str(smaller) + line[match.end() :]
+            yield "halve", "\n".join(lines[:i] + [new_line] + lines[i + 1 :]) + "\n"
+
+
+def shrink_source(
+    source: str,
+    still_failing: Callable[[str], bool],
+    max_probes: int = 400,
+) -> str:
+    """Return a smaller source that still satisfies ``still_failing``.
+
+    ``still_failing`` must return True when the candidate still
+    exhibits the original divergence (callers typically pin the check
+    class so shrinking cannot wander onto an unrelated failure).
+    ``max_probes`` bounds the total number of predicate evaluations.
+    """
+    probes = 0
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for kind, candidate in _candidates(source):
+            # Deletions must strictly shorten the text; literal halvings
+            # may keep its length (6 -> 3) but strictly decrease the
+            # value, so neither kind can cycle.
+            if len(candidate) > len(source) or (
+                kind == "delete" and len(candidate) == len(source)
+            ):
+                continue
+            probes += 1
+            if probes > max_probes:
+                break
+            try:
+                if still_failing(candidate):
+                    source = candidate
+                    improved = True
+                    break
+            except Exception:
+                continue  # a broken candidate is simply not a reproducer
+    return source

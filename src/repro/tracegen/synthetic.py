@@ -13,7 +13,7 @@ phased trace so CD can be studied with oracle-quality directives.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace

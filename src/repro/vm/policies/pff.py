@@ -15,7 +15,7 @@ ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Set
 
 from repro.vm.policies.base import Policy
 

@@ -1,7 +1,5 @@
 """Unit tests for Algorithms 1 and 2 on targeted shapes."""
 
-import pytest
-
 from repro.analysis.locality import analyze_program
 from repro.directives.allocate_insertion import insert_allocate_directives
 from repro.directives.lock_insertion import insert_lock_directives

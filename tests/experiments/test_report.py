@@ -1,7 +1,5 @@
 """Unit tests for table rendering and the runner cache."""
 
-import pytest
-
 from repro.experiments.report import format_table, format_value
 from repro.experiments.runner import artifacts_for, clear_cache
 

@@ -1,7 +1,5 @@
 """Round-trip tests for the unparser."""
 
-import pytest
-
 from repro.frontend.parser import parse_source
 from repro.frontend.unparse import unparse_expr, unparse_program
 

@@ -1,0 +1,64 @@
+"""Deliberately broken fast paths must be caught, shrunk, and written
+out as reproducers — the end-to-end acceptance test for the oracle."""
+
+import dataclasses
+import json
+
+from repro.oracle.runner import verify
+from repro.tracegen.compile import TraceCompiler
+from repro.vm import fastsim
+
+
+def test_clean_run_writes_nothing(tmp_path):
+    report = verify(seeds=3, out_dir=tmp_path, deep=False)
+    assert report.ok
+    assert report.seeds_run == 3
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_broken_cd_fast_path_is_caught(tmp_path, monkeypatch):
+    real = fastsim.simulate_cd_fast
+
+    def off_by_one(trace, config, distances=None):
+        result = real(trace, config, distances=distances)
+        return dataclasses.replace(result, page_faults=result.page_faults + 1)
+
+    monkeypatch.setattr(fastsim, "simulate_cd_fast", off_by_one)
+    report = verify(seeds=2, out_dir=tmp_path, deep=False)
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.check == "metric-cd"
+    # the reproducer pair landed on disk and replays from the metadata
+    src = tmp_path / f"seed{failure.seed:06d}-metric.f"
+    meta = tmp_path / f"seed{failure.seed:06d}-metric.json"
+    assert src.exists() and meta.exists()
+    payload = json.loads(meta.read_text())
+    assert payload["seed"] == failure.seed
+    assert "verify --seeds 1 --start-seed" in payload["replay"]
+    # shrinking can only remove text, never add it
+    assert len(failure.shrunk_source) <= len(failure.source)
+    assert src.read_text() == failure.shrunk_source
+
+
+def test_broken_trace_compiler_is_caught(tmp_path, monkeypatch):
+    real = TraceCompiler._commit
+
+    def corrupting_commit(self, batch):
+        if batch.pages:
+            batch.pages[-1] += 1  # one wrong page per compiled nest
+        return real(self, batch)
+
+    monkeypatch.setattr(TraceCompiler, "_commit", corrupting_commit)
+    report = verify(seeds=4, out_dir=tmp_path, deep=False, shrink=False)
+    assert not report.ok
+    assert any(f.check.startswith("trace") for f in report.failures)
+    assert any(p.suffix == ".f" for p in tmp_path.iterdir())
+
+
+def test_time_budget_stops_early_but_runs_at_least_one_seed(tmp_path):
+    report = verify(seeds=500, time_budget=0.0, out_dir=tmp_path, deep=False)
+    assert report.seeds_run >= 1
+    assert report.seeds_run < 500
+    assert report.budget_exhausted
+    assert report.ok
+    assert "time budget" in report.summary()

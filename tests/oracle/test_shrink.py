@@ -1,0 +1,59 @@
+"""Greedy source minimization: keeps the failing line, drops the rest."""
+
+from repro.oracle.shrink import shrink_source
+
+SOURCE = (
+    "PROGRAM BIG\n"
+    "DIMENSION A(40), B(16, 16)\n"
+    "S = 0.0\n"
+    "DO I = 1, 12\n"
+    "  A(I) = 1.0\n"
+    "  DO J = 1, 8\n"
+    "    B(I, J) = 0.5\n"
+    "  ENDDO\n"
+    "ENDDO\n"
+    "DO K = 1, 6\n"
+    "  S = S + A(K)\n"
+    "ENDDO\n"
+    "END\n"
+)
+
+
+def test_shrink_drops_unrelated_blocks():
+    shrunk = shrink_source(SOURCE, lambda s: "S = S + A(K)" in s)
+    assert "S = S + A(K)" in shrunk
+    assert "B(I, J)" not in shrunk  # inner nest removed
+    assert len(shrunk) < len(SOURCE)
+
+
+def test_shrink_halves_literals():
+    shrunk = shrink_source(SOURCE, lambda s: "A(I) = 1.0" in s)
+    # the DO I bound 12 should have been halved repeatedly (12 -> 6 -> 3 -> 2)
+    assert "DO I = 1, 2" in shrunk or "DO I = 1, 3" in shrunk
+
+
+def test_shrink_never_returns_a_non_failing_source():
+    shrunk = shrink_source(SOURCE, lambda s: "DIMENSION" in s)
+    assert "DIMENSION" in shrunk
+
+
+def test_shrink_respects_probe_budget():
+    probes = []
+
+    def predicate(candidate):
+        probes.append(candidate)
+        return False  # nothing ever shrinks
+
+    result = shrink_source(SOURCE, predicate, max_probes=10)
+    assert result == SOURCE
+    assert len(probes) <= 10
+
+
+def test_shrink_swallows_predicate_exceptions():
+    def explosive(candidate):
+        if "DO I" not in candidate:
+            raise RuntimeError("boom")
+        return "S = S + A(K)" in candidate
+
+    shrunk = shrink_source(SOURCE, explosive)
+    assert "S = S + A(K)" in shrunk

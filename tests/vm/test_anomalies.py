@@ -10,8 +10,6 @@ The introduction cites two pathologies of the baselines:
   verifies the stack policies are immune.
 """
 
-import numpy as np
-
 from repro.vm.policies import LRUPolicy, OPTPolicy, PFFPolicy
 from repro.vm.simulator import simulate
 

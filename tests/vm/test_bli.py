@@ -1,6 +1,5 @@
 """Tests for the BLI (bounded locality interval) detector."""
 
-import numpy as np
 import pytest
 
 from repro.vm.bli import BLIAnalyzer, LocalityInterval, compare_with_predictions

@@ -1,0 +1,106 @@
+"""The closed-form CD replay must *decline* the cases it cannot model —
+LOCK pinning and finite memory ceilings — and the experiment layer must
+route those to the event-driven simulator."""
+
+import pytest
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import artifacts_for, clear_cache
+from repro.tracegen.events import DirectiveEvent, DirectiveKind
+from repro.vm.fastsim import cd_fast_applicable, simulate_cd_fast
+from repro.vm.policies import CDConfig
+
+from .conftest import make_trace
+
+
+def _lock_trace():
+    lock = DirectiveEvent(
+        position=0,
+        kind=DirectiveKind.LOCK,
+        site=1,
+        lock_pages=(0, 1),
+        priority_index=2,
+    )
+    unlock = DirectiveEvent(
+        position=6, kind=DirectiveKind.UNLOCK, site=1, lock_pages=(0, 1)
+    )
+    return make_trace([0, 1, 2, 0, 1, 2], directives=[lock, unlock])
+
+
+def test_memory_limit_disqualifies_fast_path():
+    trace = make_trace([0, 1, 2] * 4)
+    assert cd_fast_applicable(trace, CDConfig())
+    assert not cd_fast_applicable(trace, CDConfig(memory_limit=8))
+    assert not cd_fast_applicable(trace, CDConfig(memory_limit=1))
+
+
+def test_lock_events_disqualify_fast_path_only_when_honored():
+    trace = _lock_trace()
+    assert not cd_fast_applicable(trace, CDConfig(honor_locks=True))
+    assert cd_fast_applicable(trace, CDConfig(honor_locks=False))
+
+
+def test_unlock_without_lock_is_inert():
+    unlock = DirectiveEvent(
+        position=2, kind=DirectiveKind.UNLOCK, site=1, lock_pages=(0,)
+    )
+    trace = make_trace([0, 1, 2, 0], directives=[unlock])
+    assert cd_fast_applicable(trace, CDConfig(honor_locks=True))
+
+
+def test_simulate_cd_fast_refuses_inapplicable_configs():
+    with pytest.raises(ValueError):
+        simulate_cd_fast(make_trace([0, 1, 2]), CDConfig(memory_limit=4))
+    with pytest.raises(ValueError):
+        simulate_cd_fast(_lock_trace(), CDConfig(honor_locks=True))
+
+
+@pytest.fixture
+def artifacts(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_cache(disk=False)
+    yield artifacts_for("TQL", with_locks=True)
+    clear_cache(disk=False)
+
+
+def test_cd_result_dispatches_to_event_driven_under_locks(
+    artifacts, monkeypatch
+):
+    def forbidden(*_args, **_kwargs):  # pragma: no cover - failure path
+        raise AssertionError("fast path used where it is not exact")
+
+    monkeypatch.setattr(runner_mod, "simulate_cd_fast", forbidden)
+    # the instrumented TQL trace carries LOCK events: must go slow
+    result = artifacts.cd_result(CDConfig(honor_locks=True))
+    assert result.page_faults > 0
+    # ... and a finite ceiling must go slow as well
+    limited = artifacts.cd_result(CDConfig(memory_limit=16))
+    assert limited.mem_average <= 16
+
+
+def test_cd_result_uses_fast_path_when_exact(artifacts, monkeypatch):
+    calls = []
+    real = runner_mod.simulate_cd_fast
+
+    def spying(trace, config, distances=None):
+        calls.append(config)
+        return real(trace, config, distances=distances)
+
+    monkeypatch.setattr(runner_mod, "simulate_cd_fast", spying)
+    result = artifacts.cd_result(CDConfig(honor_locks=False))
+    assert calls and result.references == len(artifacts.trace.pages)
+
+
+def test_fast_and_slow_agree_when_both_apply(artifacts):
+    config = CDConfig(honor_locks=False)
+    fast = simulate_cd_fast(
+        artifacts.trace, config, distances=artifacts.lru._distances
+    )
+    slow = runner_mod.simulate(
+        artifacts.trace, runner_mod.CDPolicy(config)
+    )
+    assert (fast.page_faults, fast.mem_average, fast.space_time) == (
+        slow.page_faults,
+        slow.mem_average,
+        slow.space_time,
+    )

@@ -1,10 +1,9 @@
 """Tests for the multiprogramming extension (paper future work)."""
 
-import numpy as np
 import pytest
 
 from repro.directives.model import AllocateRequest
-from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.tracegen.events import DirectiveEvent, DirectiveKind
 from repro.vm.multiprog import MultiprogSimulator, ProcessState
 
 from .conftest import make_trace

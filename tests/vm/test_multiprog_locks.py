@@ -1,7 +1,5 @@
 """Tests for LOCK/UNLOCK handling in the multiprogramming simulator."""
 
-import pytest
-
 from repro.directives.model import AllocateRequest
 from repro.tracegen.events import DirectiveEvent, DirectiveKind
 from repro.vm.multiprog import MultiprogSimulator
