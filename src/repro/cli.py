@@ -109,6 +109,8 @@ def _cmd_instrument(args) -> int:
 
 def _cmd_trace(args) -> int:
     program = _load_program(args.program)
+    if args.policy is not None:
+        return _trace_with_policy(args, program)
     plan = None
     if args.directives:
         plan = instrument_program(program)
@@ -117,6 +119,60 @@ def _cmd_trace(args) -> int:
     for array, pages in sorted(trace.footprint_by_array().items()):
         first, count = trace.array_pages[array]
         print(f"  {array:8s} pages {first}..{first + count - 1} ({pages} touched)")
+    return 0
+
+
+def _trace_with_policy(args, program) -> int:
+    """``trace --policy``: replay under a policy with the tracer on,
+    then write the event log and/or render a profile report."""
+    from repro.obs import (
+        Fault,
+        JsonlSink,
+        RingBufferSink,
+        Tracer,
+        build_profile,
+        render_profile,
+    )
+
+    plan = instrument_program(program, with_locks=args.locks)
+    trace = generate_trace(program, plan=plan)
+    policy = _make_policy(args)
+    sample_every = args.sample_every
+    if sample_every is None:
+        # Auto: ~4096 samples per run keeps event logs a few MB at most.
+        sample_every = max(1, len(trace.pages) // 4096)
+    ring = RingBufferSink()
+    sinks = [ring]
+    if args.events:
+        sinks.append(JsonlSink(Path(args.events)))
+    tracer = Tracer(*sinks)
+    try:
+        result = simulate(
+            trace, policy, tracer=tracer, sample_interval=sample_every
+        )
+    finally:
+        tracer.close()
+    event_faults = sum(1 for e in ring.events if isinstance(e, Fault))
+    if event_faults != result.page_faults:
+        print(
+            f"error: event log recorded {event_faults} faults but the "
+            f"simulator counted {result.page_faults}",
+            file=sys.stderr,
+        )
+        return 1
+    report = render_profile(
+        build_profile(ring.events, array_pages=trace.array_pages),
+        result=result,
+        fmt=args.format,
+    )
+    if args.report and args.report != "-":
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(report + "\n")
+        print(f"wrote report to {args.report}")
+    else:
+        print(report)
+    if args.events:
+        print(f"wrote {ring.total_seen} events to {args.events}")
     return 0
 
 
@@ -159,10 +215,15 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    import os
     import time
 
     from repro.experiments.runner import STATS, warm_for_table
 
+    if args.timelines:
+        tdir = Path(args.timelines)
+        tdir.mkdir(parents=True, exist_ok=True)
+        os.environ["REPRO_TIMELINES_DIR"] = str(tdir)
     t0 = time.perf_counter()
     which = args.which.lower()
     if args.jobs and args.jobs > 1:
@@ -356,9 +417,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-locks", action="store_true")
     p.set_defaults(func=_cmd_instrument)
 
-    p = sub.add_parser("trace", help="generate a reference trace")
+    p = sub.add_parser(
+        "trace",
+        help="generate a reference trace; with --policy, capture a "
+        "structured event log and render a paging profile",
+    )
     p.add_argument("program")
     p.add_argument("--directives", action="store_true")
+    p.add_argument(
+        "--policy",
+        default=None,
+        help="replay under this policy with event tracing on",
+    )
+    p.add_argument("--frames", type=int, help="frames for LRU/FIFO/OPT")
+    p.add_argument("--tau", type=int, help="window for WS / threshold for PFF")
+    p.add_argument("--pi-cap", type=int, dest="pi_cap")
+    p.add_argument("--memory-limit", type=int, dest="memory_limit")
+    p.add_argument("--locks", action="store_true", help="execute LOCK/UNLOCK")
+    p.add_argument(
+        "--events", default=None, help="write the event stream as JSONL here"
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        help="write the profile report here ('-' or omitted: stdout)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "markdown"],
+        default="text",
+        help="profile report format",
+    )
+    p.add_argument(
+        "--sample-every",
+        type=int,
+        default=None,
+        dest="sample_every",
+        help="resident-set sample interval in references "
+        "(default: auto, ~4096 samples per run)",
+    )
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("simulate", help="replay under one policy")
@@ -390,6 +487,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-stage wall time and cache hit counts to stderr",
+    )
+    p.add_argument(
+        "--timelines",
+        nargs="?",
+        const="results/timelines",
+        default=None,
+        help="persist per-cell CD event timelines (JSONL) under this "
+        "directory (default results/timelines)",
     )
     p.set_defaults(func=_cmd_table)
 

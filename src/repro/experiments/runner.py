@@ -82,6 +82,23 @@ class StageStats:
 STATS = StageStats()
 
 
+def timelines_dir() -> Optional[Path]:
+    """Where per-cell CD event timelines go, or None when disabled.
+
+    Set ``REPRO_TIMELINES_DIR`` (the ``table --timelines`` flag does) to
+    make every :meth:`WorkloadArtifacts.cd_result` call persist its
+    event stream as one JSONL file in that directory.
+    """
+    env = os.environ.get("REPRO_TIMELINES_DIR")
+    return Path(env) if env else None
+
+
+def _timeline_name(workload: str, config: CDConfig) -> str:
+    cap = "all" if config.pi_cap is None else str(config.pi_cap)
+    limit = "none" if config.memory_limit is None else str(config.memory_limit)
+    return f"{workload.lower()}-cd-pi{cap}-mem{limit}.jsonl"
+
+
 @dataclass
 class WorkloadArtifacts:
     """Everything the experiments need for one benchmark program."""
@@ -101,13 +118,34 @@ class WorkloadArtifacts:
         otherwise.
         """
         config = config or CDConfig()
-        t0 = time.perf_counter()
-        if cd_fast_applicable(self.trace, config):
-            result = simulate_cd_fast(
-                self.trace, config, distances=self.lru._distances
+        tracer = None
+        tdir = timelines_dir()
+        if tdir is not None:
+            from repro.obs import JsonlSink, Tracer
+
+            tracer = Tracer(
+                JsonlSink(tdir / _timeline_name(self.name, config))
             )
-        else:
-            result = simulate(self.trace, CDPolicy(config))
+        t0 = time.perf_counter()
+        try:
+            if cd_fast_applicable(self.trace, config):
+                result = simulate_cd_fast(
+                    self.trace,
+                    config,
+                    distances=self.lru._distances,
+                    tracer=tracer,
+                )
+            else:
+                sample = max(1, len(self.trace.pages) // 4096)
+                result = simulate(
+                    self.trace,
+                    CDPolicy(config),
+                    tracer=tracer,
+                    sample_interval=sample if tracer is not None else 1,
+                )
+        finally:
+            if tracer is not None:
+                tracer.close()
         STATS.add("simulate", time.perf_counter() - t0, len(self.trace.pages))
         return result
 

@@ -1,0 +1,62 @@
+"""Structured observability for the paging stack.
+
+The simulators and policies stay silent by default (``tracer is None``
+on every hot path, so the cost of the instrumentation is one attribute
+test on fault/eviction paths only).  Passing a :class:`Tracer` turns on
+a typed event stream — faults, evictions, directive decisions, lock
+lifecycle, suspends, resident-set samples — that sinks can buffer,
+persist as JSONL, or aggregate, and that :mod:`repro.obs.metrics`
+turns into fault inter-arrival histograms, per-array attribution, lock
+hold times, and MEM-over-time curves for the profile reports.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AllocateDeny,
+    AllocateGrant,
+    AllocateRequest,
+    Event,
+    Evict,
+    Fault,
+    ForcedRelease,
+    LevelChange,
+    Lock,
+    ResidentSample,
+    Resume,
+    Suspend,
+    Unlock,
+    event_from_dict,
+)
+from repro.obs.metrics import Profile, build_profile, load_events
+from repro.obs.report import render_profile
+from repro.obs.sinks import JsonlSink, RingBufferSink, Sink, SummarySink
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "EVENT_TYPES",
+    "AllocateDeny",
+    "AllocateGrant",
+    "AllocateRequest",
+    "Event",
+    "Evict",
+    "Fault",
+    "ForcedRelease",
+    "LevelChange",
+    "Lock",
+    "ResidentSample",
+    "Resume",
+    "Suspend",
+    "Unlock",
+    "event_from_dict",
+    "Profile",
+    "build_profile",
+    "load_events",
+    "render_profile",
+    "JsonlSink",
+    "RingBufferSink",
+    "Sink",
+    "SummarySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+]

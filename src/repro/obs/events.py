@@ -1,0 +1,235 @@
+"""Typed events emitted by the paging stack.
+
+Every event carries ``time``: the virtual reference index at which it
+happened (directive-driven events use the directive's recorded
+position; multiprogramming events use the global clock).  Events from
+the multiprogrammed simulator additionally carry ``proc``, the name of
+the process they belong to.
+
+The schema is deliberately flat — each event serializes to one JSON
+object via :meth:`Event.to_dict`, with a ``kind`` discriminator, so a
+JSONL event file round-trips through :func:`event_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Tuple, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: one observation at virtual time ``time``."""
+
+    kind: ClassVar[str] = "event"
+
+    time: int
+
+    def to_dict(self) -> dict:
+        d: dict = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [
+                    list(v) if isinstance(v, tuple) else v for v in value
+                ]
+            d[f.name] = value
+        return d
+
+
+@dataclass(frozen=True)
+class Fault(Event):
+    """A demand fetch: ``page`` was absent and is now resident.
+
+    ``resident`` is the resident-set size *after* the page came in —
+    the memory the process occupies for the fault's service interval,
+    which is exactly what the ST index integrates.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    page: int
+    resident: int
+    proc: str = ""
+
+
+@dataclass(frozen=True)
+class Evict(Event):
+    """A page left the resident set.
+
+    ``reason`` states which mechanism evicted it: ``"capacity"`` (fixed
+    partition full), ``"shrink"`` (CD allocation target dropped),
+    ``"limit"`` (physical-memory ceiling), ``"window"`` (WS expiry),
+    or ``"pff-shrink"`` (PFF use-bit sweep).
+    """
+
+    kind: ClassVar[str] = "evict"
+
+    page: int
+    reason: str = "capacity"
+    proc: str = ""
+
+
+@dataclass(frozen=True)
+class AllocateRequest(Event):
+    """An ALLOCATE directive arrived: the full else-chain of requests,
+    as ``(priority_index, pages)`` pairs, outermost first."""
+
+    kind: ClassVar[str] = "allocate_request"
+
+    site: int
+    requests: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class AllocateGrant(Event):
+    """The policy granted ``pages`` to the request with ``priority_index``;
+    ``target`` is the allocation target after applying the grant."""
+
+    kind: ClassVar[str] = "allocate_grant"
+
+    site: int
+    pages: int
+    priority_index: int
+    target: int
+
+
+@dataclass(frozen=True)
+class AllocateDeny(Event):
+    """One request of an ALLOCATE chain was not satisfied.
+
+    ``reason``: ``"over-limit"`` (exceeds physical memory) or
+    ``"deferred"`` (nothing affordable with PI > 1: the program keeps
+    its current allocation, Figure 6's "continue").
+    """
+
+    kind: ClassVar[str] = "allocate_deny"
+
+    site: int
+    pages: int
+    priority_index: int
+    reason: str = "over-limit"
+
+
+@dataclass(frozen=True)
+class Lock(Event):
+    """Pages soft-pinned by a LOCK directive.  ``pages`` holds only the
+    pages this event actually pinned (pages already pinned by another
+    site are not re-counted), so pin bookkeeping balances exactly."""
+
+    kind: ClassVar[str] = "lock"
+
+    site: int
+    pages: Tuple[int, ...]
+    priority_index: int
+
+
+@dataclass(frozen=True)
+class Unlock(Event):
+    """Pins dropped by an UNLOCK directive (only pages that were
+    actually pinned appear)."""
+
+    kind: ClassVar[str] = "unlock"
+
+    site: int
+    pages: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ForcedRelease(Event):
+    """Pins dropped without an UNLOCK.
+
+    ``reason``: ``"pressure"`` (the OS released the highest-PJ site to
+    relieve memory contention) or ``"superseded"`` (the same LOCK site
+    re-executed and moved its pin to new pages).
+    """
+
+    kind: ClassVar[str] = "forced_release"
+
+    site: int
+    pages: Tuple[int, ...]
+    priority_index: int
+    reason: str = "pressure"
+
+
+@dataclass(frozen=True)
+class Suspend(Event):
+    """A process was suspended/swapped (CD's PI=1 swap mechanism or
+    multiprogramming load control)."""
+
+    kind: ClassVar[str] = "suspend"
+
+    reason: str = "swap"
+    proc: str = ""
+
+
+@dataclass(frozen=True)
+class Resume(Event):
+    """A swapped-out process became runnable again."""
+
+    kind: ClassVar[str] = "resume"
+
+    proc: str = ""
+
+
+@dataclass(frozen=True)
+class ResidentSample(Event):
+    """Resident-set size observed at ``time``.
+
+    The event-driven simulator emits one sample every ``sample_interval``
+    references; the closed-form CD replay emits samples at change points
+    only (the resident size is piecewise constant between faults).
+    """
+
+    kind: ClassVar[str] = "resident_sample"
+
+    resident: int
+    proc: str = ""
+
+
+@dataclass(frozen=True)
+class LevelChange(Event):
+    """Adaptive CD moved a directive site's level preference."""
+
+    kind: ClassVar[str] = "level_change"
+
+    site: int
+    old_level: int
+    new_level: int
+
+
+#: kind discriminator -> event class (drives JSONL round-tripping)
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        Fault,
+        Evict,
+        AllocateRequest,
+        AllocateGrant,
+        AllocateDeny,
+        Lock,
+        Unlock,
+        ForcedRelease,
+        Suspend,
+        Resume,
+        ResidentSample,
+        LevelChange,
+    )
+}
+
+
+def event_from_dict(data: dict) -> Event:
+    """Rebuild a typed event from its :meth:`Event.to_dict` form."""
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    kwargs = {}
+    for f in fields(cls):
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+        kwargs[f.name] = value
+    return cls(**kwargs)

@@ -1,0 +1,203 @@
+"""Render a :class:`~repro.obs.metrics.Profile` as text or markdown.
+
+The report is the human end of the observability layer: headline
+PF/MEM/ST, event counts, the fault inter-arrival histogram, per-array
+fault attribution, the MEM-over-time curve, and lock hold times —
+the data products that let a table cell or an oracle failure be read
+instead of re-instrumented by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import Profile
+from repro.vm.metrics import SimulationResult
+
+_BAR_WIDTH = 40
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(count: int, maximum: int) -> str:
+    if maximum <= 0:
+        return ""
+    return "#" * max(1 if count else 0, count * _BAR_WIDTH // maximum)
+
+
+def _sparkline(values: List[float]) -> str:
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    return "".join(
+        _SPARK_CHARS[min(int(v / top * (len(_SPARK_CHARS) - 1) + 0.5), 7)]
+        for v in values
+    )
+
+
+def render_profile(
+    profile: Profile,
+    result: Optional[SimulationResult] = None,
+    fmt: str = "text",
+    title: str = "paging profile",
+) -> str:
+    """Render the profile; ``fmt`` is ``"text"`` or ``"markdown"``."""
+    if fmt not in ("text", "markdown"):
+        raise ValueError(f"unknown report format {fmt!r}")
+    md = fmt == "markdown"
+    out: List[str] = []
+
+    def heading(text: str) -> None:
+        if md:
+            out.append(f"## {text}")
+        else:
+            out.append(text)
+            out.append("-" * len(text))
+        out.append("")
+
+    if md:
+        out.append(f"# {title}")
+    else:
+        out.append(f"=== {title} ===")
+    out.append("")
+
+    if result is not None:
+        heading("headline")
+        rows = [
+            ("policy", f"{result.policy}"
+             + (f" ({result.parameter})" if result.parameter is not None else "")),
+            ("program", result.program),
+            ("PF", f"{result.page_faults}"),
+            ("MEM", f"{result.mem_average:.2f}"),
+            ("ST", f"{result.space_time:.3e}"),
+            ("references", f"{result.references}"),
+        ]
+        if result.swaps or result.denied_requests or result.lock_releases:
+            rows.append(("swaps", str(result.swaps)))
+            rows.append(("denied requests", str(result.denied_requests)))
+            rows.append(("forced lock releases", str(result.lock_releases)))
+        if md:
+            out.append("| metric | value |")
+            out.append("|---|---|")
+            out.extend(f"| {k} | {v} |" for k, v in rows)
+        else:
+            out.extend(f"  {k:22s} {v}" for k, v in rows)
+        out.append("")
+
+    heading("events")
+    if md:
+        out.append("| kind | count |")
+        out.append("|---|---|")
+        out.extend(
+            f"| {kind} | {count} |"
+            for kind, count in profile.event_counts.items()
+        )
+    else:
+        out.extend(
+            f"  {kind:18s} {count:8d}"
+            for kind, count in profile.event_counts.items()
+        )
+    out.append("")
+
+    if profile.faults > 1:
+        heading("fault inter-arrival (references between faults)")
+        peak = max(count for _label, count in profile.interarrival)
+        if md:
+            out.append("| gap | faults |")
+            out.append("|---|---|")
+            out.extend(
+                f"| {label} | {count} |"
+                for label, count in profile.interarrival
+            )
+        else:
+            out.extend(
+                f"  {label:>8s} {count:8d} {_bar(count, peak)}"
+                for label, count in profile.interarrival
+            )
+        out.append("")
+
+    if profile.per_array_faults:
+        heading("fault attribution by array")
+        total = max(profile.faults, 1)
+        items = sorted(
+            profile.per_array_faults.items(), key=lambda kv: -kv[1]
+        )
+        if md:
+            out.append("| array | faults | share |")
+            out.append("|---|---|---|")
+            out.extend(
+                f"| {name} | {count} | {count * 100 // total}% |"
+                for name, count in items
+            )
+        else:
+            out.extend(
+                f"  {name:10s} {count:8d}  ({count * 100 // total}%)"
+                for name, count in items
+            )
+        out.append("")
+
+    if profile.mem_curve:
+        heading("resident set over time (MEM curve)")
+        values = [v for _t, v in profile.mem_curve]
+        out.append(
+            ("`" if md else "  ") + _sparkline(values) + ("`" if md else "")
+        )
+        out.append(
+            f"  t={profile.mem_curve[0][0]}"
+            f"..{profile.mem_curve[-1][0]}, "
+            f"mean={profile.mean_resident:.2f}, "
+            f"peak={profile.peak_resident}"
+        )
+        out.append("")
+
+    if profile.evict_reasons:
+        heading("evictions by reason")
+        if md:
+            out.append("| reason | evictions |")
+            out.append("|---|---|")
+        out.extend(
+            (f"| {reason} | {count} |" if md else f"  {reason:12s} {count:8d}")
+            for reason, count in sorted(profile.evict_reasons.items())
+        )
+        out.append("")
+
+    if profile.grants or profile.denies:
+        heading("directive decisions")
+        out.append(
+            f"  grants={profile.grants} denies={profile.denies}"
+            + (
+                " ("
+                + ", ".join(
+                    f"{r}: {c}" for r, c in sorted(profile.deny_reasons.items())
+                )
+                + ")"
+                if profile.deny_reasons
+                else ""
+            )
+        )
+        out.append("")
+
+    if profile.lock_holds:
+        heading("lock hold times")
+        closed = profile.closed_holds()
+        open_count = len(profile.lock_holds) - len(closed)
+        by_end: dict = {}
+        for hold in profile.lock_holds:
+            by_end[hold.ended_by] = by_end.get(hold.ended_by, 0) + 1
+        out.append(
+            f"  pins={len(profile.lock_holds)} "
+            + " ".join(f"{k}={v}" for k, v in sorted(by_end.items()))
+        )
+        if closed:
+            durations = sorted(h.duration for h in closed)
+            mid = durations[len(durations) // 2]
+            out.append(
+                f"  hold refs: min={durations[0]} median={mid} "
+                f"max={durations[-1]}"
+            )
+        if open_count:
+            out.append(f"  {open_count} pin(s) still held at end of trace")
+        out.append("")
+
+    return "\n".join(out).rstrip() + "\n"

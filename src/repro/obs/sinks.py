@@ -1,0 +1,107 @@
+"""Event sinks: where a tracer's stream goes.
+
+* :class:`RingBufferSink` — keep the last N events in memory (or all of
+  them), for tests and in-process profiling;
+* :class:`JsonlSink` — persist one JSON object per line, the on-disk
+  timeline format under ``results/timelines/``;
+* :class:`SummarySink` — constant-space aggregation (event counts, PF,
+  peak residency) for cheap always-on accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.events import Event, Fault, ResidentSample
+
+
+class Sink:
+    """Protocol: receive events, then be closed exactly once."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events (None = unbounded)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.total_seen = 0
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(event)
+        self.total_seen += 1
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(Sink):
+    """Append events to ``path`` as JSON lines.
+
+    The file is opened lazily on the first event and truncated then, so
+    constructing the sink is free and an eventless run leaves no file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.count = 0
+        self._fh = None
+
+    def handle(self, event: Event) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+        json.dump(event.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SummarySink(Sink):
+    """Constant-space aggregation over the stream."""
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+        self.faults = 0
+        self.peak_resident = 0
+        self.last_time = 0
+
+    def handle(self, event: Event) -> None:
+        self.counts[event.kind] += 1
+        if event.time > self.last_time:
+            self.last_time = event.time
+        if isinstance(event, Fault):
+            self.faults += 1
+            if event.resident > self.peak_resident:
+                self.peak_resident = event.resident
+        elif isinstance(event, ResidentSample):
+            if event.resident > self.peak_resident:
+                self.peak_resident = event.resident
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events": sum(self.counts.values()),
+            "by_kind": dict(sorted(self.counts.items())),
+            "faults": self.faults,
+            "peak_resident": self.peak_resident,
+            "last_time": self.last_time,
+        }

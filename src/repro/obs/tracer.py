@@ -1,0 +1,56 @@
+"""The tracer: the single emission point the VM stack talks to.
+
+Instrumented code holds an optional tracer (``None`` by default) and
+guards every emission with ``if tracer is not None`` — the disabled
+cost is one attribute test on fault/eviction paths and nothing at all
+on the hit path.  :data:`NULL_TRACER` exists for call sites that want
+an object unconditionally; its ``emit`` is a bound no-op.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import Event
+    from repro.obs.sinks import Sink
+
+
+class Tracer:
+    """Fan an event stream out to one or more sinks."""
+
+    enabled = True
+
+    def __init__(self, *sinks: "Sink"):
+        self.sinks: List["Sink"] = list(sinks)
+
+    def emit(self, event: "Event") -> None:
+        for sink in self.sinks:
+            sink.handle(event)
+
+    def close(self) -> None:
+        """Flush and close every sink (JSONL files in particular)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything (near-zero overhead default)."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def emit(self, event: "Event") -> None:
+        pass
+
+
+#: shared no-op instance — safe because it holds no state
+NULL_TRACER = NullTracer()

@@ -1,7 +1,7 @@
 """Differential checks: fast path ≡ slow path, plus policy invariants.
 
-Three check classes, mirroring the three fast paths the repo depends
-on (each identified by the ``check`` field of a :class:`Divergence`):
+Four check classes, mirroring the fast paths the repo depends on (each
+identified by the ``check`` field of a :class:`Divergence`):
 
 * ``trace-*`` — the affine trace compiler against the pure interpreter
   (element-for-element pages, directive events, truncation), plus the
@@ -11,7 +11,12 @@ on (each identified by the ``check`` field of a :class:`Divergence`):
 * ``invariant-*`` — policy laws that hold independently of any fast
   path: the LRU inclusion property across memory sizes, WS window
   contents, CD's LRU-prefix residency, and CD lock bookkeeping
-  (balance at exit, PJ-ordered forced release).
+  (balance at exit, PJ-ordered forced release);
+* ``event-*`` — conservation laws over the observability event stream:
+  fault events equal the PF count, space-time is reconstructible from
+  resident-set samples, lock pins balance, residency never exceeds a
+  memory ceiling, and the closed-form replay synthesizes the same
+  fault stream as the event-driven simulator.
 
 All comparisons are exact — both sides compute in integer or identical
 float arithmetic, so any difference at all is a real divergence.
@@ -463,6 +468,122 @@ def check_cd_locks(trace: ReferenceTrace, label: str) -> List[Divergence]:
     return out
 
 
+# -- check class 4: event-stream conservation ---------------------------------
+
+
+def check_event_conservation(
+    trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    """Conservation laws the event stream must satisfy exactly.
+
+    With ``sample_interval=1`` the stream carries one resident-set
+    sample per reference, so the simulator's aggregate metrics are
+    *redundant* with the events — any bookkeeping drift between the
+    two shows up as an inequality here.
+    """
+    from repro.obs import RingBufferSink, Tracer
+    from repro.obs.events import (
+        AllocateGrant,
+        Fault,
+        ForcedRelease,
+        Lock,
+        ResidentSample,
+        Unlock,
+    )
+
+    out: List[Divergence] = []
+    slow_faults = None
+    for config in (CDConfig(), CDConfig(memory_limit=3)):
+        ring = RingBufferSink()
+        result = simulate(
+            trace, CDPolicy(config), tracer=Tracer(ring), sample_interval=1
+        )
+        events = ring.events
+        faults = [e for e in events if isinstance(e, Fault)]
+        tag = f"{label}/{config.label()}"
+        if len(faults) != result.page_faults:
+            out.append(
+                Divergence(
+                    "event-faults",
+                    f"{tag}: {len(faults)} Fault events but "
+                    f"PF={result.page_faults}",
+                )
+            )
+        if config.memory_limit is None:
+            slow_faults = [(e.time, e.page) for e in faults]
+        reconstructed = sum(
+            e.resident for e in events if isinstance(e, ResidentSample)
+        ) + result.fault_service * sum(e.resident for e in faults)
+        if reconstructed != result.space_time:
+            out.append(
+                Divergence(
+                    "event-st",
+                    f"{tag}: ST from events {reconstructed} != "
+                    f"simulator ST {result.space_time}",
+                )
+            )
+        pinned = sum(len(e.pages) for e in events if isinstance(e, Lock))
+        unpinned = sum(
+            len(e.pages)
+            for e in events
+            if isinstance(e, (Unlock, ForcedRelease))
+        )
+        if pinned != unpinned:
+            out.append(
+                Divergence(
+                    "event-locks",
+                    f"{tag}: {pinned} pages pinned but {unpinned} "
+                    "released (ledger imbalance)",
+                )
+            )
+        limit = config.memory_limit
+        if limit is not None:
+            over = [
+                e
+                for e in events
+                if isinstance(e, (Fault, ResidentSample)) and e.resident > limit
+            ]
+            over_grant = [
+                e
+                for e in events
+                if isinstance(e, AllocateGrant) and e.pages > limit
+            ]
+            if over or over_grant:
+                out.append(
+                    Divergence(
+                        "event-grants",
+                        f"{tag}: residency/grant exceeds the memory "
+                        f"limit {limit} ({len(over)} samples, "
+                        f"{len(over_grant)} grants)",
+                    )
+                )
+    config = CDConfig()
+    if slow_faults is not None and fastsim.cd_fast_applicable(trace, config):
+        ring = RingBufferSink()
+        fastsim.simulate_cd_fast(trace, config, tracer=Tracer(ring))
+        fast_faults = [
+            (e.time, e.page) for e in ring.events if isinstance(e, Fault)
+        ]
+        if fast_faults != slow_faults:
+            i = next(
+                (
+                    k
+                    for k, (a, b) in enumerate(zip(fast_faults, slow_faults))
+                    if a != b
+                ),
+                min(len(fast_faults), len(slow_faults)),
+            )
+            out.append(
+                Divergence(
+                    "event-fastsim",
+                    f"{label}: synthesized fault stream diverges at "
+                    f"index {i}: fast {len(fast_faults)} faults vs "
+                    f"simulator {len(slow_faults)}",
+                )
+            )
+    return out
+
+
 # -- the full battery --------------------------------------------------------
 
 
@@ -497,6 +618,7 @@ def check_program(
             out.extend(check_ws_window(trace, label))
             out.extend(check_cd_lru_prefix(trace, label))
             out.extend(check_cd_locks(trace, label))
+            out.extend(check_event_conservation(trace, label))
     return out
 
 

@@ -16,6 +16,16 @@ Every number produced here is exactly equal to driving
 :func:`~repro.vm.simulator.simulate` (asserted by the test suite); the
 event-driven pair remains the reference implementation and handles the
 general case (memory ceilings, LOCK pinning).
+
+With a ``tracer`` the replay *synthesizes* the observability events the
+event-driven path would emit — one :class:`~repro.obs.Fault` per fault
+(with page identity and post-fault residency), ALLOCATE request/grant
+events from the directive schedule, and resident-set samples at each
+point the (piecewise constant) residency changes — so timelines taken
+on the fast path stay comparable with the reference simulator: fault
+counts and positions match exactly.  Per-eviction events are not
+synthesized (recovering victim identity would need the full LRU stack);
+use the event-driven simulator when eviction order matters.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.tracegen.events import DirectiveKind, ReferenceTrace
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
 from repro.vm.metrics import FAULT_SERVICE_REFERENCES, SimulationResult
 from repro.vm.policies.cd import CDConfig
 
@@ -47,23 +57,25 @@ def cd_fast_applicable(trace: ReferenceTrace, config: CDConfig) -> bool:
 
 def _allocation_schedule(
     trace: ReferenceTrace, config: CDConfig
-) -> List[Tuple[int, int]]:
-    """(position, new_target) per ALLOCATE, mirroring CDPolicy's grant
-    rule for the no-ceiling case: the first eligible (outermost) request
-    is always affordable."""
+) -> List[Tuple[int, int, object, DirectiveEvent]]:
+    """(position, new_target, granted_request, event) per ALLOCATE,
+    mirroring CDPolicy's grant rule for the no-ceiling case: the first
+    eligible (outermost) request is always affordable."""
     cap = config.pi_cap
     floor = config.min_allocation
-    schedule: List[Tuple[int, int]] = []
+    schedule: List[Tuple[int, int, object, DirectiveEvent]] = []
     for event in trace.directives:
         if event.kind is not DirectiveKind.ALLOCATE:
             continue
         requests = event.requests
         if cap is None:
-            granted = requests[0].pages
+            chosen = requests[0]
         else:
             eligible = [r for r in requests if r.priority_index <= cap]
-            granted = eligible[0].pages if eligible else requests[-1].pages
-        schedule.append((event.position, max(granted, floor)))
+            chosen = eligible[0] if eligible else requests[-1]
+        schedule.append(
+            (event.position, max(chosen.pages, floor), chosen, event)
+        )
     return schedule
 
 
@@ -72,12 +84,16 @@ def simulate_cd_fast(
     config: Optional[CDConfig] = None,
     distances: Optional[np.ndarray] = None,
     fault_service: int = FAULT_SERVICE_REFERENCES,
+    tracer=None,
 ) -> SimulationResult:
     """Replay ``trace`` under CD without a per-reference loop.
 
     ``distances`` are the trace's LRU stack distances (cold = huge); pass
     ``LRUSweep(trace)._distances`` — or leave None to compute them here.
     Raises ValueError if :func:`cd_fast_applicable` is False.
+
+    ``tracer`` (optional) receives synthesized Fault/ALLOCATE/sample
+    events equivalent to the event-driven path's stream.
     """
     config = config or CDConfig()
     if not cd_fast_applicable(trace, config):
@@ -88,6 +104,8 @@ def simulate_cd_fast(
         distances = LRUSweep(trace)._distances
     n = len(trace.pages)
     d = distances
+    if tracer is not None:
+        from repro.obs import events as obs
 
     # Prefix fault counts per distinct target, built lazily: entry T
     # holds P with P[k] = #references in [0, k) whose distance > T.
@@ -108,6 +126,14 @@ def simulate_cd_fast(
     fault_space = 0
     faults = 0
 
+    def emit_fault(index: int, resident: int) -> None:
+        tracer.emit(
+            obs.Fault(
+                time=index, page=int(trace.pages[index]), resident=resident
+            )
+        )
+        tracer.emit(obs.ResidentSample(time=index, resident=resident))
+
     def run_segment(a: int, b: int) -> None:
         nonlocal r, mem_sum, fault_space, faults
         cur = a
@@ -123,6 +149,8 @@ def simulate_cd_fast(
             mem_sum += r
             fault_space += r * fault_service
             faults += 1
+            if tracer is not None:
+                emit_fault(cur + hit_run, r)
             cur += hit_run + 1
         if cur < b:
             # Saturated: residency pinned at the target for the rest.
@@ -131,16 +159,42 @@ def simulate_cd_fast(
             faults += seg_faults
             mem_sum += target * (b - cur)
             fault_space += target * fault_service * seg_faults
+            if tracer is not None and seg_faults:
+                for index in np.nonzero(d[cur:b] > target)[0]:
+                    emit_fault(cur + int(index), target)
 
     at = 0
-    for position, new_target in _allocation_schedule(trace, config):
+    for position, new_target, granted, event in _allocation_schedule(
+        trace, config
+    ):
         position = min(position, n)
         if position > at:
             run_segment(at, position)
             at = position
         target = new_target
+        if tracer is not None:
+            tracer.emit(
+                obs.AllocateRequest(
+                    time=position,
+                    site=event.site,
+                    requests=tuple(
+                        (q.priority_index, q.pages) for q in event.requests
+                    ),
+                )
+            )
+            tracer.emit(
+                obs.AllocateGrant(
+                    time=position,
+                    site=event.site,
+                    pages=granted.pages,
+                    priority_index=granted.priority_index,
+                    target=new_target,
+                )
+            )
         if r > target:
             r = target
+            if tracer is not None:
+                tracer.emit(obs.ResidentSample(time=position, resident=r))
     if at < n:
         run_segment(at, n)
 

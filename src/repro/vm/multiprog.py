@@ -159,11 +159,15 @@ class MultiprogSimulator:
         fault_service: int = FAULT_SERVICE_REFERENCES,
         ws_tau: int = 1500,
         max_time: int = 500_000_000,
+        tracer=None,
+        sample_interval: int = 1000,
     ):
         if total_frames < len(workloads):
             raise ValueError("need at least one frame per process")
         if quantum < 1:
             raise ValueError("quantum must be positive")
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be positive")
         self.total_frames = total_frames
         self.quantum = quantum
         self.fault_service = fault_service
@@ -175,6 +179,9 @@ class MultiprogSimulator:
         self.swaps = 0
         self._util_integral = 0.0
         self._util_samples = 0
+        #: optional :class:`repro.obs.Tracer`; events carry ``proc``
+        self.tracer = tracer
+        self.sample_interval = sample_interval
 
     # -- memory accounting -------------------------------------------------
 
@@ -223,6 +230,7 @@ class MultiprogSimulator:
                 share = self.total_frames // max(len(self.processes), 1)
                 if self.frames_free >= max(1, min(share, p.demand())):
                     p.state = ProcessState.READY
+                    self._emit_resume(p)
 
     def _advance_to_next_wake(self) -> None:
         pending = [
@@ -238,6 +246,7 @@ class MultiprogSimulator:
         if candidates:
             victim = min(candidates, key=lambda p: p.demand())
             victim.state = ProcessState.READY
+            self._emit_resume(victim)
         self.clock += 1
 
     def _run_quantum(self, process: _Process) -> None:
@@ -266,6 +275,18 @@ class MultiprogSimulator:
     def _sample_utilization(self) -> None:
         self._util_integral += self.frames_used / self.total_frames
         self._util_samples += 1
+        if self.tracer is not None and self.clock % self.sample_interval == 0:
+            from repro.obs.events import ResidentSample
+
+            self.tracer.emit(
+                ResidentSample(time=self.clock, resident=self.frames_used)
+            )
+
+    def _emit_resume(self, process: _Process) -> None:
+        if self.tracer is not None:
+            from repro.obs.events import Resume
+
+            self.tracer.emit(Resume(time=self.clock, proc=process.name))
 
     # -- referencing -----------------------------------------------------------
 
@@ -279,6 +300,17 @@ class MultiprogSimulator:
         else:
             fault = self._cd_access(process, page)
         process.stats.mem_integral += process.resident_size
+        if fault and self.tracer is not None:
+            from repro.obs.events import Fault
+
+            self.tracer.emit(
+                Fault(
+                    time=self.clock,
+                    page=page,
+                    resident=process.resident_size,
+                    proc=process.name,
+                )
+            )
         return fault
 
     def _cd_access(self, process: _Process, page: int) -> bool:
@@ -391,6 +423,12 @@ class MultiprogSimulator:
         victim.state = ProcessState.SWAPPED
         victim.stats.swapped_out += 1
         self.swaps += 1
+        if self.tracer is not None:
+            from repro.obs.events import Suspend
+
+            self.tracer.emit(
+                Suspend(time=self.clock, reason="swap", proc=victim.name)
+            )
 
     def _release_all(self, process: _Process) -> None:
         process.resident.clear()

@@ -25,6 +25,12 @@ class Policy(abc.ABC):
     #: short name used in reports ("LRU", "WS", "CD", …)
     name: str = "?"
 
+    #: optional :class:`repro.obs.Tracer`; None (the default) keeps every
+    #: hot path free of emission work beyond one attribute test on the
+    #: fault/eviction branches.  :func:`repro.vm.simulator.simulate`
+    #: installs its tracer here for the duration of a replay.
+    tracer = None
+
     @abc.abstractmethod
     def access(self, page: int, time: int) -> bool:
         """Service a reference to ``page`` at virtual reference index

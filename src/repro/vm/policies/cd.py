@@ -87,6 +87,7 @@ class CDPolicy(Policy):
         self._site_pages: Dict[int, Set[int]] = {}  # site -> pages
         self._site_pj: Dict[int, int] = {}
         self._locked_resident = 0
+        self._now = 0  # virtual time of the last access/directive (tracing)
         self.swaps = 0
         self.denied_requests = 0
         self.lock_releases = 0
@@ -98,6 +99,7 @@ class CDPolicy(Policy):
         if page in resident:
             resident.move_to_end(page)
             return False
+        self._now = time
         resident[page] = None
         if page in self._locked_site_of:
             self._locked_resident += 1
@@ -124,6 +126,7 @@ class CDPolicy(Policy):
         self._site_pages.clear()
         self._site_pj.clear()
         self._locked_resident = 0
+        self._now = 0
         self.swaps = 0
         self.denied_requests = 0
         self.lock_releases = 0
@@ -134,6 +137,7 @@ class CDPolicy(Policy):
     # -- directives -----------------------------------------------------------
 
     def on_directive(self, event: DirectiveEvent) -> None:
+        self._now = event.position
         if event.kind is DirectiveKind.ALLOCATE:
             self._process_allocate(event)
         elif event.kind is DirectiveKind.LOCK:
@@ -146,6 +150,19 @@ class CDPolicy(Policy):
     def _process_allocate(self, event: DirectiveEvent) -> None:
         cap = self.config.pi_cap
         limit = self.config.memory_limit
+        tracer = self.tracer
+        if tracer is not None:
+            from repro.obs import events as obs
+
+            tracer.emit(
+                obs.AllocateRequest(
+                    time=event.position,
+                    site=event.site,
+                    requests=tuple(
+                        (r.priority_index, r.pages) for r in event.requests
+                    ),
+                )
+            )
         eligible = [
             r for r in event.requests if cap is None or r.priority_index <= cap
         ]
@@ -154,22 +171,57 @@ class CDPolicy(Policy):
             # program's hard minimum and is always considered.
             eligible = [event.requests[-1]]
         granted = None
+        granted_pi = 0
         for request in eligible:
             if limit is None or request.pages <= limit:
                 granted = request.pages
+                granted_pi = request.priority_index
                 break
             self.denied_requests += 1
+            if tracer is not None:
+                tracer.emit(
+                    obs.AllocateDeny(
+                        time=event.position,
+                        site=event.site,
+                        pages=request.pages,
+                        priority_index=request.priority_index,
+                        reason="over-limit",
+                    )
+                )
         if granted is None:
             innermost = eligible[-1]
             if innermost.priority_index > 1:
                 # An outer-level locality: keep the current allocation and
                 # wait for a deeper directive (Figure 6's "continue").
+                if tracer is not None:
+                    tracer.emit(
+                        obs.AllocateDeny(
+                            time=event.position,
+                            site=event.site,
+                            pages=innermost.pages,
+                            priority_index=innermost.priority_index,
+                            reason="deferred",
+                        )
+                    )
                 return
             # PI = 1 and no space: suspend/swap.  In uniprogramming we
             # count the swap and run with whatever memory exists.
             self.swaps += 1
+            if tracer is not None:
+                tracer.emit(obs.Suspend(time=event.position, reason="swap"))
             granted = limit
+            granted_pi = innermost.priority_index
         self._target = max(granted, self.config.min_allocation)
+        if tracer is not None:
+            tracer.emit(
+                obs.AllocateGrant(
+                    time=event.position,
+                    site=event.site,
+                    pages=granted,
+                    priority_index=granted_pi,
+                    target=self._target,
+                )
+            )
         self._shrink_unlocked_to(self._target)
         self._enforce_memory_limit()
 
@@ -188,13 +240,26 @@ class CDPolicy(Policy):
         if pages:
             self._site_pages[site] = pages
             self._site_pj[site] = event.priority_index
+            if self.tracer is not None:
+                from repro.obs import events as obs
+
+                self.tracer.emit(
+                    obs.Lock(
+                        time=event.position,
+                        site=site,
+                        pages=tuple(sorted(pages)),
+                        priority_index=event.priority_index,
+                    )
+                )
         self._enforce_memory_limit()
 
     def _process_unlock(self, event: DirectiveEvent) -> None:
+        unpinned = []
         for page in event.lock_pages:
             site = self._locked_site_of.pop(page, None)
             if site is None:
                 continue
+            unpinned.append(page)
             if page in self._resident:
                 self._locked_resident -= 1
             site_set = self._site_pages.get(site)
@@ -203,6 +268,16 @@ class CDPolicy(Policy):
                 if not site_set:
                     del self._site_pages[site]
                     self._site_pj.pop(site, None)
+        if unpinned and self.tracer is not None:
+            from repro.obs import events as obs
+
+            self.tracer.emit(
+                obs.Unlock(
+                    time=event.position,
+                    site=event.site,
+                    pages=tuple(sorted(unpinned)),
+                )
+            )
         self._shrink_unlocked_to(self._target)
 
     # -- internals ---------------------------------------------------------------
@@ -217,13 +292,21 @@ class CDPolicy(Policy):
         process cannot run without it resident.
         """
         while self._unlocked_resident() > limit:
-            if not self._evict_one_unlocked(exclude):
+            if not self._evict_one_unlocked(exclude, reason="shrink"):
                 break  # nothing evictable (everything is pinned)
 
-    def _evict_one_unlocked(self, exclude: Optional[int] = None) -> bool:
+    def _evict_one_unlocked(
+        self, exclude: Optional[int] = None, reason: str = "capacity"
+    ) -> bool:
         for page in self._resident:  # iterates LRU -> MRU
             if page not in self._locked_site_of and page != exclude:
                 del self._resident[page]
+                if self.tracer is not None:
+                    from repro.obs.events import Evict
+
+                    self.tracer.emit(
+                        Evict(time=self._now, page=page, reason=reason)
+                    )
                 return True
         return False
 
@@ -232,7 +315,7 @@ class CDPolicy(Policy):
         if limit is None:
             return
         while len(self._resident) > limit:
-            if self._evict_one_unlocked(exclude):
+            if self._evict_one_unlocked(exclude, reason="limit"):
                 continue
             if not self._release_highest_pj_site():
                 break  # only the pinned working page remains
@@ -247,13 +330,27 @@ class CDPolicy(Policy):
 
     def _release_site(self, site: int, count_as_release: bool) -> None:
         pages = self._site_pages.pop(site, None)
-        self._site_pj.pop(site, None)
+        pj = self._site_pj.pop(site, 0)
         if not pages:
             return
+        released = []
         for page in pages:
             if self._locked_site_of.get(page) == site:
                 del self._locked_site_of[page]
+                released.append(page)
                 if page in self._resident:
                     self._locked_resident -= 1
         if count_as_release:
             self.lock_releases += 1
+        if released and self.tracer is not None:
+            from repro.obs.events import ForcedRelease
+
+            self.tracer.emit(
+                ForcedRelease(
+                    time=self._now,
+                    site=site,
+                    pages=tuple(sorted(released)),
+                    priority_index=pj,
+                    reason="pressure" if count_as_release else "superseded",
+                )
+            )

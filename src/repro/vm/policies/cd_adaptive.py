@@ -109,6 +109,7 @@ class AdaptiveCDPolicy(CDPolicy):
         if interfault < self.raise_threshold and level < max_level:
             self._level_by_site[site] = level + 1
             self.level_raises += 1
+            self._emit_level_change(site, level, level + 1)
         elif (
             faults == 0
             and level > 1
@@ -117,6 +118,17 @@ class AdaptiveCDPolicy(CDPolicy):
             # Fault-free *and* mostly idle: release the outer grant.
             self._level_by_site[site] = level - 1
             self.level_drops += 1
+            self._emit_level_change(site, level, level - 1)
+
+    def _emit_level_change(self, site: int, old: int, new: int) -> None:
+        if self.tracer is not None:
+            from repro.obs.events import LevelChange
+
+            self.tracer.emit(
+                LevelChange(
+                    time=self._now, site=site, old_level=old, new_level=new
+                )
+            )
 
     def reset(self) -> None:
         super().reset()

@@ -28,7 +28,13 @@ class LRUPolicy(Policy):
             resident.move_to_end(page)
             return False
         if len(resident) >= self.frames:
-            resident.popitem(last=False)
+            victim, _ = resident.popitem(last=False)
+            if self.tracer is not None:
+                from repro.obs.events import Evict
+
+                self.tracer.emit(
+                    Evict(time=time, page=victim, reason="capacity")
+                )
         resident[page] = None
         return True
 

@@ -40,6 +40,13 @@ class PFFPolicy(Policy):
         interval = time - self._last_fault_time
         if interval >= self.threshold:
             # Faulting slowly: shrink to the pages with the use bit set.
+            if self.tracer is not None:
+                from repro.obs.events import Evict
+
+                for victim in sorted(self._resident - self._used_since_fault):
+                    self.tracer.emit(
+                        Evict(time=time, page=victim, reason="pff-shrink")
+                    )
             self._resident = set(self._used_since_fault)
         self._resident.add(page)
         self._used_since_fault = {page}

@@ -46,6 +46,12 @@ class WorkingSetPolicy(Policy):
             when, page = window.popleft()
             if last_ref.get(page) == when:
                 del last_ref[page]
+                if self.tracer is not None:
+                    from repro.obs.events import Evict
+
+                    self.tracer.emit(
+                        Evict(time=now, page=page, reason="window")
+                    )
 
     @property
     def resident_size(self) -> int:

@@ -6,6 +6,13 @@ and integrates the three performance indexes.  It is exact and
 policy-agnostic; the one-pass analyzers in :mod:`repro.vm.analyzers`
 reproduce its LRU/WS numbers for whole parameter sweeps and are
 cross-validated against it in the test suite.
+
+Passing ``tracer`` (a :class:`repro.obs.Tracer`) records the replay as
+a typed event stream: the simulator emits :class:`~repro.obs.Fault`
+per demand fetch and a :class:`~repro.obs.ResidentSample` every
+``sample_interval`` references, and installs the tracer on the policy
+so it emits its own Evict/ALLOCATE/LOCK decisions.  With ``tracer``
+left as None the replay loop is byte-for-byte the untraced one.
 """
 
 from __future__ import annotations
@@ -22,12 +29,18 @@ def simulate(
     policy: Policy,
     fault_service: int = FAULT_SERVICE_REFERENCES,
     deliver_directives: Optional[bool] = None,
+    tracer=None,
+    sample_interval: int = 1,
 ) -> SimulationResult:
     """Replay ``trace`` under ``policy`` and return the metrics.
 
     ``deliver_directives`` defaults to True; pass False to replay the
     bare reference string (baselines ignore directives anyway, so this
     only matters for experiments that deliberately starve CD).
+
+    ``sample_interval`` (with a tracer) spaces the ResidentSample
+    events; the default 1 samples after every reference, which makes
+    MEM and ST exactly reconstructible from the event stream.
     """
     policy.reset()
     prepare = getattr(policy, "prepare", None)
@@ -44,19 +57,52 @@ def simulate(
 
     event_index = 0
     event_count = len(directives)
-    for time in range(total_refs):
-        while event_index < event_count and directives[event_index].position <= time:
+    if tracer is None:
+        for time in range(total_refs):
+            while event_index < event_count and directives[event_index].position <= time:
+                policy.on_directive(directives[event_index])
+                event_index += 1
+            fault = policy.access(int(pages[time]), time)
+            resident = policy.resident_size
+            mem_sum += resident
+            if fault:
+                faults += 1
+                fault_space_time += resident * fault_service
+        while event_index < event_count:
             policy.on_directive(directives[event_index])
             event_index += 1
-        fault = policy.access(int(pages[time]), time)
-        resident = policy.resident_size
-        mem_sum += resident
-        if fault:
-            faults += 1
-            fault_space_time += resident * fault_service
-    while event_index < event_count:
-        policy.on_directive(directives[event_index])
-        event_index += 1
+    else:
+        from repro.obs.events import Fault, ResidentSample
+
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
+        previous_tracer = policy.tracer
+        policy.tracer = tracer
+        try:
+            for time in range(total_refs):
+                while (
+                    event_index < event_count
+                    and directives[event_index].position <= time
+                ):
+                    policy.on_directive(directives[event_index])
+                    event_index += 1
+                page = int(pages[time])
+                fault = policy.access(page, time)
+                resident = policy.resident_size
+                mem_sum += resident
+                if fault:
+                    faults += 1
+                    fault_space_time += resident * fault_service
+                    tracer.emit(Fault(time=time, page=page, resident=resident))
+                if time % sample_interval == 0:
+                    tracer.emit(ResidentSample(time=time, resident=resident))
+            # Trailing directives (position == total_refs) still trace:
+            # the final UNLOCKs land here and the lock ledger must see them.
+            while event_index < event_count:
+                policy.on_directive(directives[event_index])
+                event_index += 1
+        finally:
+            policy.tracer = previous_tracer
 
     mem_average = mem_sum / total_refs if total_refs else 0.0
     return SimulationResult(

@@ -8,6 +8,15 @@ whole session is pointed at a throwaway directory.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden table snapshots instead of comparing",
+    )
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_artifact_cache(tmp_path_factory, request):
     cache_root = tmp_path_factory.mktemp("repro-cache")

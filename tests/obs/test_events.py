@@ -1,0 +1,149 @@
+"""Event schema, sinks, and tracer plumbing."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_TRACER,
+    AllocateDeny,
+    AllocateGrant,
+    AllocateRequest,
+    Evict,
+    Fault,
+    ForcedRelease,
+    JsonlSink,
+    LevelChange,
+    Lock,
+    NullTracer,
+    Resume,
+    RingBufferSink,
+    SummarySink,
+    Suspend,
+    Tracer,
+    Unlock,
+    event_from_dict,
+    load_events,
+)
+from repro.obs.events import ResidentSample
+
+SAMPLES = [
+    Fault(time=3, page=7, resident=4),
+    Fault(time=9, page=2, resident=5, proc="P1"),
+    Evict(time=10, page=7, reason="shrink"),
+    AllocateRequest(time=12, site=1, requests=((2, 6), (1, 2))),
+    AllocateGrant(time=12, site=1, pages=6, priority_index=2, target=6),
+    AllocateDeny(time=12, site=1, pages=9, priority_index=2, reason="over-limit"),
+    Lock(time=14, site=2, pages=(3, 4), priority_index=1),
+    Unlock(time=20, site=2, pages=(3,)),
+    ForcedRelease(time=22, site=2, pages=(4,), priority_index=1, reason="pressure"),
+    Suspend(time=30, reason="swap", proc="P2"),
+    Resume(time=40, proc="P2"),
+    ResidentSample(time=41, resident=6),
+    LevelChange(time=50, site=3, old_level=1, new_level=2),
+]
+
+
+class TestEventSchema:
+    def test_registry_covers_every_event(self):
+        assert {type(e) for e in SAMPLES} == set(EVENT_TYPES.values())
+
+    def test_kinds_unique(self):
+        kinds = [cls.kind for cls in EVENT_TYPES.values()]
+        assert len(kinds) == len(set(kinds))
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_round_trip(self, event):
+        d = event.to_dict()
+        assert d["kind"] == event.kind
+        # to_dict must be JSON-serializable as-is
+        restored = event_from_dict(json.loads(json.dumps(d)))
+        assert restored == event
+        assert type(restored) is type(event)
+
+    def test_tuples_become_lists(self):
+        d = AllocateRequest(time=0, site=0, requests=((2, 6),)).to_dict()
+        assert d["requests"] == [[2, 6]]
+        assert Lock(time=0, site=0, pages=(1, 2), priority_index=1).to_dict()[
+            "pages"
+        ] == [1, 2]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "warp-core-breach", "time": 0})
+
+    def test_events_frozen(self):
+        with pytest.raises(AttributeError):
+            SAMPLES[0].page = 99
+
+
+class TestRingBufferSink:
+    def test_unbounded_keeps_everything(self):
+        sink = RingBufferSink()
+        for e in SAMPLES:
+            sink.handle(e)
+        assert sink.events == SAMPLES
+        assert sink.total_seen == len(SAMPLES)
+
+    def test_bounded_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        for e in SAMPLES:
+            sink.handle(e)
+        assert sink.events == SAMPLES[-3:]
+        assert sink.total_seen == len(SAMPLES)
+        assert len(sink) == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "deep" / "events.jsonl"
+        sink = JsonlSink(path)
+        for e in SAMPLES:
+            sink.handle(e)
+        sink.close()
+        assert sink.count == len(SAMPLES)
+        assert load_events(path) == SAMPLES
+
+    def test_no_events_no_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+
+class TestSummarySink:
+    def test_aggregates(self):
+        sink = SummarySink()
+        for e in SAMPLES:
+            sink.handle(e)
+        summary = sink.summary()
+        assert summary["faults"] == 2
+        assert summary["events"] == len(SAMPLES)
+        assert summary["peak_resident"] == 6
+        assert summary["last_time"] == 50
+        assert summary["by_kind"]["fault"] == 2
+
+
+class TestTracer:
+    def test_fans_out_to_all_sinks(self):
+        a, b = RingBufferSink(), SummarySink()
+        tracer = Tracer(a, b)
+        tracer.emit(SAMPLES[0])
+        assert a.events == [SAMPLES[0]]
+        assert b.faults == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit(SAMPLES[0])
+        assert load_events(path) == [SAMPLES[0]]
+
+    def test_null_tracer_drops(self):
+        NULL_TRACER.emit(SAMPLES[0])  # must not raise
+        assert NullTracer().enabled is False
+        assert Tracer().enabled is True

@@ -1,0 +1,194 @@
+"""Derived metrics (histograms, attribution, curves) and the report."""
+
+import pytest
+
+from repro.obs import (
+    AllocateDeny,
+    AllocateGrant,
+    Evict,
+    Fault,
+    ForcedRelease,
+    Lock,
+    Unlock,
+    build_profile,
+    render_profile,
+)
+from repro.obs.events import ResidentSample
+from repro.obs.metrics import (
+    attribute_faults,
+    interarrival_histogram,
+    lock_hold_times,
+    mem_over_time,
+)
+
+
+class TestInterarrivalHistogram:
+    def test_power_of_two_buckets(self):
+        # gaps: 1, 2, 4, 100, 1000
+        hist = dict(interarrival_histogram([0, 1, 3, 7, 107, 1107]))
+        assert hist["1"] == 1
+        assert hist["2"] == 1
+        assert hist["3-4"] == 1
+        assert hist["65-128"] == 1
+        assert hist[">128"] == 1
+
+    def test_all_buckets_present(self):
+        labels = [label for label, _ in interarrival_histogram([0, 5])]
+        assert labels == [
+            "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", ">128",
+        ]
+
+    def test_too_few_faults(self):
+        assert sum(n for _, n in interarrival_histogram([42])) == 0
+        assert sum(n for _, n in interarrival_histogram([])) == 0
+
+
+class TestAttribution:
+    def test_pages_map_to_arrays(self):
+        layout = {"A": (0, 4), "B": (4, 4)}
+        counts = attribute_faults([0, 3, 4, 5, 99], layout)
+        assert counts == {"A": 2, "B": 2, "(other)": 1}
+
+    def test_no_other_bucket_when_all_match(self):
+        assert "(other)" not in attribute_faults([1], {"A": (0, 4)})
+
+
+class TestLockHoldTimes:
+    def test_pairing_and_durations(self):
+        events = [
+            Lock(time=10, site=0, pages=(1, 2), priority_index=2),
+            Unlock(time=30, site=0, pages=(1,)),
+            ForcedRelease(
+                time=50, site=0, pages=(2,), priority_index=2, reason="pressure"
+            ),
+            Lock(time=60, site=1, pages=(3,), priority_index=3),
+        ]
+        holds = {h.page: h for h in lock_hold_times(events)}
+        assert holds[1].ended_by == "unlock" and holds[1].duration == 20
+        assert holds[2].ended_by == "forced" and holds[2].duration == 40
+        assert holds[3].ended_by == "open" and holds[3].duration is None
+
+    def test_superseded(self):
+        events = [
+            Lock(time=0, site=0, pages=(1,), priority_index=2),
+            ForcedRelease(
+                time=5, site=0, pages=(1,), priority_index=2, reason="superseded"
+            ),
+        ]
+        (hold,) = lock_hold_times(events)
+        assert hold.ended_by == "superseded"
+
+
+class TestMemOverTime:
+    def test_short_stream_passthrough(self):
+        events = [ResidentSample(time=t, resident=t + 1) for t in range(5)]
+        assert mem_over_time(events, buckets=48) == [
+            (0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0),
+        ]
+
+    def test_downsampling_preserves_plateau(self):
+        events = [ResidentSample(time=t, resident=7) for t in range(0, 1000, 2)]
+        curve = mem_over_time(events, buckets=10)
+        assert len(curve) == 10
+        assert all(value == 7.0 for _, value in curve)
+
+    def test_empty_bucket_inherits_previous(self):
+        # Samples only at the ends: middle buckets carry the last value.
+        events = [
+            ResidentSample(time=0, resident=2),
+            ResidentSample(time=1, resident=4),
+            *[ResidentSample(time=t, resident=4) for t in range(2, 10)],
+            ResidentSample(time=1000, resident=9),
+        ]
+        curve = mem_over_time(events, buckets=10)
+        assert curve[5][1] == curve[0][1] > 0  # inherited, not zero
+        assert curve[-1][1] == 9.0
+
+    def test_no_samples(self):
+        assert mem_over_time([Fault(time=0, page=1, resident=1)]) == []
+
+
+class TestBuildProfile:
+    def events(self):
+        return [
+            AllocateGrant(time=0, site=0, pages=3, priority_index=1, target=3),
+            Fault(time=1, page=0, resident=1),
+            ResidentSample(time=1, resident=1),
+            Fault(time=2, page=4, resident=2),
+            ResidentSample(time=2, resident=2),
+            Evict(time=5, page=0, reason="shrink"),
+            AllocateDeny(
+                time=6, site=1, pages=9, priority_index=2, reason="over-limit"
+            ),
+            ResidentSample(time=7, resident=1),
+        ]
+
+    def test_aggregates(self):
+        profile = build_profile(self.events(), array_pages={"A": (0, 4)})
+        assert profile.faults == 2
+        assert profile.fault_times == [1, 2]
+        assert profile.per_array_faults == {"A": 1, "(other)": 1}
+        assert profile.evict_reasons == {"shrink": 1}
+        assert profile.grants == 1
+        assert profile.denies == 1
+        assert profile.deny_reasons == {"over-limit": 1}
+        assert profile.peak_resident == 2
+        assert profile.mean_resident == pytest.approx(4 / 3)
+        assert profile.event_counts["fault"] == 2
+
+    def test_empty_stream(self):
+        profile = build_profile([])
+        assert profile.faults == 0
+        assert profile.mem_curve == []
+        assert profile.lock_holds == []
+
+
+class TestRenderProfile:
+    def profile(self):
+        events = [
+            Fault(time=10, page=1, resident=3),
+            Fault(time=50, page=6, resident=4),
+            ResidentSample(time=10, resident=3),
+            ResidentSample(time=50, resident=4),
+            Evict(time=60, page=1, reason="capacity"),
+            Lock(time=5, site=0, pages=(2,), priority_index=2),
+            Unlock(time=80, site=0, pages=(2,)),
+        ]
+        return build_profile(events, array_pages={"A": (0, 4), "B": (4, 4)})
+
+    def test_text_sections(self):
+        text = render_profile(self.profile())
+        for heading in (
+            "events",
+            "fault inter-arrival",
+            "fault attribution by array",
+            "resident set over time",
+            "evictions by reason",
+            "lock hold times",
+        ):
+            assert heading in text
+        assert "capacity" in text
+
+    def test_markdown_mode(self):
+        md = render_profile(self.profile(), fmt="markdown")
+        assert "| events |" in md or "| kind |" in md or "##" in md
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render_profile(self.profile(), fmt="html")
+
+    def test_headline_uses_result(self):
+        from repro.vm.metrics import SimulationResult
+
+        result = SimulationResult(
+            policy="CD",
+            program="TQL",
+            page_faults=2,
+            references=100,
+            mem_average=3.5,
+            space_time=12345.0,
+            parameter=None,
+            fault_service=2000,
+        )
+        text = render_profile(self.profile(), result=result)
+        assert "CD" in text and "TQL" in text and "12" in text

@@ -1,0 +1,136 @@
+"""Property tests: the event stream conserves the simulator's metrics.
+
+With ``sample_interval=1`` the tracer records the resident-set size
+after every reference, so the ST index — Σ resident over references
+plus resident × service over fault intervals — must be *exactly*
+reconstructible from the events, for any reference string, any policy,
+and any directive placement.  Derandomized so CI failures replay.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.directives.model import AllocateRequest
+from repro.obs import Fault, RingBufferSink, Tracer
+from repro.obs.events import ResidentSample
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.vm.policies import (
+    CDConfig,
+    CDPolicy,
+    LRUPolicy,
+    PFFPolicy,
+    WorkingSetPolicy,
+)
+from repro.vm.simulator import simulate
+
+pages_strategy = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=200
+)
+
+SETTINGS = settings(max_examples=50, deadline=None, derandomize=True)
+
+
+def trace_of(pages, directives=None):
+    return ReferenceTrace(
+        program_name="PROP",
+        pages=np.asarray(pages, dtype=np.int32),
+        total_pages=max(pages) + 1,
+        directives=list(directives or []),
+    )
+
+
+def alloc_at(position, pi, pages):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.ALLOCATE,
+        site=position,
+        requests=(AllocateRequest(pi, pages),),
+    )
+
+
+def reconstruct(trace, policy, fault_service=7):
+    """(simulator result, metrics recomputed purely from the events)."""
+    ring = RingBufferSink()
+    result = simulate(
+        trace,
+        policy,
+        fault_service=fault_service,
+        tracer=Tracer(ring),
+        sample_interval=1,
+    )
+    faults = [e for e in ring.events if isinstance(e, Fault)]
+    samples = [e for e in ring.events if isinstance(e, ResidentSample)]
+    st_from_events = sum(s.resident for s in samples) + fault_service * sum(
+        f.resident for f in faults
+    )
+    mem_from_events = (
+        sum(s.resident for s in samples) / len(samples) if samples else 0.0
+    )
+    return result, len(faults), st_from_events, mem_from_events
+
+
+class TestSTReconstruction:
+    @given(pages=pages_strategy, frames=st.integers(1, 12))
+    @SETTINGS
+    def test_lru(self, pages, frames):
+        result, faults, st_ev, mem_ev = reconstruct(
+            trace_of(pages), LRUPolicy(frames=frames)
+        )
+        assert faults == result.page_faults
+        assert st_ev == result.space_time
+        assert abs(mem_ev - result.mem_average) < 1e-9
+
+    @given(pages=pages_strategy, tau=st.integers(1, 40))
+    @SETTINGS
+    def test_ws(self, pages, tau):
+        result, faults, st_ev, mem_ev = reconstruct(
+            trace_of(pages), WorkingSetPolicy(tau=tau)
+        )
+        assert faults == result.page_faults
+        assert st_ev == result.space_time
+        assert abs(mem_ev - result.mem_average) < 1e-9
+
+    @given(pages=pages_strategy, threshold=st.integers(1, 40))
+    @SETTINGS
+    def test_pff(self, pages, threshold):
+        result, faults, st_ev, _ = reconstruct(
+            trace_of(pages), PFFPolicy(threshold=threshold)
+        )
+        assert faults == result.page_faults
+        assert st_ev == result.space_time
+
+    @given(
+        pages=pages_strategy,
+        grants=st.lists(
+            st.tuples(
+                st.integers(0, 199),  # position (clamped to the trace)
+                st.integers(1, 3),  # priority index
+                st.integers(1, 8),  # pages requested
+            ),
+            max_size=4,
+        ),
+        memory_limit=st.one_of(st.none(), st.integers(2, 6)),
+    )
+    @SETTINGS
+    def test_cd_with_random_directives(self, pages, grants, memory_limit):
+        directives = [
+            alloc_at(min(pos, len(pages)), pi, req)
+            for pos, pi, req in sorted(grants)
+        ]
+        trace = trace_of(pages, directives)
+        result, faults, st_ev, mem_ev = reconstruct(
+            trace, CDPolicy(CDConfig(memory_limit=memory_limit))
+        )
+        assert faults == result.page_faults
+        assert st_ev == result.space_time
+        assert abs(mem_ev - result.mem_average) < 1e-9
+
+    @given(pages=pages_strategy, frames=st.integers(1, 12))
+    @SETTINGS
+    def test_tracing_never_changes_the_metrics(self, pages, frames):
+        trace = trace_of(pages)
+        untraced = simulate(trace, LRUPolicy(frames=frames), fault_service=7)
+        traced, _, _, _ = reconstruct(trace, LRUPolicy(frames=frames))
+        assert untraced.page_faults == traced.page_faults
+        assert untraced.space_time == traced.space_time
+        assert untraced.mem_average == traced.mem_average

@@ -92,3 +92,174 @@ class TestTable:
     def test_unknown_table(self):
         with pytest.raises(SystemExit):
             main(["table", "9"])
+
+    def test_stats_to_stderr(self, capsys):
+        assert main(["table", "1", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "[stats]" in captured.err
+        assert "cache" in captured.err
+
+    def test_timelines_written(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMELINES_DIR", raising=False)
+        tdir = tmp_path / "timelines"
+        assert main(["table", "1", "--timelines", str(tdir)]) == 0
+        capsys.readouterr()
+        files = sorted(tdir.glob("*.jsonl"))
+        assert files, "table --timelines must persist per-cell event logs"
+        from repro.obs import Fault, load_events
+
+        events = load_events(files[0])
+        assert any(isinstance(e, Fault) for e in events)
+        monkeypatch.delenv("REPRO_TIMELINES_DIR", raising=False)
+
+
+class TestTracePolicy:
+    def test_report_and_events(self, tmp_path, capsys):
+        events_path = tmp_path / "tql.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "TQL",
+                    "--policy",
+                    "CD",
+                    "--locks",
+                    "--events",
+                    str(events_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "paging profile" in out
+        assert "fault inter-arrival" in out
+        assert "lock hold times" in out
+        assert events_path.exists()
+
+    def test_event_faults_match_simulator(self, tmp_path, capsys):
+        """The acceptance criterion: for every bundled workload, the
+        PF total derived from the JSONL event log equals the simulator's
+        count (the closed-form replay provides the independent count)."""
+        from repro.directives import instrument_program
+        from repro.obs import Fault, load_events
+        from repro.tracegen.interpreter import generate_trace
+        from repro.vm.fastsim import simulate_cd_fast
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            events_path = tmp_path / f"{workload.name}.jsonl"
+            assert (
+                main(
+                    [
+                        "trace",
+                        workload.name,
+                        "--policy",
+                        "CD",
+                        "--events",
+                        str(events_path),
+                        "--report",
+                        str(tmp_path / "report.txt"),
+                    ]
+                )
+                == 0
+            ), workload.name
+            capsys.readouterr()
+            event_faults = sum(
+                isinstance(e, Fault) for e in load_events(events_path)
+            )
+            program = workload.program()
+            trace = generate_trace(
+                program, plan=instrument_program(program, with_locks=False)
+            )
+            reference = simulate_cd_fast(trace)
+            assert event_faults == reference.page_faults, workload.name
+
+    def test_report_file_and_markdown(self, tmp_path, capsys):
+        report = tmp_path / "profile.md"
+        assert (
+            main(
+                [
+                    "trace",
+                    "INIT",
+                    "--policy",
+                    "LRU",
+                    "--frames",
+                    "4",
+                    "--report",
+                    str(report),
+                    "--format",
+                    "markdown",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote report" in out
+        assert "|" in report.read_text()
+
+    def test_sample_every(self, tmp_path, capsys):
+        events_path = tmp_path / "e.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "INIT",
+                    "--policy",
+                    "WS",
+                    "--tau",
+                    "100",
+                    "--sample-every",
+                    "50",
+                    "--events",
+                    str(events_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.obs import load_events
+        from repro.obs.events import ResidentSample
+
+        samples = [
+            e for e in load_events(events_path) if isinstance(e, ResidentSample)
+        ]
+        assert samples
+        assert all(s.time % 50 == 0 for s in samples)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "TQL", "--policy", "MAGIC"])
+
+
+class TestCache:
+    def test_path_info_clear(self, capsys):
+        assert main(["cache", "path"]) == 0
+        path_out = capsys.readouterr().out.strip()
+        assert path_out  # session cache dir (tests isolate it)
+        assert main(["cache", "info"]) == 0
+        info_out = capsys.readouterr().out
+        assert "disk entries:" in info_out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "disk entries: 0" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "verify",
+                    "--seeds",
+                    "3",
+                    "--no-shrink",
+                    "-o",
+                    str(tmp_path / "failures"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert not (tmp_path / "failures").exists()

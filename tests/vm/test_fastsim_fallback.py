@@ -82,9 +82,9 @@ def test_cd_result_uses_fast_path_when_exact(artifacts, monkeypatch):
     calls = []
     real = runner_mod.simulate_cd_fast
 
-    def spying(trace, config, distances=None):
+    def spying(trace, config, distances=None, tracer=None):
         calls.append(config)
-        return real(trace, config, distances=distances)
+        return real(trace, config, distances=distances, tracer=tracer)
 
     monkeypatch.setattr(runner_mod, "simulate_cd_fast", spying)
     result = artifacts.cd_result(CDConfig(honor_locks=False))
