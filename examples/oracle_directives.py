@@ -53,7 +53,10 @@ def main() -> None:
     print("Synthetic phased string (oracle ALLOCATE events):")
     print(f"  CD + oracle     : MEM={oracle.mem_average:6.2f}  PF={oracle.page_faults}")
     print(f"  CD, no events   : MEM={bare.mem_average:6.2f}  PF={bare.page_faults}")
-    print(f"  LRU @ {frames:3d} frames: MEM={lru.mem_average:6.2f}  PF={lru.page_faults}")
+    print(
+        f"  LRU @ {frames:3d} frames: "
+        f"MEM={lru.mem_average:6.2f}  PF={lru.page_faults}"
+    )
     print(f"  WS  @ tau={tau:5d} : MEM={ws.mem_average:6.2f}  PF={ws.page_faults}")
 
     # --- compiler side: the real pipeline on the equivalent program ---
@@ -65,7 +68,10 @@ def main() -> None:
         trace, LRUPolicy(frames=max(1, round(compiled.mem_average)))
     )
     print("\nEquivalent mini-FORTRAN program (compiler directives, PI cap 2):")
-    print(f"  CD + compiler   : MEM={compiled.mem_average:6.2f}  PF={compiled.page_faults}")
+    print(
+        f"  CD + compiler   : "
+        f"MEM={compiled.mem_average:6.2f}  PF={compiled.page_faults}"
+    )
     print(f"  LRU, same memory: MEM={lru2.mem_average:6.2f}  PF={lru2.page_faults}")
     print("\nThe compiler's Section-2 arithmetic lands close to the oracle:")
     print("both shrink the allocation for the vector phase and grow it for")

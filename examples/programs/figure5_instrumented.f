@@ -1,0 +1,23 @@
+PROGRAM FIG5
+PARAMETER (N = 10)
+DIMENSION A(640), B(640), C(640), D(640), E(640), F(640), CC(64, N), DD(64, N)
+ALLOCATE ((3,53))
+DO 40 I = 1, N
+  A(I) = B(I) + 1.0
+  LOCK (3,A,B)
+  ALLOCATE ((3,53) else (1,4))
+  DO 20 J = 1, N
+    C(J) = D(J) + CC(I, J) + DD(J, I)
+    20 CONTINUE
+  ALLOCATE ((3,53) else (2,11))
+  DO 30 J = 1, N
+    E(J) = F(J)
+    LOCK (2,E,F)
+    ALLOCATE ((3,53) else (2,11) else (1,2))
+    DO 10 K = 1, N
+      E(K) = E(K) + F(J)
+      10 CONTINUE
+    30 CONTINUE
+  40 CONTINUE
+UNLOCK (A,B,E,F)
+END

@@ -69,7 +69,10 @@ def _contributions_section(analysis: LocalityAnalysis) -> List[str]:
             f"**{head}** (line {report.line}): X = {report.virtual_size} pages"
         )
         for c in report.contributions:
-            depth = "invariant" if c.depth_difference is None else f"d={c.depth_difference}"
+            if c.depth_difference is None:
+                depth = "invariant"
+            else:
+                depth = f"d={c.depth_difference}"
             lines.append(
                 f"- `{c.array}` → {c.pages} pages ({c.order.value}, {depth}; "
                 f"{c.rule})"

@@ -19,6 +19,11 @@ Subcommands
 ``table {1,2,3,4,zoo,locks,sizing}``
     Regenerate one of the paper's tables or an ablation.
 
+``lint <file|workload|all> …``
+    Run the static checker: paper invariants (Procedure 1, Algorithms
+    1/2) and locality hygiene on the program and its directive plan.
+    Exit code 1 when any error-level finding is reported.
+
 ``list``
     List the bundled benchmark workloads.
 
@@ -105,6 +110,47 @@ def _cmd_instrument(args) -> int:
     plan = instrument_program(program, with_locks=not args.no_locks)
     print(render_instrumented(program, plan), end="")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.staticcheck import (
+        all_rules,
+        has_errors,
+        lint_program,
+        lint_source,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for info in all_rules():
+            print(
+                f"{info.rule_id}  {info.name:22s} {info.severity:8s} "
+                f"{info.summary}"
+            )
+        return 0
+    specs = list(args.programs)
+    if specs == ["all"]:
+        specs = [w.name for w in all_workloads()]
+    if not specs:
+        raise SystemExit("error: no programs given (or use --list-rules)")
+    rule_ids = args.rules.split(",") if args.rules else None
+    exit_code = 0
+    for spec in specs:
+        path = Path(spec)
+        if path.exists():
+            # Instrumented sources are checked against the plan they
+            # carry; plain sources are self-instrumented and checked.
+            diagnostics = lint_source(path.read_text(), rule_ids=rule_ids)
+            name = str(path)
+        else:
+            diagnostics = lint_program(_load_program(spec), rule_ids=rule_ids)
+            name = spec
+        render = render_json if args.json else render_text
+        print(render(diagnostics, name), end="")
+        if has_errors(diagnostics):
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_trace(args) -> int:
@@ -416,6 +462,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("--no-locks", action="store_true")
     p.set_defaults(func=_cmd_instrument)
+
+    p = sub.add_parser(
+        "lint",
+        help="static checker: directive invariants and locality hygiene",
+    )
+    p.add_argument(
+        "programs",
+        nargs="*",
+        help="workload names, source files, or 'all' for every workload",
+    )
+    p.add_argument("--json", action="store_true", help="emit a JSON report")
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "trace",

@@ -31,6 +31,12 @@ from repro.directives.model import (
 from repro.directives.allocate_insertion import insert_allocate_directives
 from repro.directives.lock_insertion import insert_lock_directives
 from repro.directives.instrument import instrument_program
+from repro.directives.parse import (
+    check_instrumented_roundtrip,
+    extract_plan,
+    parse_instrumented,
+    splice_plan,
+)
 from repro.directives.render import render_instrumented
 
 __all__ = [
@@ -39,8 +45,12 @@ __all__ = [
     "InstrumentationPlan",
     "LockDirective",
     "UnlockDirective",
+    "check_instrumented_roundtrip",
+    "extract_plan",
     "insert_allocate_directives",
     "insert_lock_directives",
     "instrument_program",
+    "parse_instrumented",
     "render_instrumented",
+    "splice_plan",
 ]

@@ -1,0 +1,251 @@
+"""Directive statements ⇄ :class:`InstrumentationPlan`.
+
+The Figure-5c rendering interleaves ALLOCATE/LOCK/UNLOCK lines with the
+source text.  This module makes that rendering a first-class program
+representation that round-trips through the parser:
+
+* :func:`splice_plan` — copy a program and insert directive *statement*
+  nodes at the plan's insertion points (LOCK, then ALLOCATE, immediately
+  before each loop; UNLOCK immediately after an outermost loop);
+* :func:`extract_plan` — the inverse: remove directive statements from a
+  parsed program and rebuild the plan they describe;
+* :func:`parse_instrumented` — parse an instrumented source into a
+  directive-free program plus its plan;
+* :func:`check_instrumented_roundtrip` — the fixed-point assertion the
+  static checker and the oracle rely on: render → parse → render must
+  reproduce the text, and the recovered plan must equal the original.
+
+Extraction is strict about placement — a directive that does not
+immediately precede a loop (or, for UNLOCK, immediately follow one) is a
+:class:`~repro.frontend.errors.SemanticError`, because the run-time
+model has no execution point for it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Tuple
+
+from repro.directives.model import (
+    AllocateDirective,
+    AllocateRequest,
+    InstrumentationPlan,
+    LockDirective,
+    UnlockDirective,
+)
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.parser import parse_source
+
+__all__ = [
+    "splice_plan",
+    "extract_plan",
+    "parse_instrumented",
+    "check_instrumented_roundtrip",
+]
+
+
+# -- plan -> program --------------------------------------------------------
+
+
+def splice_plan(
+    program: ast.Program, plan: InstrumentationPlan
+) -> ast.Program:
+    """A deep copy of ``program`` with directive statements spliced in.
+
+    The copy unparses to the Figure-5c listing; the original program is
+    left untouched.  Directive nodes carry the line number of the loop
+    they annotate, so diagnostics pointing at a directive land on the
+    right source region.
+    """
+    spliced = copy.deepcopy(program)
+    _splice_block(spliced.body, plan)
+    return spliced
+
+
+def _splice_block(stmts: List[ast.Stmt], plan: InstrumentationPlan) -> None:
+    out: List[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            lock = plan.locks_before.get(stmt.loop_id)
+            if lock is not None:
+                out.append(
+                    ast.LockStmt(
+                        line=stmt.line,
+                        priority_index=lock.priority_index,
+                        arrays=list(lock.arrays),
+                    )
+                )
+            allocate = plan.allocates.get(stmt.loop_id)
+            if allocate is not None:
+                out.append(
+                    ast.AllocateStmt(
+                        line=stmt.line,
+                        requests=[
+                            (r.priority_index, r.pages)
+                            for r in allocate.requests
+                        ],
+                    )
+                )
+            _splice_block(stmt.body, plan)
+            out.append(stmt)
+            unlock = plan.unlocks_after.get(stmt.loop_id)
+            if unlock is not None:
+                out.append(
+                    ast.UnlockStmt(line=stmt.line, arrays=list(unlock.arrays))
+                )
+        elif isinstance(stmt, ast.IfBlock):
+            for _cond, body in stmt.branches:
+                _splice_block(body, plan)
+            out.append(stmt)
+        else:
+            out.append(stmt)
+    stmts[:] = out
+
+
+# -- program -> plan --------------------------------------------------------
+
+
+def extract_plan(program: ast.Program) -> InstrumentationPlan:
+    """Remove directive statements from ``program`` (in place) and build
+    the :class:`InstrumentationPlan` they describe.
+
+    Raises :class:`SemanticError` for directives with no attachment
+    point and for directives the run-time model cannot represent (empty
+    request chains, non-monotone PI sequences, …).
+    """
+    plan = InstrumentationPlan()
+    _extract_block(program.body, plan)
+    return plan
+
+
+def _model_error(err: Exception, line: int) -> SemanticError:
+    return SemanticError(f"malformed directive: {err}", line)
+
+
+def _extract_block(stmts: List[ast.Stmt], plan: InstrumentationPlan) -> None:
+    out: List[ast.Stmt] = []
+    pending_lock: Optional[ast.LockStmt] = None
+    pending_alloc: Optional[ast.AllocateStmt] = None
+    last_loop: Optional[ast.Stmt] = None
+
+    def require_no_pending(line: int) -> None:
+        pending = pending_lock or pending_alloc
+        if pending is not None:
+            raise SemanticError(
+                "directive does not immediately precede a loop",
+                pending.line if pending.line else line,
+            )
+
+    for stmt in stmts:
+        if isinstance(stmt, ast.LockStmt):
+            if pending_lock is not None or pending_alloc is not None:
+                raise SemanticError(
+                    "LOCK must be the first directive before a loop", stmt.line
+                )
+            pending_lock = stmt
+            last_loop = None
+        elif isinstance(stmt, ast.AllocateStmt):
+            if pending_alloc is not None:
+                raise SemanticError(
+                    "two ALLOCATE directives before one loop", stmt.line
+                )
+            pending_alloc = stmt
+            last_loop = None
+        elif isinstance(stmt, ast.UnlockStmt):
+            require_no_pending(stmt.line)
+            if last_loop is None:
+                raise SemanticError(
+                    "UNLOCK does not immediately follow a loop", stmt.line
+                )
+            loop_id = last_loop.loop_id
+            if loop_id in plan.unlocks_after:
+                raise SemanticError(
+                    f"loop already has an UNLOCK at line "
+                    f"{last_loop.line}",
+                    stmt.line,
+                )
+            plan.unlocks_after[loop_id] = UnlockDirective(
+                loop_id=loop_id, arrays=tuple(stmt.arrays)
+            )
+            last_loop = None
+        elif isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+            if pending_lock is not None:
+                try:
+                    plan.locks_before[stmt.loop_id] = LockDirective(
+                        loop_id=stmt.loop_id,
+                        priority_index=pending_lock.priority_index,
+                        arrays=tuple(pending_lock.arrays),
+                    )
+                except ValueError as err:
+                    raise _model_error(err, pending_lock.line) from None
+                pending_lock = None
+            if pending_alloc is not None:
+                try:
+                    plan.allocates[stmt.loop_id] = AllocateDirective(
+                        loop_id=stmt.loop_id,
+                        requests=tuple(
+                            AllocateRequest(priority_index=pi, pages=x)
+                            for pi, x in pending_alloc.requests
+                        ),
+                    )
+                except ValueError as err:
+                    raise _model_error(err, pending_alloc.line) from None
+                pending_alloc = None
+            _extract_block(stmt.body, plan)
+            out.append(stmt)
+            last_loop = stmt
+        else:
+            require_no_pending(stmt.line)
+            if isinstance(stmt, ast.IfBlock):
+                for _cond, body in stmt.branches:
+                    _extract_block(body, plan)
+            out.append(stmt)
+            last_loop = None
+    require_no_pending(stmts[-1].line if stmts else 0)
+    stmts[:] = out
+
+
+# -- source-level entry points ----------------------------------------------
+
+
+def parse_instrumented(
+    source: str,
+) -> Tuple[ast.Program, InstrumentationPlan]:
+    """Parse an instrumented source into ``(program, plan)``.
+
+    The returned program carries no directive statements — it is exactly
+    what :func:`~repro.frontend.parser.parse_source` would produce for
+    the un-instrumented text, so traces generated from it line up with
+    the plan's loop ids.  Plain sources parse to an empty plan.
+    """
+    program = parse_source(source, allow_directives=True)
+    plan = extract_plan(program)
+    return program, plan
+
+
+def check_instrumented_roundtrip(
+    program: ast.Program, plan: InstrumentationPlan
+) -> List[str]:
+    """Verify render → parse → render is a fixed point.
+
+    Returns a list of human-readable problems (empty when the round
+    trip holds).  The static checker runs this before reporting on an
+    instrumented rendering so every span it prints is guaranteed to
+    exist in the canonical listing; the oracle runs it on every fuzzed
+    program and plan variant.
+    """
+    from repro.directives.render import render_instrumented
+
+    problems: List[str] = []
+    text = render_instrumented(program, plan)
+    try:
+        reparsed, recovered = parse_instrumented(text)
+    except Exception as err:  # noqa: BLE001 - any failure is the finding
+        return [f"instrumented rendering fails to parse: {err}"]
+    if recovered != plan:
+        problems.append("plan does not survive the instrumented round trip")
+    second = render_instrumented(reparsed, recovered)
+    if second != text:
+        problems.append("instrumented rendering is not a fixed point")
+    return problems

@@ -1,87 +1,24 @@
 """Render an instrumented program the way Figure 5c does: the source
 text with ALLOCATE/LOCK/UNLOCK lines interleaved at their insertion
-points."""
+points.
+
+Rendering is defined as *splice then unparse*: directive statement nodes
+are inserted into a copy of the AST (:func:`repro.directives.parse.splice_plan`)
+and the result goes through the ordinary unparser.  That single pipeline
+guarantees the listing round-trips through
+:func:`repro.directives.parse.parse_instrumented` — DATA groups,
+statement labels, and every other node kind survive because the
+unparser, not a parallel renderer, produces the text.
+"""
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.directives.model import InstrumentationPlan
+from repro.directives.parse import splice_plan
 from repro.frontend import ast
-from repro.frontend.unparse import unparse_expr, unparse_statements
+from repro.frontend.unparse import unparse_program
 
 
 def render_instrumented(program: ast.Program, plan: InstrumentationPlan) -> str:
     """Program listing with directives interleaved (Figure-5c style)."""
-    lines: List[str] = [f"PROGRAM {program.name}"]
-    if program.params:
-        bindings = ", ".join(
-            f"{p.name} = {unparse_expr(p.value)}" for p in program.params
-        )
-        lines.append(f"PARAMETER ({bindings})")
-    if program.arrays:
-        decls = ", ".join(
-            f"{a.name}({', '.join(unparse_expr(d) for d in a.dims)})"
-            for a in program.arrays
-        )
-        lines.append(f"DIMENSION {decls}")
-    _render_block(program.body, plan, 0, lines)
-    lines.append("END")
-    return "\n".join(lines) + "\n"
-
-
-def _render_block(
-    stmts: List[ast.Stmt],
-    plan: InstrumentationPlan,
-    indent: int,
-    lines: List[str],
-) -> None:
-    pad = "  " * indent
-    for stmt in stmts:
-        if isinstance(stmt, ast.WhileLoop):
-            lock = plan.locks_before.get(stmt.loop_id)
-            if lock is not None:
-                lines.append(f"{pad}{lock.render()}")
-            allocate = plan.allocates.get(stmt.loop_id)
-            if allocate is not None:
-                lines.append(f"{pad}{allocate.render()}")
-            lines.append(f"{pad}DO WHILE ({unparse_expr(stmt.cond)})")
-            _render_block(stmt.body, plan, indent + 1, lines)
-            lines.append(f"{pad}ENDDO")
-            unlock = plan.unlocks_after.get(stmt.loop_id)
-            if unlock is not None:
-                lines.append(f"{pad}{unlock.render()}")
-        elif isinstance(stmt, ast.DoLoop):
-            lock = plan.locks_before.get(stmt.loop_id)
-            if lock is not None:
-                lines.append(f"{pad}{lock.render()}")
-            allocate = plan.allocates.get(stmt.loop_id)
-            if allocate is not None:
-                lines.append(f"{pad}{allocate.render()}")
-            head = f"{pad}DO "
-            if stmt.end_label is not None:
-                head += f"{stmt.end_label} "
-            head += (
-                f"{stmt.var} = {unparse_expr(stmt.start)}, {unparse_expr(stmt.end)}"
-            )
-            if stmt.step is not None:
-                head += f", {unparse_expr(stmt.step)}"
-            lines.append(head)
-            _render_block(stmt.body, plan, indent + 1, lines)
-            if stmt.end_label is None:
-                lines.append(f"{pad}ENDDO")
-            unlock = plan.unlocks_after.get(stmt.loop_id)
-            if unlock is not None:
-                lines.append(f"{pad}{unlock.render()}")
-        elif isinstance(stmt, ast.IfBlock):
-            for i, (cond, body) in enumerate(stmt.branches):
-                if i == 0:
-                    lines.append(f"{pad}IF ({unparse_expr(cond)}) THEN")
-                elif cond is not None:
-                    lines.append(f"{pad}ELSEIF ({unparse_expr(cond)}) THEN")
-                else:
-                    lines.append(f"{pad}ELSE")
-                _render_block(body, plan, indent + 1, lines)
-            lines.append(f"{pad}ENDIF")
-        else:
-            lines.extend(unparse_statements([stmt], indent))
+    return unparse_program(splice_plan(program, plan))

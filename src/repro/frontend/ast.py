@@ -214,6 +214,43 @@ class ExitLoop(Stmt):
 
 
 @dataclass
+class DirectiveStmt(Stmt):
+    """Base class for memory-directive statements.
+
+    Directive statements appear only in *instrumented* sources (the
+    Figure-5c rendering produced by
+    :func:`repro.directives.render.render_instrumented`).  The plain
+    :func:`~repro.frontend.parser.parse_source` rejects them;
+    :func:`repro.directives.parse.parse_instrumented` extracts them into
+    an :class:`~repro.directives.model.InstrumentationPlan` so the
+    executable program the rest of the pipeline sees never contains one.
+    """
+
+
+@dataclass
+class AllocateStmt(DirectiveStmt):
+    """``ALLOCATE ((PI1,X1) else (PI2,X2) else …)`` — one request chain,
+    outermost-first, as raw ``(priority_index, pages)`` pairs."""
+
+    requests: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class LockStmt(DirectiveStmt):
+    """``LOCK (PJ, Y1, Y2, …)`` — pin the named arrays' current pages."""
+
+    priority_index: int = 0
+    arrays: List[str] = field(default_factory=list)
+
+
+@dataclass
+class UnlockStmt(DirectiveStmt):
+    """``UNLOCK (Y1, Y2, …)`` — release every pin on the named arrays."""
+
+    arrays: List[str] = field(default_factory=list)
+
+
+@dataclass
 class Print(Stmt):
     """``PRINT *, items`` / ``WRITE(*,*) items`` — list-directed output.
 

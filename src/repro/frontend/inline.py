@@ -394,5 +394,7 @@ def _const_params(unit) -> List[ast.ParamDecl]:
             env[param.name] = eval_const_expr(param.value, env)
         except FrontendError:
             continue
-        result.append(ast.ParamDecl(name=param.name, value=ast.Num(value=env[param.name])))
+        result.append(
+            ast.ParamDecl(name=param.name, value=ast.Num(value=env[param.name]))
+        )
     return result

@@ -335,7 +335,9 @@ class Parser:
             tok = self.current
             if tok.kind is TokenKind.EOF:
                 if stop_names or stop_label is not None:
-                    raise ParseError("unexpected end of program inside a block", tok.line)
+                    raise ParseError(
+                        "unexpected end of program inside a block", tok.line
+                    )
                 return stmts
             label = self._statement_label()
             if tok.kind is TokenKind.NAME and tok.text in _BLOCK_ENDERS:
@@ -387,7 +389,59 @@ class Parser:
             self._advance()
             self._expect_newline()
             return ast.Return(line=tok.line, label=label)
+        if tok.text in ("ALLOCATE", "LOCK", "UNLOCK"):
+            return self._parse_directive(label)
         return self._parse_assignment(label)
+
+    # -- directive statements ----------------------------------------------
+
+    def _expect_int(self) -> int:
+        tok = self.current
+        if tok.kind is not TokenKind.INT:
+            raise ParseError(f"expected an integer, found {tok.text!r}", tok.line)
+        self._advance()
+        return int(tok.text)
+
+    def _parse_directive(self, label: Optional[int]) -> ast.DirectiveStmt:
+        """One ALLOCATE/LOCK/UNLOCK line, as rendered by
+        :func:`repro.directives.render.render_instrumented`."""
+        tok = self._advance()  # the directive keyword
+        self._expect_op("(")
+        stmt: ast.DirectiveStmt
+        if tok.text == "ALLOCATE":
+            requests: List[Tuple[int, int]] = [self._parse_allocate_request()]
+            while self.current.is_name("ELSE"):
+                self._advance()
+                requests.append(self._parse_allocate_request())
+            stmt = ast.AllocateStmt(line=tok.line, label=label, requests=requests)
+        elif tok.text == "LOCK":
+            pj = self._expect_int()
+            arrays: List[str] = []
+            while self.current.is_op(","):
+                self._advance()
+                arrays.append(self._expect_name().text)
+            if not arrays:
+                raise ParseError("LOCK needs at least one array", tok.line)
+            stmt = ast.LockStmt(
+                line=tok.line, label=label, priority_index=pj, arrays=arrays
+            )
+        else:  # UNLOCK
+            arrays = [self._expect_name().text]
+            while self.current.is_op(","):
+                self._advance()
+                arrays.append(self._expect_name().text)
+            stmt = ast.UnlockStmt(line=tok.line, label=label, arrays=arrays)
+        self._expect_op(")")
+        self._expect_newline()
+        return stmt
+
+    def _parse_allocate_request(self) -> Tuple[int, int]:
+        self._expect_op("(")
+        pi = self._expect_int()
+        self._expect_op(",")
+        pages = self._expect_int()
+        self._expect_op(")")
+        return (pi, pages)
 
     def _parse_call(self, label: Optional[int]) -> ast.CallStmt:
         tok = self._advance()  # CALL
@@ -443,7 +497,9 @@ class Parser:
                 self._advance()
                 indices.append(self.parse_expression())
             self._expect_op(")")
-            target = ast.ArrayRef(line=name_tok.line, name=name_tok.text, indices=indices)
+            target = ast.ArrayRef(
+                line=name_tok.line, name=name_tok.text, indices=indices
+            )
         else:
             target = ast.Var(line=name_tok.line, name=name_tok.text)
         self._expect_op("=")
@@ -736,12 +792,19 @@ def _renumber_loops(program: ast.Program) -> None:
             next_id += 1
 
 
-def parse_source(source: str) -> ast.Program:
+def parse_source(source: str, allow_directives: bool = False) -> ast.Program:
     """Parse mini-FORTRAN source text into a resolved :class:`Program`.
 
     Multi-unit sources (a main program plus SUBROUTINE units) are
     flattened: every CALL is replaced by the callee's body with formals
     substituted and locals renamed (see :mod:`repro.frontend.inline`).
+
+    Directive statements (ALLOCATE/LOCK/UNLOCK lines from an
+    instrumented rendering) are rejected unless ``allow_directives`` is
+    set: the executable pipeline carries directives out-of-band in an
+    :class:`~repro.directives.model.InstrumentationPlan`, so callers
+    holding an instrumented source must go through
+    :func:`repro.directives.parse.parse_instrumented` instead.
     """
     program, subroutines = Parser(source).parse_units()
     if subroutines or any(
@@ -751,5 +814,13 @@ def parse_source(source: str) -> ast.Program:
 
         program = inline_program(program, subroutines)
         _renumber_loops(program)
+    if not allow_directives:
+        for stmt in program.walk_statements():
+            if isinstance(stmt, ast.DirectiveStmt):
+                raise SemanticError(
+                    "source contains memory directives; parse it with "
+                    "repro.directives.parse.parse_instrumented()",
+                    stmt.line,
+                )
     _resolve_array_refs(program)
     return program

@@ -109,6 +109,14 @@ def unparse_statements(stmts: List[ast.Stmt], indent: int = 0) -> List[str]:
                 lines.append(f"{pad}{_label_prefix(stmt)}CALL {stmt.name}")
         elif isinstance(stmt, ast.Return):
             lines.append(f"{pad}{_label_prefix(stmt)}RETURN")
+        elif isinstance(stmt, ast.AllocateStmt):
+            chain = " else ".join(f"({pi},{x})" for pi, x in stmt.requests)
+            lines.append(f"{pad}{_label_prefix(stmt)}ALLOCATE ({chain})")
+        elif isinstance(stmt, ast.LockStmt):
+            body = ",".join([str(stmt.priority_index)] + list(stmt.arrays))
+            lines.append(f"{pad}{_label_prefix(stmt)}LOCK ({body})")
+        elif isinstance(stmt, ast.UnlockStmt):
+            lines.append(f"{pad}{_label_prefix(stmt)}UNLOCK ({','.join(stmt.arrays)})")
         elif isinstance(stmt, ast.WhileLoop):
             lines.append(
                 f"{pad}{_label_prefix(stmt)}DO WHILE ({unparse_expr(stmt.cond)})"

@@ -16,7 +16,12 @@ identified by the ``check`` field of a :class:`Divergence`):
   fault events equal the PF count, space-time is reconstructible from
   resident-set samples, lock pins balance, residency never exceeds a
   memory ceiling, and the closed-form replay synthesizes the same
-  fault stream as the event-driven simulator.
+  fault stream as the event-driven simulator;
+* ``lint-*`` — static-checker agreement: generated programs with
+  Algorithm-1/2 plans lint clean at error level, every dynamic
+  directive event traces back to a static directive, and a clean
+  static lock balance (rule CD103) implies an exactly balanced
+  dynamic pin ledger.
 
 All comparisons are exact — both sides compute in integer or identical
 float arithmetic, so any difference at all is a real divergence.
@@ -29,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.directives import instrument_program
+from repro.directives import check_instrumented_roundtrip, instrument_program
 from repro.frontend import ast
 from repro.frontend.errors import FrontendError
 from repro.frontend.parser import parse_source
@@ -41,7 +46,7 @@ from repro.vm.analyzers import LRUSweep, WSSweep
 from repro.vm.policies import CDConfig, CDPolicy, LRUPolicy, WorkingSetPolicy
 from repro.vm.simulator import simulate
 
-__all__ = ["Divergence", "check_case", "check_program"]
+__all__ = ["Divergence", "check_case", "check_lint", "check_program"]
 
 #: reference cap for generated programs — also exercises truncation
 #: equivalence when a case overruns it
@@ -584,6 +589,137 @@ def check_event_conservation(
     return out
 
 
+# -- check class 5: static checker agreement ----------------------------------
+
+
+def check_lint(
+    program: ast.Program, plan, trace: Optional[ReferenceTrace], label: str
+) -> List[Divergence]:
+    """The static checker must agree with the dynamic world.
+
+    * ``lint-clean`` — a generated program with a plan derived by
+      Algorithms 1/2 must carry zero error-level diagnostics (the rules
+      re-derive each invariant independently of the insertion code);
+    * ``lint-directives`` — every directive *event* in the trace must
+      trace back to a directive the plan declares statically, and every
+      dynamically pinned page must belong to an array the static LOCK
+      names;
+    * ``lint-ledger`` — when the static lock-balance rule (CD103) is
+      clean, the dynamic pin ledger from the observability layer must
+      balance exactly (pages pinned == pages released).
+    """
+    from repro.staticcheck import Severity, lint_program
+
+    out: List[Divergence] = []
+    diagnostics = lint_program(program, plan=plan)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    for diag in errors:
+        out.append(
+            Divergence(
+                "lint-clean",
+                f"{label}: {diag.rule} [{diag.name}] line "
+                f"{diag.span.line}: {diag.message}",
+            )
+        )
+    if trace is None:
+        return out
+    out.extend(_check_lint_directive_agreement(plan, trace, label))
+    cd103_clean = not any(d.rule == "CD103" for d in errors)
+    if cd103_clean and any(
+        d.kind is DirectiveKind.LOCK for d in trace.directives
+    ):
+        out.extend(_check_lint_ledger(trace, label))
+    return out
+
+
+def _check_lint_directive_agreement(
+    plan, trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    out: List[Divergence] = []
+
+    def array_page_set(arrays) -> set:
+        pages = set()
+        for name in arrays:
+            first, count = trace.array_pages.get(name, (0, 0))
+            pages.update(range(first, first + count))
+        return pages
+
+    for event in trace.directives:
+        if event.kind is DirectiveKind.LOCK:
+            static = plan.locks_before.get(event.site)
+            if static is None:
+                out.append(
+                    Divergence(
+                        "lint-directives",
+                        f"{label}: dynamic LOCK at position "
+                        f"{event.position} has no static LOCK before loop "
+                        f"{event.site}",
+                    )
+                )
+                continue
+            allowed = array_page_set(static.arrays)
+            stray = set(event.lock_pages) - allowed
+            if stray:
+                out.append(
+                    Divergence(
+                        "lint-directives",
+                        f"{label}: LOCK at loop {event.site} pins pages "
+                        f"{sorted(stray)} outside the statically named "
+                        f"arrays {list(static.arrays)}",
+                    )
+                )
+        elif event.kind is DirectiveKind.UNLOCK:
+            static = plan.unlocks_after.get(event.site)
+            if static is None:
+                out.append(
+                    Divergence(
+                        "lint-directives",
+                        f"{label}: dynamic UNLOCK at position "
+                        f"{event.position} has no static UNLOCK after loop "
+                        f"{event.site}",
+                    )
+                )
+        elif event.kind is DirectiveKind.ALLOCATE:
+            if event.site not in plan.allocates:
+                out.append(
+                    Divergence(
+                        "lint-directives",
+                        f"{label}: dynamic ALLOCATE at position "
+                        f"{event.position} has no static ALLOCATE before "
+                        f"loop {event.site}",
+                    )
+                )
+    return out
+
+
+def _check_lint_ledger(trace: ReferenceTrace, label: str) -> List[Divergence]:
+    from repro.obs import RingBufferSink, Tracer
+    from repro.obs.events import ForcedRelease, Lock, Unlock
+
+    out: List[Divergence] = []
+    for config in (CDConfig(honor_locks=True), CDConfig(memory_limit=3)):
+        ring = RingBufferSink()
+        simulate(trace, CDPolicy(config), tracer=Tracer(ring))
+        pinned = sum(
+            len(e.pages) for e in ring.events if isinstance(e, Lock)
+        )
+        released = sum(
+            len(e.pages)
+            for e in ring.events
+            if isinstance(e, (Unlock, ForcedRelease))
+        )
+        if pinned != released:
+            out.append(
+                Divergence(
+                    "lint-ledger",
+                    f"{label}/{config.label()}: static lock balance is "
+                    f"clean but the dynamic pin ledger pinned {pinned} "
+                    f"page(s) and released {released}",
+                )
+            )
+    return out
+
+
 # -- the full battery --------------------------------------------------------
 
 
@@ -606,10 +742,15 @@ def check_program(
         ("locks", instrument_program(program, with_locks=True)),
     ]
     for label, plan in variants:
+        if plan is not None:
+            for problem in check_instrumented_roundtrip(program, plan):
+                out.append(Divergence("trace-roundtrip", f"{label}: {problem}"))
         divs, trace = check_trace_equivalence(
             program, plan, label, max_references=max_references
         )
         out.extend(divs)
+        if plan is not None:
+            out.extend(check_lint(program, plan, trace, label))
         if trace is None or not len(trace.pages):
             continue
         out.extend(check_metrics(trace, label))

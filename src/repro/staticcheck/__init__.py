@@ -1,0 +1,60 @@
+"""Static checker for paper invariants and locality hygiene.
+
+The paper's premise is that memory behavior is decidable at compile
+time.  This package takes that claim seriously: instead of *replaying*
+traces (the oracle's job), it proves the invariants directly on the AST
+and the :class:`~repro.directives.model.InstrumentationPlan` —
+Procedure-1 priority monotonicity, Algorithm-1 argument-stack
+discipline, Algorithm-2 lock balance and nesting, plus hygiene rules for
+dead directives, subscript safety, and column-major traversal order.
+
+Entry points:
+
+* :func:`lint_program` / :func:`lint_source` — run the rule suite;
+* :func:`render_text` / :func:`render_json` — render the findings;
+* :func:`all_rules` — the rule catalog (docs and tests iterate it).
+"""
+
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    FixIt,
+    Severity,
+    SourceSpan,
+    error_count,
+    worst_severity,
+)
+from repro.staticcheck.registry import (
+    LintContext,
+    RuleInfo,
+    all_rules,
+    get_rule,
+    lint_program,
+    lint_source,
+    run_rules,
+)
+from repro.staticcheck.render import (
+    has_errors,
+    render_json,
+    render_text,
+    summarize,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FixIt",
+    "LintContext",
+    "RuleInfo",
+    "Severity",
+    "SourceSpan",
+    "all_rules",
+    "error_count",
+    "get_rule",
+    "has_errors",
+    "lint_program",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "run_rules",
+    "summarize",
+    "worst_severity",
+]

@@ -1,0 +1,142 @@
+"""Typed diagnostics for the static checker.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a message, a
+:class:`SourceSpan` pointing into the canonical listing, an optional
+structured ``payload`` (machine-readable detail mirrored into the JSON
+renderer), and zero or more :class:`FixIt` suggestions.  Diagnostics are
+value objects; rules construct them and the renderers in
+:mod:`repro.staticcheck.render` turn them into text or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Finding severity.  Only ERROR findings gate (CLI exit code, CI)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based line range in the program source.
+
+    The mini-FORTRAN AST records one line per node, so most spans cover a
+    single line; ``end_line`` widens the span for findings about a region
+    (a loop nest, a directive chain).
+    """
+
+    line: int
+    end_line: Optional[int] = None
+
+    @property
+    def last_line(self) -> int:
+        return self.end_line if self.end_line is not None else self.line
+
+    def __str__(self) -> str:
+        if self.end_line is not None and self.end_line != self.line:
+            return f"{self.line}-{self.end_line}"
+        return str(self.line)
+
+    def to_json(self) -> Dict[str, int]:
+        return {"line": self.line, "end_line": self.last_line}
+
+
+@dataclass(frozen=True)
+class FixIt:
+    """A concrete, mechanically applicable suggestion.
+
+    ``replacement`` is the suggested source text for the spanned lines
+    (``None`` for advisory fix-its that describe an edit the checker
+    cannot synthesize verbatim).
+    """
+
+    description: str
+    span: SourceSpan
+    replacement: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "description": self.description,
+            "span": self.span.to_json(),
+        }
+        if self.replacement is not None:
+            data["replacement"] = self.replacement
+        return data
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-checker finding."""
+
+    rule: str  # e.g. "CD103"
+    name: str  # e.g. "lock-balance"
+    severity: Severity
+    message: str
+    span: SourceSpan
+    payload: Tuple[Tuple[str, Any], ...] = ()
+    fixits: Tuple[FixIt, ...] = ()
+
+    @property
+    def payload_dict(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+    def sort_key(self) -> Tuple[int, int, str, str]:
+        """Source order first, then severity (worst first), then rule id."""
+        return (self.span.line, -int(self.severity), self.rule, self.message)
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "message": self.message,
+            "span": self.span.to_json(),
+        }
+        if self.payload:
+            data["payload"] = self.payload_dict
+        if self.fixits:
+            data["fixits"] = [f.to_json() for f in self.fixits]
+        return data
+
+
+def make_diagnostic(
+    rule: str,
+    name: str,
+    severity: Severity,
+    message: str,
+    line: int,
+    end_line: Optional[int] = None,
+    payload: Optional[Dict[str, Any]] = None,
+    fixits: Optional[List[FixIt]] = None,
+) -> Diagnostic:
+    """Convenience constructor used by the rule implementations."""
+    return Diagnostic(
+        rule=rule,
+        name=name,
+        severity=severity,
+        message=message,
+        span=SourceSpan(line=line, end_line=end_line),
+        payload=tuple(sorted((payload or {}).items())),
+        fixits=tuple(fixits or ()),
+    )
+
+
+def worst_severity(diagnostics: List[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or ``None`` for a clean result."""
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def error_count(diagnostics: List[Diagnostic]) -> int:
+    return sum(1 for d in diagnostics if d.severity is Severity.ERROR)

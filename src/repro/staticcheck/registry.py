@@ -1,0 +1,189 @@
+"""Rule registry and lint driver.
+
+A *rule* is a function ``(LintContext) -> Iterable[Diagnostic]``
+registered under a stable id (``CD101``, …) with the :func:`rule`
+decorator.  :func:`run_rules` executes a rule subset over one
+:class:`LintContext`; :func:`lint_program` is the one-call entry point
+the CLI, the oracle, and the tests use.
+
+The context carries the program, the directive plan under scrutiny, and
+lazily-built analysis artifacts (symbol table, loop tree, Procedure-1
+priority map, locality analysis under both sizing strategies) so rules
+share work instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.locality import (
+    LocalityAnalysis,
+    SizingStrategy,
+    analyze_program,
+)
+from repro.analysis.looptree import LoopTree
+from repro.analysis.priority import assign_priority_indexes
+from repro.directives.model import InstrumentationPlan
+from repro.frontend import ast
+from repro.frontend.symbols import SymbolTable
+from repro.staticcheck.diagnostics import Diagnostic
+
+RuleFunc = Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry: identity plus the rule's own documentation."""
+
+    rule_id: str
+    name: str
+    severity: str  # default severity, for the catalog
+    summary: str
+    func: RuleFunc
+
+
+_REGISTRY: Dict[str, RuleInfo] = {}
+
+
+def rule(rule_id: str, name: str, severity: str, summary: str):
+    """Register a rule function under ``rule_id``."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        if rule_id in _REGISTRY:  # pragma: no cover - programming error
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = RuleInfo(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            summary=summary,
+            func=func,
+        )
+        return func
+
+    return register
+
+
+def all_rules() -> List[RuleInfo]:
+    """Every registered rule, ordered by id."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> RuleInfo:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+def _ensure_rules_loaded() -> None:
+    # The rule module registers itself on import; importing it here keeps
+    # registry.py importable without a cycle at module load time.
+    from repro.staticcheck import rules  # noqa: F401
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult, built once per lint run."""
+
+    program: ast.Program
+    plan: InstrumentationPlan
+    #: True when the plan was derived by the checker itself (self-check
+    #: mode on an un-instrumented program) rather than read from input
+    self_instrumented: bool = False
+    _symbols: Optional[SymbolTable] = field(default=None, repr=False)
+    _analyses: Dict[SizingStrategy, LocalityAnalysis] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def symbols(self) -> SymbolTable:
+        if self._symbols is None:
+            self._symbols = SymbolTable.from_program(self.program)
+        return self._symbols
+
+    def analysis(
+        self, strategy: SizingStrategy = SizingStrategy.ACTIVE_PAGE
+    ) -> LocalityAnalysis:
+        cached = self._analyses.get(strategy)
+        if cached is None:
+            cached = analyze_program(
+                self.program, symbols=self.symbols, strategy=strategy
+            )
+            self._analyses[strategy] = cached
+        return cached
+
+    @property
+    def tree(self) -> LoopTree:
+        return self.analysis().tree
+
+    @property
+    def priority(self) -> Dict[int, int]:
+        """Procedure-1 priority indexes, recomputed independently of the
+        plan under scrutiny."""
+        return assign_priority_indexes(self.tree)
+
+
+def run_rules(
+    context: LintContext,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Run the selected rules (default: all) and sort the findings."""
+    _ensure_rules_loaded()
+    selected = (
+        all_rules()
+        if rule_ids is None
+        else [get_rule(rule_id) for rule_id in rule_ids]
+    )
+    out: List[Diagnostic] = []
+    for info in selected:
+        out.extend(info.func(context))
+    out.sort(key=lambda d: d.sort_key())
+    return out
+
+
+def lint_program(
+    program: ast.Program,
+    plan: Optional[InstrumentationPlan] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one program against its directive plan.
+
+    With ``plan=None`` the checker instruments the program itself
+    (Algorithms 1 and 2 with default sizing) and verifies its own output
+    — the rules recompute every invariant independently of the insertion
+    code, so self-check mode is a genuine cross-validation, not a
+    tautology.
+    """
+    from repro.directives.instrument import instrument_program
+
+    self_instrumented = plan is None
+    context = LintContext(
+        program=program,
+        plan=plan if plan is not None else InstrumentationPlan(),
+        self_instrumented=self_instrumented,
+    )
+    if self_instrumented:
+        context.plan = instrument_program(
+            program, analysis=context.analysis(), with_locks=True
+        )
+    return run_rules(context, rule_ids=rule_ids)
+
+
+def lint_source(
+    source: str, rule_ids: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Lint source text.
+
+    Instrumented sources (containing ALLOCATE/LOCK/UNLOCK lines) are
+    checked against the plan they carry; plain sources go through
+    self-check mode.
+    """
+    from repro.directives.parse import parse_instrumented
+
+    program, plan = parse_instrumented(source)
+    if plan.directive_count == 0:
+        return lint_program(program, plan=None, rule_ids=rule_ids)
+    return lint_program(program, plan=plan, rule_ids=rule_ids)

@@ -1,0 +1,71 @@
+"""Text and JSON renderers for lint results.
+
+Text output is one finding per line, ``grep``-able and stable:
+
+    prog.f:12: error CD103 [lock-balance]: array A is locked at line 12 …
+      fix: interchange with the enclosing DO J (line 11) …
+           | DO I = 1, N
+
+JSON output is a single document with the findings, a severity summary,
+and the rule catalog version — the contract the golden-file tests pin
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.staticcheck.diagnostics import Diagnostic, Severity
+
+#: bump when the JSON shape (not the findings) changes incompatibly
+JSON_FORMAT_VERSION = 1
+
+
+def summarize(diagnostics: List[Diagnostic]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for d in diagnostics:
+        counts[str(d.severity)] += 1
+    return counts
+
+
+def render_text(
+    diagnostics: List[Diagnostic], source_name: str = "<program>"
+) -> str:
+    """Human-readable report, one line per finding plus fix-it detail."""
+    lines: List[str] = []
+    for d in diagnostics:
+        lines.append(
+            f"{source_name}:{d.span}: {d.severity} {d.rule} "
+            f"[{d.name}]: {d.message}"
+        )
+        for fixit in d.fixits:
+            lines.append(f"  fix: {fixit.description}")
+            if fixit.replacement is not None:
+                for repl_line in fixit.replacement.splitlines():
+                    lines.append(f"       | {repl_line}")
+    counts = summarize(diagnostics)
+    lines.append(
+        f"{source_name}: {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    diagnostics: List[Diagnostic],
+    source_name: str = "<program>",
+    indent: Optional[int] = 2,
+) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    document = {
+        "format_version": JSON_FORMAT_VERSION,
+        "source": source_name,
+        "summary": summarize(diagnostics),
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(document, indent=indent, sort_keys=False) + "\n"
+
+
+def has_errors(diagnostics: List[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)

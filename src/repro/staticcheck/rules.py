@@ -1,0 +1,882 @@
+"""The rule suite: paper invariants and locality hygiene, verified
+statically on the AST and the directive plan.
+
+Directive rules (CD1xx, error) re-derive each invariant from first
+principles — Procedure 1 as the structural subtree height, Algorithm 1's
+argument stack from the loop-nest path, Algorithm 2's nesting discipline
+from the loop tree — and compare against the plan under scrutiny, so
+they cross-check the insertion code rather than replaying it.
+
+Hygiene rules (CD2xx warning, CD3xx mixed) flag directives and reference
+patterns that are representable but wasteful or dangerous: dead locks,
+dominated ALLOCATE arms, non-affine or out-of-bounds subscripts,
+zero-trip loops, and row-wise traversals under column-major storage
+(with a concrete loop-interchange fix-it).
+
+Bounds checking (CD302) is deliberately conservative so it can gate CI:
+it only evaluates subscripts that are affine in loop variables whose
+bounds are compile-time constants, and it skips references protected by
+a guard that mentions a subscript variable.  Everything it flags is a
+reference the interpreter would fault on; everything uncertain is left
+to the dynamic oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.locality import SizingStrategy
+from repro.analysis.looptree import LoopNode
+from repro.analysis.reference_order import (
+    ReferenceOrder,
+    classify_references,
+    expression_variables,
+    normalize_expression,
+)
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.symbols import eval_const_expr
+from repro.frontend.unparse import unparse_expr
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    FixIt,
+    Severity,
+    SourceSpan,
+    make_diagnostic,
+)
+from repro.staticcheck.registry import LintContext, rule
+
+# --------------------------------------------------------------------------
+# Shared helpers
+# --------------------------------------------------------------------------
+
+
+def _nest_path(node: LoopNode) -> List[LoopNode]:
+    """Loops from the nest root down to ``node``, inclusive."""
+    path = [node]
+    path.extend(node.ancestors())
+    path.reverse()
+    return path
+
+
+def _loop_label(node: LoopNode) -> str:
+    if node.var:
+        return f"DO {node.var}"
+    return "DO WHILE"
+
+
+def _affine(expr: ast.Expr) -> Optional[Tuple[Dict[str, int], int]]:
+    """``expr`` as ``sum(coeff[v] * v) + const`` with integer
+    coefficients, or ``None`` when not affine (calls, nested array
+    references, variable products, divisions, float literals)."""
+    if isinstance(expr, ast.Num):
+        if isinstance(expr.value, int):
+            return {}, expr.value
+        return None
+    if isinstance(expr, ast.Var):
+        return {expr.name: 1}, 0
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _affine(expr.operand)
+        if inner is None:
+            return None
+        coeffs, const = inner
+        return {v: -c for v, c in coeffs.items()}, -const
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-"):
+        left = _affine(expr.left)
+        right = _affine(expr.right)
+        if left is None or right is None:
+            return None
+        sign = 1 if expr.op == "+" else -1
+        coeffs = dict(left[0])
+        for v, c in right[0].items():
+            coeffs[v] = coeffs.get(v, 0) + sign * c
+        return coeffs, left[1] + sign * right[1]
+    if isinstance(expr, ast.BinOp) and expr.op == "*":
+        left = _affine(expr.left)
+        right = _affine(expr.right)
+        if left is None or right is None:
+            return None
+        if not left[0]:  # constant * affine
+            scale, other = left[1], right
+        elif not right[0]:  # affine * constant
+            scale, other = right[1], left
+        else:
+            return None
+        return {v: scale * c for v, c in other[0].items()}, scale * other[1]
+    return None
+
+
+def _substitute_constants(
+    coeffs: Dict[str, int], const: int, env: Dict[str, int]
+) -> Optional[Tuple[Dict[str, int], int]]:
+    """Fold environment constants into the constant term."""
+    remaining: Dict[str, int] = {}
+    for v, c in coeffs.items():
+        if c == 0:
+            continue
+        if v in env:
+            value = env[v]
+            if not isinstance(value, int):
+                return None
+            const += c * value
+        else:
+            remaining[v] = c
+    return remaining, const
+
+
+def _constant_env(context: LintContext) -> Dict[str, int]:
+    """PARAMETER bindings plus top-level scalars that are constant for
+    the whole run: assigned exactly once program-wide, in the straight
+    prefix of the body (before any loop or branch), to a compile-time
+    constant expression."""
+    env: Dict[str, int] = {
+        name: value
+        for name, value in context.symbols.params.items()
+        if isinstance(value, int)
+    }
+    assign_counts: Dict[str, int] = {}
+    loop_vars: Set[str] = set()
+    for stmt in context.program.walk_statements():
+        if isinstance(stmt, ast.DoLoop):
+            loop_vars.add(stmt.var)
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
+            name = stmt.target.name
+            assign_counts[name] = assign_counts.get(name, 0) + 1
+    for stmt in context.program.body:
+        if isinstance(
+            stmt, (ast.DoLoop, ast.WhileLoop, ast.IfBlock, ast.LogicalIf)
+        ):
+            break
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
+            name = stmt.target.name
+            if name in loop_vars or assign_counts.get(name, 0) != 1:
+                continue
+            try:
+                value = eval_const_expr(stmt.expr, env)
+            except SemanticError:
+                continue
+            if isinstance(value, int):
+                env[name] = value
+    return env
+
+
+def _contains_exit(stmts: List[ast.Stmt]) -> bool:
+    """True when the statement list contains an ``EXIT`` binding to the
+    *current* loop (nested loops capture their own EXITs)."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.ExitLoop):
+            return True
+        if isinstance(stmt, ast.IfBlock):
+            if any(_contains_exit(body) for _cond, body in stmt.branches):
+                return True
+        elif isinstance(stmt, ast.LogicalIf):
+            if _contains_exit([stmt.stmt]):
+                return True
+    return False
+
+
+def _loop_range(
+    loop: ast.DoLoop, env: Dict[str, int]
+) -> Optional[Tuple[int, int, int]]:
+    """``(first, last, trips)`` for a constant-bound loop, or ``None``.
+
+    ``last`` is the *attained* final value of the index (stride-exact),
+    not the written upper bound.
+    """
+    try:
+        start = eval_const_expr(loop.start, env)
+        end = eval_const_expr(loop.end, env)
+        step = eval_const_expr(loop.step, env) if loop.step is not None else 1
+    except SemanticError:
+        return None
+    if not all(isinstance(v, int) for v in (start, end, step)) or step == 0:
+        return None
+    trips = max(0, (end - start) // step + 1)
+    last = start + (trips - 1) * step if trips else start
+    return start, last, trips
+
+
+# --------------------------------------------------------------------------
+# CD1xx — directive invariants (error)
+# --------------------------------------------------------------------------
+
+
+@rule(
+    "CD101",
+    "pi-assignment",
+    "error",
+    "ALLOCATE priority indexes must match Procedure 1 on the loop path",
+)
+def check_pi_assignment(context: LintContext) -> Iterator[Diagnostic]:
+    priority = context.priority
+    for loop_id, directive in sorted(context.plan.allocates.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None:
+            continue  # CD102 reports the dangling attachment
+        path = _nest_path(node)
+        got = [r.priority_index for r in directive.requests]
+        if len(got) != len(path):
+            continue  # CD102 reports the stack-shape violation
+        expected = [priority[n.loop_id] for n in path]
+        if got != expected:
+            yield make_diagnostic(
+                "CD101",
+                "pi-assignment",
+                Severity.ERROR,
+                f"ALLOCATE before {_loop_label(node)} (line {node.loop.line}) "
+                f"carries priority indexes {got}, but Procedure 1 assigns "
+                f"{expected} to the enclosing loop path",
+                line=node.loop.line,
+                payload={
+                    "loop_id": loop_id,
+                    "expected": expected,
+                    "got": got,
+                },
+            )
+
+
+@rule(
+    "CD102",
+    "allocate-stack",
+    "error",
+    "ALLOCATE chains must mirror the Algorithm-1 argument stack",
+)
+def check_allocate_stack(context: LintContext) -> Iterator[Diagnostic]:
+    for loop_id, directive in sorted(context.plan.allocates.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None:
+            yield make_diagnostic(
+                "CD102",
+                "allocate-stack",
+                Severity.ERROR,
+                f"ALLOCATE is attached to loop id {loop_id}, which does not "
+                "exist in the program",
+                line=1,
+                payload={"loop_id": loop_id},
+            )
+            continue
+        path = _nest_path(node)
+        got_pages = [r.pages for r in directive.requests]
+        if len(directive.requests) != len(path):
+            yield make_diagnostic(
+                "CD102",
+                "allocate-stack",
+                Severity.ERROR,
+                f"ALLOCATE before {_loop_label(node)} (line {node.loop.line}) "
+                f"has {len(directive.requests)} request(s) but the loop is "
+                f"nested {len(path)} deep — Algorithm 1 carries one (PI, X) "
+                "pair per enclosing loop",
+                line=node.loop.line,
+                payload={
+                    "loop_id": loop_id,
+                    "chain_length": len(directive.requests),
+                    "nest_depth": len(path),
+                },
+            )
+            continue
+        expected_by_strategy = {}
+        for strategy in SizingStrategy:
+            analysis = context.analysis(strategy)
+            sizes = [
+                analysis.report_for(n.loop_id).virtual_size for n in path
+            ]
+            # Algorithm 1's suffix-max raise: an outer request covers the
+            # largest inner request beneath it.
+            raised: List[int] = []
+            running = 0
+            for pages in reversed(sizes):
+                running = max(running, pages)
+                raised.append(running)
+            raised.reverse()
+            expected_by_strategy[strategy.value] = raised
+        if got_pages not in expected_by_strategy.values():
+            yield make_diagnostic(
+                "CD102",
+                "allocate-stack",
+                Severity.ERROR,
+                f"ALLOCATE before {_loop_label(node)} (line {node.loop.line}) "
+                f"requests {got_pages} pages, but Algorithm 1 sizes the "
+                f"localities at {expected_by_strategy['active-page']} "
+                "(active-page) or "
+                f"{expected_by_strategy['conservative']} (conservative)",
+                line=node.loop.line,
+                payload={
+                    "loop_id": loop_id,
+                    "got": got_pages,
+                    "expected": expected_by_strategy,
+                },
+            )
+
+
+@rule(
+    "CD103",
+    "lock-balance",
+    "error",
+    "LOCK/UNLOCK must balance per nest and nest properly per Algorithm 2",
+)
+def check_lock_balance(context: LintContext) -> Iterator[Diagnostic]:
+    tree = context.tree
+    declared = set(context.symbols.arrays)
+    # Per-nest ledger: nest root loop_id -> arrays locked inside it.
+    locked_per_nest: Dict[int, Dict[str, int]] = {}
+    for loop_id, lock in sorted(context.plan.locks_before.items()):
+        node = tree.by_id.get(loop_id)
+        if node is None:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"LOCK is attached to loop id {loop_id}, which does not "
+                "exist in the program",
+                line=1,
+                payload={"loop_id": loop_id},
+            )
+            continue
+        for name in lock.arrays:
+            if name not in declared:
+                yield make_diagnostic(
+                    "CD103",
+                    "lock-balance",
+                    Severity.ERROR,
+                    f"LOCK before line {node.loop.line} names {name}, which "
+                    "is not a declared array",
+                    line=node.loop.line,
+                    payload={"loop_id": loop_id, "array": name},
+                )
+        if node.parent is None:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"LOCK precedes the outermost loop at line {node.loop.line}; "
+                "Algorithm 2 only locks before *inner* loops (pages locked "
+                "at the outermost level could never be re-referenced above "
+                "it)",
+                line=node.loop.line,
+                payload={"loop_id": loop_id},
+            )
+            continue
+        root = _nest_path(node)[0]
+        ledger = locked_per_nest.setdefault(root.loop_id, {})
+        for name in lock.arrays:
+            ledger.setdefault(name, node.loop.line)
+    unlock_roots = set()
+    for loop_id, unlock in sorted(context.plan.unlocks_after.items()):
+        node = tree.by_id.get(loop_id)
+        if node is None:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"UNLOCK is attached to loop id {loop_id}, which does not "
+                "exist in the program",
+                line=1,
+                payload={"loop_id": loop_id},
+            )
+            continue
+        if node.parent is not None:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"UNLOCK follows the inner loop at line {node.loop.line}; "
+                "Algorithm 2 releases pins only after the *outermost* loop "
+                "of the nest",
+                line=node.loop.line,
+                payload={"loop_id": loop_id},
+            )
+            continue
+        unlock_roots.add(loop_id)
+        ledger = locked_per_nest.get(loop_id, {})
+        extra = [a for a in unlock.arrays if a not in ledger]
+        for name in extra:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"UNLOCK after the nest at line {node.loop.line} names "
+                f"{name}, which no LOCK in that nest pinned",
+                line=node.loop.line,
+                payload={"loop_id": loop_id, "array": name},
+            )
+        missing = [a for a in ledger if a not in set(unlock.arrays)]
+        for name in missing:
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"array {name} is locked at line {ledger[name]} but the "
+                f"UNLOCK after the nest at line {node.loop.line} never "
+                "releases it (pin leak)",
+                line=ledger[name],
+                payload={"loop_id": loop_id, "array": name},
+            )
+    for root_id, ledger in sorted(locked_per_nest.items()):
+        if root_id not in unlock_roots and ledger:
+            root = tree.by_id[root_id]
+            yield make_diagnostic(
+                "CD103",
+                "lock-balance",
+                Severity.ERROR,
+                f"the nest at line {root.loop.line} locks "
+                f"{sorted(ledger)} but has no UNLOCK after its outermost "
+                "loop — every pin leaks past the nest exit",
+                line=root.loop.line,
+                payload={"loop_id": root_id, "arrays": sorted(ledger)},
+            )
+
+
+@rule(
+    "CD104",
+    "lock-priority",
+    "error",
+    "LOCK PJ must equal the Procedure-1 PI of the enclosing loop",
+)
+def check_lock_priority(context: LintContext) -> Iterator[Diagnostic]:
+    priority = context.priority
+    for loop_id, lock in sorted(context.plan.locks_before.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None or node.parent is None:
+            continue  # CD103 reports the nesting problem
+        expected = priority[node.parent.loop_id]
+        if lock.priority_index != expected:
+            yield make_diagnostic(
+                "CD104",
+                "lock-priority",
+                Severity.ERROR,
+                f"LOCK before line {node.loop.line} carries PJ="
+                f"{lock.priority_index}, but the enclosing "
+                f"{_loop_label(node.parent)} has PI={expected} — locked "
+                "pages would age out of order under memory pressure",
+                line=node.loop.line,
+                payload={
+                    "loop_id": loop_id,
+                    "expected": expected,
+                    "got": lock.priority_index,
+                },
+            )
+
+
+# --------------------------------------------------------------------------
+# CD2xx — wasteful directives (warning)
+# --------------------------------------------------------------------------
+
+
+@rule(
+    "CD201",
+    "dead-lock",
+    "warning",
+    "LOCK on an array the enclosing loop level never references",
+)
+def check_dead_lock(context: LintContext) -> Iterator[Diagnostic]:
+    declared = set(context.symbols.arrays)
+    for loop_id, lock in sorted(context.plan.locks_before.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None or node.parent is None:
+            continue
+        referenced = {ref.name for ref in node.parent.direct_refs}
+        for name in lock.arrays:
+            if name in declared and name not in referenced:
+                yield make_diagnostic(
+                    "CD201",
+                    "dead-lock",
+                    Severity.WARNING,
+                    f"LOCK before line {node.loop.line} pins {name}, but "
+                    f"the enclosing {_loop_label(node.parent)} never "
+                    "references it at its own level — the pin protects "
+                    "pages that cannot be re-referenced there",
+                    line=node.loop.line,
+                    payload={"loop_id": loop_id, "array": name},
+                )
+
+
+@rule(
+    "CD202",
+    "dead-allocate-arm",
+    "warning",
+    "ALLOCATE arm dominated by an earlier equal-size request",
+)
+def check_dead_allocate_arm(context: LintContext) -> Iterator[Diagnostic]:
+    for loop_id, directive in sorted(context.plan.allocates.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None:
+            continue
+        for position in range(1, len(directive.requests)):
+            arm = directive.requests[position]
+            if arm.priority_index == 1:
+                # The PI=1 fallback changes deny semantics (deny -> swap
+                # out), so it is live even at an equal size.
+                continue
+            earlier = directive.requests[position - 1]
+            if earlier.pages == arm.pages:
+                yield make_diagnostic(
+                    "CD202",
+                    "dead-allocate-arm",
+                    Severity.WARNING,
+                    f"ALLOCATE before line {node.loop.line}: arm "
+                    f"({arm.priority_index},{arm.pages}) is dead under the "
+                    "default policy — the preceding arm "
+                    f"({earlier.priority_index},{earlier.pages}) requests "
+                    "the same size, so whenever this arm could be granted "
+                    "the earlier one already was (a PI cap can revive it)",
+                    line=node.loop.line,
+                    payload={
+                        "loop_id": loop_id,
+                        "arm_index": position,
+                        "pages": arm.pages,
+                    },
+                )
+
+
+# --------------------------------------------------------------------------
+# CD3xx — reference hygiene
+# --------------------------------------------------------------------------
+
+
+class _BoundsWalker:
+    """Shared traversal for CD301/CD302/CD303.
+
+    Walks the statement tree once, tracking attained loop-variable ranges
+    (constant bounds only), guard variables, and zero-trip regions.
+    """
+
+    def __init__(self, context: LintContext):
+        self.context = context
+        self.env = _constant_env(context)
+        self.symbols = context.symbols
+        # Scalars assigned anywhere cannot serve as range variables even
+        # if they shadow a DO index (pathological but representable).
+        self.mutated = {
+            stmt.target.name
+            for stmt in context.program.walk_statements()
+            if isinstance(stmt, ast.Assign)
+            and isinstance(stmt.target, ast.Var)
+        }
+        self.nonaffine: List[Diagnostic] = []
+        self.out_of_bounds: List[Diagnostic] = []
+        self.zero_trip: List[Diagnostic] = []
+        self._nonaffine_seen: Set[Tuple[int, str, str]] = set()
+        self._oob_seen: Set[Tuple[int, str, int]] = set()
+
+    def run(self) -> None:
+        self._walk(self.context.program.body, ranges={}, guards=set())
+
+    # -- traversal ---------------------------------------------------------
+
+    def _walk(
+        self,
+        stmts: List[ast.Stmt],
+        ranges: Optional[Dict[str, Tuple[int, int]]],
+        guards: Set[str],
+    ) -> None:
+        """``ranges=None`` marks a region where execution itself is not
+        provable (after a conditional EXIT): CD301 still classifies
+        subscripts there, but CD302 stays silent."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.DoLoop):
+                # Bound expressions evaluate in the enclosing scope.
+                for expr in (stmt.start, stmt.end, stmt.step):
+                    if expr is not None:
+                        self._check_expr(expr, ranges, guards)
+                span = _loop_range(stmt, self.env)
+                if span is not None and span[2] == 0:
+                    self.zero_trip.append(
+                        make_diagnostic(
+                            "CD303",
+                            "zero-trip-loop",
+                            Severity.WARNING,
+                            f"DO {stmt.var} at line {stmt.line} runs from "
+                            f"{unparse_expr(stmt.start)} to "
+                            f"{unparse_expr(stmt.end)}"
+                            + (
+                                f" step {unparse_expr(stmt.step)}"
+                                if stmt.step is not None
+                                else ""
+                            )
+                            + " — the body never executes",
+                            line=stmt.line,
+                            payload={"loop_id": stmt.loop_id},
+                        )
+                    )
+                    # Dead code cannot fault; skip its reference checks.
+                    continue
+                inner: Optional[Dict[str, Tuple[int, int]]] = None
+                if ranges is not None:
+                    inner = dict(ranges)
+                    if (
+                        span is not None
+                        and stmt.var not in self.mutated
+                        # An EXIT can cut the loop short, so the final
+                        # index values need not be attained at all.
+                        and not _contains_exit(stmt.body)
+                    ):
+                        inner[stmt.var] = (
+                            min(span[0], span[1]),
+                            max(span[0], span[1]),
+                        )
+                    else:
+                        inner.pop(stmt.var, None)
+                self._walk(stmt.body, inner, guards)
+            elif isinstance(stmt, ast.WhileLoop):
+                self._check_expr(stmt.cond, ranges, guards)
+                inner_guards = guards | expression_variables(stmt.cond)
+                self._walk(stmt.body, ranges, inner_guards)
+            elif isinstance(stmt, ast.IfBlock):
+                branch_guards = set(guards)
+                for cond, _body in stmt.branches:
+                    if cond is not None:
+                        self._check_expr(cond, ranges, guards)
+                        branch_guards |= expression_variables(cond)
+                for _cond, body in stmt.branches:
+                    self._walk(body, ranges, branch_guards)
+            elif isinstance(stmt, ast.LogicalIf):
+                self._check_expr(stmt.cond, ranges, guards)
+                self._walk(
+                    [stmt.stmt],
+                    ranges,
+                    guards | expression_variables(stmt.cond),
+                )
+            else:
+                for expr in ast.walk_expressions(stmt):
+                    if isinstance(expr, ast.ArrayRef):
+                        self._check_ref(expr, ranges, guards)
+            if ranges is not None and _contains_exit([stmt]):
+                # Everything after a conditional EXIT runs only when the
+                # exit did not trigger — not provable statically.
+                ranges = None
+
+    def _check_expr(
+        self,
+        expr: ast.Expr,
+        ranges: Optional[Dict[str, Tuple[int, int]]],
+        guards: Set[str],
+    ) -> None:
+        for node in ast.walk_expressions(expr):
+            if isinstance(node, ast.ArrayRef):
+                self._check_ref(node, ranges, guards)
+
+    # -- per-reference checks ---------------------------------------------
+
+    def _check_ref(
+        self,
+        ref: ast.ArrayRef,
+        ranges: Optional[Dict[str, Tuple[int, int]]],
+        guards: Set[str],
+    ) -> None:
+        info = self.symbols.arrays.get(ref.name)
+        if info is None or len(ref.indices) != len(info.dims):
+            return  # the symbol table rejects these before lint runs
+        for position, (subscript, dim) in enumerate(
+            zip(ref.indices, info.dims)
+        ):
+            affine = _affine(subscript)
+            if affine is None:
+                self._report_nonaffine(ref, subscript, position)
+                continue
+            if ranges is None:
+                continue  # execution of this region is not provable
+            folded = _substitute_constants(affine[0], affine[1], self.env)
+            if folded is None:
+                continue
+            coeffs, const = folded
+            if any(v in guards for v in coeffs):
+                continue  # a guard mentioning the variable may exclude
+                # exactly the out-of-range iterations
+            if any(v not in ranges for v in coeffs):
+                continue  # no static range for some variable
+            low = const
+            high = const
+            for v, c in coeffs.items():
+                lo, hi = ranges[v]
+                low += min(c * lo, c * hi)
+                high += max(c * lo, c * hi)
+            if low < 1 or high > dim:
+                self._report_bounds(ref, subscript, position, dim, low, high)
+
+    def _report_nonaffine(
+        self, ref: ast.ArrayRef, subscript: ast.Expr, position: int
+    ) -> None:
+        text = normalize_expression(subscript)
+        key = (ref.line, ref.name, text)
+        if key in self._nonaffine_seen:
+            return
+        self._nonaffine_seen.add(key)
+        self.nonaffine.append(
+            make_diagnostic(
+                "CD301",
+                "nonaffine-subscript",
+                Severity.INFO,
+                f"subscript {position + 1} of {ref.name} at line {ref.line} "
+                f"({unparse_expr(subscript)}) is not affine in the loop "
+                "variables; locality classification and bounds checking "
+                "treat it conservatively",
+                line=ref.line,
+                payload={"array": ref.name, "position": position + 1},
+            )
+        )
+
+    def _report_bounds(
+        self,
+        ref: ast.ArrayRef,
+        subscript: ast.Expr,
+        position: int,
+        dim: int,
+        low: int,
+        high: int,
+    ) -> None:
+        key = (ref.line, ref.name, position)
+        if key in self._oob_seen:
+            return
+        self._oob_seen.add(key)
+        self.out_of_bounds.append(
+            make_diagnostic(
+                "CD302",
+                "subscript-bounds",
+                Severity.ERROR,
+                f"subscript {position + 1} of {ref.name} at line {ref.line} "
+                f"({unparse_expr(subscript)}) spans {low}..{high} over the "
+                f"attained loop ranges, outside the declared bound "
+                f"1..{dim}",
+                line=ref.line,
+                payload={
+                    "array": ref.name,
+                    "position": position + 1,
+                    "span": [low, high],
+                    "bound": dim,
+                },
+            )
+        )
+
+
+_WALKER_CACHE_ATTR = "_staticcheck_bounds_walker"
+
+
+def _bounds_walker(context: LintContext) -> _BoundsWalker:
+    walker = getattr(context, _WALKER_CACHE_ATTR, None)
+    if walker is None:
+        walker = _BoundsWalker(context)
+        walker.run()
+        setattr(context, _WALKER_CACHE_ATTR, walker)
+    return walker
+
+
+@rule(
+    "CD301",
+    "nonaffine-subscript",
+    "info",
+    "Subscript not affine in the loop variables",
+)
+def check_nonaffine(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _bounds_walker(context).nonaffine
+
+
+@rule(
+    "CD302",
+    "subscript-bounds",
+    "error",
+    "Affine subscript provably outside the declared array bounds",
+)
+def check_subscript_bounds(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _bounds_walker(context).out_of_bounds
+
+
+@rule(
+    "CD303",
+    "zero-trip-loop",
+    "warning",
+    "Constant loop bounds that never execute the body",
+)
+def check_zero_trip(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _bounds_walker(context).zero_trip
+
+
+@rule(
+    "CD304",
+    "row-major-traversal",
+    "warning",
+    "Loop walks a matrix row-wise under column-major storage",
+)
+def check_row_major_traversal(context: LintContext) -> Iterator[Diagnostic]:
+    tree = context.tree
+    ranks = {
+        name: info.rank for name, info in context.symbols.arrays.items()
+    }
+    seen: Set[Tuple[int, str]] = set()
+    for node in tree.nodes():
+        for group in classify_references(tree, node, ranks):
+            if group.driver is not node or group.rank != 2:
+                continue
+            if group.order is not ReferenceOrder.ROW_WISE:
+                continue
+            key = (node.loop_id, group.array)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield _row_major_diagnostic(node, group)
+
+
+def _loop_header(loop: ast.DoLoop) -> str:
+    head = f"DO {loop.var} = {unparse_expr(loop.start)}, "
+    head += unparse_expr(loop.end)
+    if loop.step is not None:
+        head += f", {unparse_expr(loop.step)}"
+    return head
+
+
+def _row_major_diagnostic(node: LoopNode, group) -> Diagnostic:
+    # The loop that should be innermost is the one driving the row
+    # subscript: interchanging it with this loop makes consecutive
+    # iterations walk down a column (contiguous, column-major).
+    partner = None
+    for ancestor in node.ancestors():
+        if ancestor.var and all(
+            ancestor.var in expression_variables(ref.indices[0])
+            for ref in group.refs
+        ):
+            partner = ancestor
+            break
+    message = (
+        f"{_loop_label(node)} at line {node.loop.line} walks {group.array} "
+        "row-wise: its variable appears only in the column subscript, so "
+        "consecutive iterations stride across columns (one page per step "
+        "under column-major storage)"
+    )
+    payload = {"loop_id": node.loop_id, "array": group.array}
+    fixits: List[FixIt] = []
+    if partner is not None:
+        payload["interchange_with"] = partner.loop_id
+        both_plain = (
+            isinstance(node.loop, ast.DoLoop)
+            and isinstance(partner.loop, ast.DoLoop)
+            and node.loop.end_label is None
+            and partner.loop.end_label is None
+            and node.loop.label is None
+            and partner.loop.label is None
+        )
+        description = (
+            f"interchange with the enclosing DO {partner.var} (line "
+            f"{partner.loop.line}) so {group.array} is walked column-wise"
+        )
+        replacement = None
+        if both_plain and partner is node.parent:
+            replacement = (
+                f"{_loop_header(node.loop)}\n{_loop_header(partner.loop)}"
+            )
+        fixits.append(
+            FixIt(
+                description=description,
+                span=SourceSpan(
+                    line=partner.loop.line, end_line=node.loop.line
+                ),
+                replacement=replacement,
+            )
+        )
+    return make_diagnostic(
+        "CD304",
+        "row-major-traversal",
+        Severity.WARNING,
+        message,
+        line=node.loop.line,
+        payload=payload,
+        fixits=fixits,
+    )

@@ -221,9 +221,9 @@ class TraceCompiler:
 
     def __init__(self, interp) -> None:
         self.it = interp
-        # LOCK resolution depends on the most-recently-touched page of
-        # each array, a sequential notion the batch evaluator does not
-        # model; instrumentation plans that pin pages run interpreted.
+  # LOCK resolution depends on the most-recently-touched page of
+  # each array, a sequential notion the batch evaluator does not
+  # model; instrumentation plans that pin pages run interpreted.
         plan = interp.plan
         self.enabled = plan is None or not plan.locks_before
         self.tainted = (
@@ -237,7 +237,7 @@ class TraceCompiler:
         self.compiled_refs = 0
         self.fallback_binds = 0
 
-    # -- entry point --------------------------------------------------------
+  # -- entry point --------------------------------------------------------
 
     def try_execute(self, loop: ast.DoLoop) -> bool:
         """Execute ``loop`` in bulk if possible.  True on success (the
@@ -258,7 +258,7 @@ class TraceCompiler:
         self._commit(batch)
         return True
 
-    # -- static legality ----------------------------------------------------
+  # -- static legality ----------------------------------------------------
 
     def _static_legal(self, loop: ast.DoLoop) -> bool:
         cached = self._legal.get(loop.loop_id)
@@ -304,9 +304,9 @@ class TraceCompiler:
                 elif len(node.args) < arity[0]:
                     return False
             elif isinstance(node, ast.LogicalOp):
-                # The interpreter short-circuits: the right side must be
-                # free of references and of operations that could raise,
-                # or skipping it would be observable.
+  # The interpreter short-circuits: the right side must be
+  # free of references and of operations that could raise,
+  # or skipping it would be observable.
                 if any(True for _ in _expr_refs(node.right)):
                     return False
                 if not _error_free(node.right):
@@ -317,7 +317,7 @@ class TraceCompiler:
                 return False
         return True
 
-    # -- commit -------------------------------------------------------------
+  # -- commit -------------------------------------------------------------
 
     def _commit(self, batch: "_Batch") -> None:
         it = self.it
@@ -381,16 +381,16 @@ class _Ctx:
                  counts, cols, chain, body):
         self.idx = idx
         self.depth = depth
-        self.parent = parent          # parent ctx index (None for virtual)
+        self.parent = parent  # parent ctx index (None for virtual)
         self.parent_idx = parent_idx  # instance -> parent instance (int64)
-        self.loop = loop              # DoLoop (None for the virtual root)
+        self.loop = loop  # DoLoop (None for the virtual root)
         self.var = loop.var if loop is not None else None
         self.var_values = var_values  # int64, per instance
-        self.counts = counts          # trips per parent instance (int64)
+        self.counts = counts  # trips per parent instance (int64)
         self.n = int(var_values.shape[0]) if var_values is not None else 1
-        self.cols = cols              # key columns, each per instance
-        self.chain = chain            # tuple of ctx indices root..self
-        self.final_values = None      # loop var after normal termination
+        self.cols = cols  # key columns, each per instance
+        self.chain = chain  # tuple of ctx indices root..self
+        self.final_values = None  # loop var after normal termination
         self.max_trip = int(counts.max()) if counts is not None and len(counts) else 0
         self.body = body
 
@@ -402,11 +402,11 @@ class _Def:
                  "acc_seed_values", "acc_seed_kind")
 
     def __init__(self, ctx, values, kind, guarded=False):
-        self.ctx = ctx          # ctx index
-        self.values = values    # per-instance ndarray, or None (irrelevant)
-        self.kind = kind        # 'i' | 'f' | None
+        self.ctx = ctx  # ctx index
+        self.values = values  # per-instance ndarray, or None (irrelevant)
+        self.kind = kind  # 'i' | 'f' | None
         self.guarded = guarded
-        self.acc_seed_ctx = -2      # -2: not an accumulator
+        self.acc_seed_ctx = -2  # -2: not an accumulator
         self.acc_seed_values = None
         self.acc_seed_kind = None
 
@@ -428,17 +428,20 @@ class _Binder:
         self.ctxs: List[_Ctx] = []
         self.ctx_of_loop: Dict[int, int] = {}
         self.scalar_state: Dict[str, _Def] = {}
-        self.processed: Set[int] = set()       # uids of executed def sites
-        self.ref_groups: List[tuple] = []      # (ctx, pos, iter, slot, sel, pages)
-        self.evt_groups: List[tuple] = []      # (ctx, pos, iter, slot, kind, site, requests)
-        self.candidates: List[tuple] = []      # (name, ctx, pos, iter, inst, value)
-        self.writer_recs: Dict[int, tuple] = {}  # uid -> (ctx, sel, offs, offs_c, vals64)
-        self.store_groups: Dict[str, List[tuple]] = {}  # array -> [(ctx,pos,sel,offs,vals)]
+        self.processed: Set[int] = set()  # uids of executed def sites
+        self.ref_groups: List[tuple] = []  # (ctx, pos, iter, slot, sel, pages)
+  # evt_groups rows: (ctx, pos, iter, slot, kind, site, requests)
+        self.evt_groups: List[tuple] = []
+        self.candidates: List[tuple] = []  # (name, ctx, pos, iter, inst, value)
+  # writer_recs: uid -> (ctx, sel, offs, offs_c, vals64)
+        self.writer_recs: Dict[int, tuple] = {}
+  # store_groups: array -> [(ctx, pos, sel, offs, vals)]
+        self.store_groups: Dict[str, List[tuple]] = {}
         self.nest_ops = 0
         self.total_refs = 0
         self._anc_cache: Dict[Tuple[int, int], np.ndarray] = {}
-        # static shape of the nest: scalar def sites and array writers,
-        # each with its enclosing-loop chain (for carry-hazard checks)
+  # static shape of the nest: scalar def sites and array writers,
+  # each with its enclosing-loop chain (for carry-hazard checks)
         self.scalar_defs: Dict[str, List[Tuple[int, Tuple[int, ...]]]] = {}
         self.array_writers: Dict[str, List[tuple]] = {}
         self._collect_static(root, (root.loop_id,))
@@ -460,7 +463,7 @@ class _Binder:
             elif isinstance(stmt, ast.DoLoop):
                 self._collect_static(stmt, chain + (stmt.loop_id,))
 
-    # -- driving ------------------------------------------------------------
+  # -- driving ------------------------------------------------------------
 
     def run(self) -> _Batch:
         virtual = _Ctx(
@@ -486,8 +489,8 @@ class _Binder:
                      loop.loop_id, allocate.requests)
                 )
             slot = 1
-        # Bounds evaluate once per entry, in the parent context; any
-        # references inside them fire at the entry marker.
+  # Bounds evaluate once per entry, in the parent context; any
+  # references inside them fire at the entry marker.
         stash: Dict[int, np.ndarray] = {}
         bounds = [loop.start, loop.end] + ([loop.step] if loop.step is not None else [])
         for bound in bounds:
@@ -525,8 +528,8 @@ class _Binder:
         self.processed.add(id(loop))
         self.scalar_state[loop.var] = _Def(ctx.idx, var_values, "i")
         self._process_body(loop.body, ctx.idx)
-        # Normal termination leaves the variable one step past the end,
-        # even for zero-trip loops (the interpreter's for/else).
+  # Normal termination leaves the variable one step past the end,
+  # even for zero-trip loops (the interpreter's for/else).
         finals = start + trips * step
         ctx.final_values = finals
         self.scalar_state[loop.var] = _Def(pctx_idx, finals, "i")
@@ -656,7 +659,7 @@ class _Binder:
             )
         self.processed.add(id(stmt))
 
-    # -- references ---------------------------------------------------------
+  # -- references ---------------------------------------------------------
 
     def _walk_refs(self, expr, ctx_idx, pos, iter_val, slot, sel, stash) -> int:
         """Emit one ref group per array reference in ``expr``, in the
@@ -691,7 +694,7 @@ class _Binder:
         pages = placement.first_page + linear // self.epp
         return linear, pages
 
-    # -- expression evaluation ----------------------------------------------
+  # -- expression evaluation ----------------------------------------------
 
     def _int_vec(self, kv) -> np.ndarray:
         """The interpreter's ``_int_value``: ints pass, integral floats
@@ -907,7 +910,7 @@ class _Binder:
             return ("i", np.rint(v).astype(np.int64))
         raise _Fallback
 
-    # -- scalar name resolution ---------------------------------------------
+  # -- scalar name resolution ---------------------------------------------
 
     def _chain_loops(self, ctx_idx) -> Tuple[int, ...]:
         return tuple(
@@ -993,9 +996,9 @@ class _Binder:
             idx = sel if sel is not None else np.arange(ctx.n, dtype=np.int64)
             idx = self._compose_up(ctx_idx, rec.ctx, idx)
             return (rec.kind, rec.values[idx])
-        # Definition is deeper or on a divergent (earlier) branch: the
-        # read sees the last def instance executed before it -- resolved
-        # per common-ancestor instance.
+  # Definition is deeper or on a divergent (earlier) branch: the
+  # read sees the last def instance executed before it -- resolved
+  # per common-ancestor instance.
         a = self._common_ctx(rec.ctx, ctx_idx)
         anc = self._anc_map(rec.ctx, a)
         idx = sel if sel is not None else np.arange(ctx.n, dtype=np.int64)
@@ -1016,9 +1019,9 @@ class _Binder:
         if (ends < 0).any():
             raise _Fallback  # some read precedes every def instance
         if (anc[safe] != read_at_a).any() and len(self.scalar_defs.get(name, ())) != 1:
-            # an ancestor instance with no def instance falls through to
-            # an older definition we no longer have -- unless this site
-            # is the only one, in which case the carry IS the value.
+  # an ancestor instance with no def instance falls through to
+  # an older definition we no longer have -- unless this site
+  # is the only one, in which case the carry IS the value.
             raise _Fallback
         return (rec.kind, rec.values[ends])
 
@@ -1034,7 +1037,10 @@ class _Binder:
             return
         a = self._common_ctx(rec.ctx, ctx_idx)
         anc = self._anc_map(rec.ctx, a)
-        idx = sel if sel is not None else np.arange(self.ctxs[ctx_idx].n, dtype=np.int64)
+        if sel is not None:
+            idx = sel
+        else:
+            idx = np.arange(self.ctxs[ctx_idx].n, dtype=np.int64)
         read_at_a = self._compose_up(ctx_idx, a, idx)
         if (np.searchsorted(anc, read_at_a, side="right") == 0).any():
             raise _Fallback
@@ -1080,7 +1086,7 @@ class _Binder:
             return
         raise _Fallback
 
-    # -- loop-carried accumulators ------------------------------------------
+  # -- loop-carried accumulators ------------------------------------------
 
     def _accumulator_shape(self, stmt, name):
         """``S = S + e`` / ``S = e + S`` / ``S = S - e`` with ``e`` not
@@ -1108,7 +1114,7 @@ class _Binder:
             return name in self.it.scalars
         if rec.values is None:
             return False
-        # the seed must be a per-ancestor-instance value fixed at entry
+  # the seed must be a per-ancestor-instance value fixed at entry
         return rec.ctx != ctx_idx and rec.ctx in self.ctxs[ctx_idx].chain
 
     def _process_accumulator(self, stmt, name, ctx_idx, pos, acc, stash) -> None:
@@ -1134,7 +1140,10 @@ class _Binder:
             ev_p = -ev_p
         anc = self._anc_map(ctx_idx, seed_ctx)
         ng = self.ctxs[seed_ctx].n
-        counts = np.bincount(anc, minlength=ng) if ctx.n else np.zeros(ng, dtype=np.int64)
+        if ctx.n:
+            counts = np.bincount(anc, minlength=ng)
+        else:
+            counts = np.zeros(ng, dtype=np.int64)
         max_t = int(counts.max()) if ng else 0
         if ng * (max_t + 1) > 20_000_000:
             raise _Fallback  # rectangle too ragged to be worth it
@@ -1160,7 +1169,7 @@ class _Binder:
             )
         self.processed.add(id(stmt))
 
-    # -- array value reads --------------------------------------------------
+  # -- array value reads --------------------------------------------------
 
     def _early_name_ok(self, nm, ctx_idx) -> bool:
         """True when ``nm``'s value at a later statement of the same
@@ -1197,8 +1206,8 @@ class _Binder:
                 continue
             if uid in self.processed:
                 continue  # a guarded writer that never fired
-            # Unprocessed: this writer runs later in the current
-            # iteration (or deeper, not yet reached).
+  # Unprocessed: this writer runs later in the current
+  # iteration (or deeper, not yet reached).
             if guarded or self.ctx_of_loop.get(chain[-1]) != ctx_idx:
                 raise _Fallback
             tgt = stmt.target
@@ -1206,13 +1215,15 @@ class _Binder:
                 if any(True for _ in _expr_refs(ix)):
                     raise _Fallback
                 for nm in _reads_of(ix):
-                    if nm in self.it.symbols.arrays or not self._early_name_ok(nm, ctx_idx):
+                    if nm in self.it.symbols.arrays:
+                        raise _Fallback
+                    if not self._early_name_ok(nm, ctx_idx):
                         raise _Fallback
             w_offs, _pages = self._offsets_pages(tgt, ctx_idx, None, {})
             wo = w_offs if sel is None else w_offs[sel]
             if wo.shape == offs.shape and (wo == offs).all():
-                # each instance reads the very cell it will overwrite
-                # later; safe iff no earlier instance already wrote it
+  # each instance reads the very cell it will overwrite
+  # later; safe iff no earlier instance already wrote it
                 if _has_dups(w_offs):
                     raise _Fallback
                 continue
@@ -1221,7 +1232,7 @@ class _Binder:
             raise _Fallback
         return ("f", cur)
 
-    # -- materialization ----------------------------------------------------
+  # -- materialization ----------------------------------------------------
 
     def _materialize(self) -> _Batch:
         it = self.it

@@ -266,7 +266,9 @@ class LRUSweep:
 
     # -- sweep helpers ------------------------------------------------------------
 
-    def curve(self, frames_values: Optional[Iterable[int]] = None) -> List[SimulationResult]:
+    def curve(
+        self, frames_values: Optional[Iterable[int]] = None
+    ) -> List[SimulationResult]:
         """Results across a range of partition sizes (default 1..V)."""
         if frames_values is None:
             frames_values = range(1, max(self.max_useful_frames, 1) + 1)

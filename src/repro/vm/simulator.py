@@ -59,7 +59,10 @@ def simulate(
     event_count = len(directives)
     if tracer is None:
         for time in range(total_refs):
-            while event_index < event_count and directives[event_index].position <= time:
+            while (
+                event_index < event_count
+                and directives[event_index].position <= time
+            ):
                 policy.on_directive(directives[event_index])
                 event_index += 1
             fault = policy.access(int(pages[time]), time)

@@ -1,0 +1,142 @@
+"""Instrumented sources round-trip through the parser.
+
+``render_instrumented`` splices the plan's directives into the AST and
+unparses it with the ordinary unparser, so the output is itself a valid
+program: ``parse_instrumented`` recovers the same program and the same
+plan, and re-rendering is a fixed point.
+"""
+
+import pytest
+
+from repro.directives import (
+    check_instrumented_roundtrip,
+    extract_plan,
+    instrument_program,
+    parse_instrumented,
+    render_instrumented,
+    splice_plan,
+)
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.parser import parse_source
+
+FANCY = (
+    "PROGRAM RT\n"
+    "DIMENSION A(8), B(8)\n"
+    "DATA A /8*0.0/\n"
+    "DO 10 I = 1, 8\n"
+    "A(I) = B(I)\n"
+    "10 CONTINUE\n"
+    "END\n"
+)
+
+
+def _instrumented(source):
+    program = parse_source(source)
+    return program, instrument_program(program)
+
+
+class TestRoundTrip:
+    def test_fixed_point_and_plan_equality(self):
+        program, plan = _instrumented(FANCY)
+        rendered = render_instrumented(program, plan)
+        reparsed, recovered = parse_instrumented(rendered)
+        assert recovered == plan
+        assert render_instrumented(reparsed, recovered) == rendered
+
+    def test_labels_and_data_groups_survive(self):
+        # the old directive renderer dropped both; the spliced unparse
+        # must keep them
+        program, plan = _instrumented(FANCY)
+        rendered = render_instrumented(program, plan)
+        assert "DATA A /" in rendered
+        assert "10 CONTINUE" in rendered
+
+    def test_checker_reports_nothing_on_bundled_workloads(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            program = workload.program()
+            plan = instrument_program(program)
+            assert check_instrumented_roundtrip(program, plan) == []
+
+    def test_splice_does_not_mutate_the_input(self):
+        program, plan = _instrumented(FANCY)
+        before = len(program.body)
+        spliced = splice_plan(program, plan)
+        assert len(program.body) == before
+        assert len(spliced.body) > before
+
+    def test_extract_leaves_no_directive_statements(self):
+        program, plan = _instrumented(FANCY)
+        spliced = splice_plan(program, plan)
+        recovered = extract_plan(spliced)
+        assert recovered == plan
+        kinds = (ast.AllocateStmt, ast.LockStmt, ast.UnlockStmt)
+        assert not [
+            s for s in spliced.walk_statements() if isinstance(s, kinds)
+        ]
+
+
+class TestRejections:
+    def test_plain_parser_refuses_directives(self):
+        with pytest.raises(SemanticError, match="parse_instrumented"):
+            parse_source(
+                "DIMENSION A(8)\n"
+                "ALLOCATE ((1,1))\n"
+                "DO I = 1, 8\n"
+                "A(I) = 0.0\n"
+                "ENDDO\n"
+                "END\n"
+            )
+
+    def test_dangling_allocate(self):
+        with pytest.raises(SemanticError, match="immediately precede"):
+            parse_instrumented(
+                "DIMENSION A(8)\nALLOCATE ((1,1))\nX = 1.0\nEND\n"
+            )
+
+    def test_two_allocates_before_one_loop(self):
+        with pytest.raises(SemanticError, match="two ALLOCATE"):
+            parse_instrumented(
+                "DIMENSION A(8)\n"
+                "ALLOCATE ((1,1))\n"
+                "ALLOCATE ((1,2))\n"
+                "DO I = 1, 8\n"
+                "A(I) = 0.0\n"
+                "ENDDO\n"
+                "END\n"
+            )
+
+    def test_lock_must_come_first(self):
+        with pytest.raises(SemanticError, match="LOCK must be the first"):
+            parse_instrumented(
+                "DIMENSION A(8)\n"
+                "DO I = 1, 8\n"
+                "ALLOCATE ((1,1))\n"
+                "LOCK (2,A)\n"
+                "DO J = 1, 8\n"
+                "A(J) = 0.0\n"
+                "ENDDO\n"
+                "ENDDO\n"
+                "END\n"
+            )
+
+    def test_dangling_unlock(self):
+        with pytest.raises(SemanticError, match="UNLOCK does not"):
+            parse_instrumented("DIMENSION A(8)\nUNLOCK (A)\nEND\n")
+
+    def test_malformed_directive_payload(self):
+        # LOCK with PJ=1 violates the model's PJ >= 2 invariant
+        with pytest.raises(SemanticError, match="malformed directive"):
+            parse_instrumented(
+                "DIMENSION A(8)\n"
+                "DO I = 1, 8\n"
+                "LOCK (1,A)\n"
+                "DO J = 1, 8\n"
+                "A(J) = 0.0\n"
+                "ENDDO\n"
+                "ENDDO\n"
+                "UNLOCK (A)\n"
+                "END\n"
+            )

@@ -32,7 +32,9 @@ def _renderers():
     }
 
 
-@pytest.mark.parametrize("name", ["table1.txt", "table2.txt", "table3.txt", "table4.txt"])
+@pytest.mark.parametrize(
+    "name", ["table1.txt", "table2.txt", "table3.txt", "table4.txt"]
+)
 def test_table_matches_golden(name, request):
     render = _renderers()[name]
     text = render().rstrip("\n") + "\n"

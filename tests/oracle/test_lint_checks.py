@@ -1,0 +1,52 @@
+"""The lint-* oracle checks: fuzzed programs lint clean, and a
+deliberately unbalanced LOCK insertion is caught and shrunk."""
+
+from repro.directives import instrument
+from repro.oracle import harness
+from repro.oracle.generator import generate_case
+from repro.oracle.runner import verify
+from repro.staticcheck import Severity, lint_program
+
+
+def test_200_generated_programs_lint_clean():
+    """Algorithm-1/2 output on 200 fuzzed programs has zero errors."""
+    dirty = []
+    for seed in range(200):
+        case = generate_case(seed)
+        errors = [
+            d
+            for d in lint_program(case.program)
+            if d.severity is Severity.ERROR
+        ]
+        if errors:
+            dirty.append((seed, str(errors[0])))
+    assert not dirty, dirty[:5]
+
+
+def _drop_unlocks(monkeypatch):
+    real = instrument.insert_lock_directives
+
+    def unbalanced(analysis):
+        locks, _unlocks = real(analysis)
+        return locks, {}
+
+    monkeypatch.setattr(instrument, "insert_lock_directives", unbalanced)
+
+
+def test_unbalanced_lock_diverges_as_lint_clean(monkeypatch):
+    _drop_unlocks(monkeypatch)
+    divergences = harness.check_case(generate_case(0), deep=False)
+    assert divergences
+    assert divergences[0].check == "lint-clean"
+    assert "CD103" in str(divergences[0])
+
+
+def test_unbalanced_lock_is_caught_and_shrunk(tmp_path, monkeypatch):
+    _drop_unlocks(monkeypatch)
+    report = verify(seeds=1, out_dir=tmp_path, deep=False)
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.check == "lint-clean"
+    # the shrunk reproducer still carries the leaky nest
+    assert len(failure.shrunk_source) <= len(failure.source)
+    assert any(p.suffix == ".f" for p in tmp_path.iterdir())

@@ -1,0 +1,30 @@
+PROGRAM DIRTY
+PARAMETER (N = 6)
+DIMENSION A(6, 6), B(6), C(6), D(4)
+ALLOCATE ((3,3))
+DO I = 1, N
+  B(I) = C(I + 1)
+  LOCK (3,B,D)
+  ALLOCATE ((2,3) else (1,1))
+  DO J = 1, N
+    D(MOD(J, 4) + 1) = 0.0
+  ENDDO
+ENDDO
+DO K = 5, 1
+  C(K) = 0.0
+ENDDO
+ALLOCATE ((2,5))
+DO I = 1, N
+  DO J = 1, N
+    A(I, J) = B(J)
+  ENDDO
+ENDDO
+DO I = 1, N
+  DO J = 1, N
+    ALLOCATE ((3,1) else (2,1) else (1,1))
+    DO K = 1, N
+      B(K) = B(K) + 1.0
+    ENDDO
+  ENDDO
+ENDDO
+END

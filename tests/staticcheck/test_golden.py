@@ -1,0 +1,66 @@
+"""Golden-file tests for ``repro lint`` output.
+
+``fixtures/dirty.f`` is a deliberately dirty instrumented program that
+triggers every rule in the catalog at least once; the text and JSON
+renderings are pinned byte-for-byte in ``golden/``.
+
+After an intentional change to a rule message or renderer, regenerate
+with::
+
+    pytest tests/staticcheck/test_golden.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import all_rules, lint_source, render_json, render_text
+
+HERE = Path(__file__).parent
+FIXTURE = HERE / "fixtures" / "dirty.f"
+GOLDEN_DIR = HERE / "golden"
+
+
+@pytest.fixture(scope="module")
+def diagnostics():
+    return lint_source(FIXTURE.read_text())
+
+
+def _compare(name, text, request):
+    path = GOLDEN_DIR / name
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"updated {path}")
+    assert path.exists(), (
+        f"missing snapshot {path} — generate it with "
+        "pytest tests/staticcheck/test_golden.py --update-golden"
+    )
+    assert text == path.read_text(), (
+        f"{name} drifted from its golden snapshot; if the change is "
+        "intentional, rerun with --update-golden and commit the diff"
+    )
+
+
+def test_fixture_triggers_every_rule(diagnostics):
+    """The dirty fixture is a living catalog: one finding per rule."""
+    assert {d.rule for d in diagnostics} == {r.rule_id for r in all_rules()}
+
+
+def test_text_report_matches_golden(diagnostics, request):
+    _compare("dirty.txt", render_text(diagnostics, "dirty.f"), request)
+
+
+def test_json_report_matches_golden(diagnostics, request):
+    _compare("dirty.json", render_json(diagnostics, "dirty.f"), request)
+
+
+def test_json_golden_is_a_valid_document(diagnostics):
+    document = json.loads(render_json(diagnostics, "dirty.f"))
+    assert document["format_version"] == 1
+    assert document["source"] == "dirty.f"
+    assert len(document["diagnostics"]) == len(diagnostics)
+    counts = document["summary"]
+    assert set(counts) == {"error", "warning", "info"}
+    assert sum(counts.values()) == len(diagnostics)

@@ -1,0 +1,341 @@
+"""Unit tests for the lint rule suite.
+
+Each rule gets a minimal dirty program that triggers it and a matching
+clean program that does not; the workload sweep at the bottom pins the
+headline guarantee — every bundled workload, self-instrumented by
+Algorithms 1 and 2, lints clean at error level.
+"""
+
+import pytest
+
+from repro.staticcheck import (
+    Severity,
+    all_rules,
+    error_count,
+    get_rule,
+    has_errors,
+    lint_program,
+    lint_source,
+    summarize,
+    worst_severity,
+)
+from repro.workloads import all_workloads
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def errors_of(diagnostics):
+    return {d.rule for d in diagnostics if d.severity is Severity.ERROR}
+
+
+class TestCatalog:
+    def test_ten_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert ids == [
+            "CD101", "CD102", "CD103", "CD104", "CD201",
+            "CD202", "CD301", "CD302", "CD303", "CD304",
+        ]
+
+    def test_severities(self):
+        severity = {r.rule_id: r.severity for r in all_rules()}
+        assert severity["CD101"] == "error"
+        assert severity["CD201"] == "warning"
+        assert severity["CD301"] == "info"
+        assert severity["CD302"] == "error"
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("CD999")
+
+
+class TestPriorityRules:
+    def test_cd101_wrong_pi(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "ALLOCATE ((3,1))\n"
+            "DO I = 1, 8\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD101" in errors_of(diags)
+        assert "CD102" not in rules_of(diags)
+
+    def test_cd101_clean(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "ALLOCATE ((1,1))\n"
+            "DO I = 1, 8\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD101" not in rules_of(diags)
+
+    def test_cd102_wrong_pages(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "ALLOCATE ((1,7))\n"
+            "DO I = 1, 8\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD102" in errors_of(diags)
+
+    def test_cd102_short_chain(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 8\n"
+            "ALLOCATE ((1,1))\n"
+            "DO J = 1, 8\n"
+            "B(J) = 0.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD102" in errors_of(diags)
+
+
+class TestLockRules:
+    LEAKY = (
+        "DIMENSION A(8), B(8)\n"
+        "DO I = 1, 8\n"
+        "A(I) = B(I)\n"
+        "LOCK (2,A)\n"
+        "DO J = 1, 8\n"
+        "B(J) = A(J)\n"
+        "ENDDO\n"
+        "ENDDO\n"
+        "END\n"
+    )
+
+    def test_cd103_missing_unlock(self):
+        diags = lint_source(self.LEAKY)
+        (leak,) = [d for d in diags if d.rule == "CD103"]
+        assert "no UNLOCK" in leak.message
+
+    def test_cd103_clean_when_balanced(self):
+        src = self.LEAKY.replace("ENDDO\nEND\n", "ENDDO\nUNLOCK (A)\nEND\n")
+        assert "CD103" not in rules_of(lint_source(src))
+
+    def test_cd103_unlock_of_unlocked_array(self):
+        src = self.LEAKY.replace("ENDDO\nEND\n", "ENDDO\nUNLOCK (A,B)\nEND\n")
+        diags = lint_source(src)
+        assert "CD103" in errors_of(diags)
+
+    def test_cd103_lock_before_outermost_loop(self):
+        diags = lint_source(
+            "DIMENSION A(8)\n"
+            "LOCK (2,A)\n"
+            "DO I = 1, 8\n"
+            "A(I) = 0.0\n"
+            "ENDDO\n"
+            "UNLOCK (A)\n"
+            "END\n"
+        )
+        assert "CD103" in errors_of(diags)
+
+    def test_cd104_pj_exceeds_parent_pi(self):
+        src = self.LEAKY.replace("LOCK (2,A)", "LOCK (3,A)").replace(
+            "ENDDO\nEND\n", "ENDDO\nUNLOCK (A)\nEND\n"
+        )
+        diags = lint_source(src)
+        assert "CD104" in errors_of(diags)
+        assert "CD103" not in rules_of(diags)
+
+    def test_cd201_lock_on_array_parent_never_touches(self):
+        diags = lint_source(
+            "DIMENSION A(8), B(8)\n"
+            "DO I = 1, 8\n"
+            "A(I) = 1.0\n"
+            "LOCK (2,B)\n"
+            "DO J = 1, 8\n"
+            "B(J) = 0.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "UNLOCK (B)\n"
+            "END\n"
+        )
+        cd201 = [d for d in diags if d.rule == "CD201"]
+        assert cd201 and cd201[0].severity is Severity.WARNING
+
+
+class TestAllocateArmRules:
+    def test_cd202_dominated_middle_arm(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 4\n"
+            "DO J = 1, 4\n"
+            "ALLOCATE ((3,1) else (2,1) else (1,1))\n"
+            "DO K = 1, 8\n"
+            "B(K) = B(K) + 1.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        cd202 = [d for d in diags if d.rule == "CD202"]
+        assert cd202
+        assert "(2,1)" in cd202[0].message
+
+    def test_cd202_exempts_the_pi1_fallback(self):
+        # Equal pages on the PI=1 arm stay useful: a denied request at
+        # PI 1 is what triggers the policy's swap fallback.
+        program_src = (
+            "DIMENSION A(8, 8), B(8)\n"
+            "DO I = 1, 8\n"
+            "DO J = 1, 8\n"
+            "A(I, J) = B(J)\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        from repro.frontend.parser import parse_source
+
+        diags = lint_program(parse_source(program_src))
+        assert "CD202" not in rules_of(diags)
+
+
+class TestSubscriptRules:
+    def test_cd301_nonaffine_is_info_only(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 8\n"
+            "B(MOD(I, 4) + 1) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        cd301 = [d for d in diags if d.rule == "CD301"]
+        assert cd301 and cd301[0].severity is Severity.INFO
+        assert "CD302" not in rules_of(diags)
+
+    def test_cd302_out_of_bounds(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 12\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        (oob,) = [d for d in diags if d.rule == "CD302"]
+        assert "1..12" in oob.message and "1..8" in oob.message
+
+    def test_cd302_silent_under_a_guard(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 12\n"
+            "IF (I <= 8) THEN\n"
+            "B(I) = 0.0\n"
+            "ENDIF\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD302" not in rules_of(diags)
+
+    def test_cd302_silent_after_a_conditional_exit(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 12\n"
+            "IF (I == 9) EXIT\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD302" not in rules_of(diags)
+
+    def test_cd303_zero_trip(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 8, 1\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD303" in rules_of(diags)
+
+    def test_cd303_negative_step_is_fine(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 8, 1, -1\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert "CD303" not in rules_of(diags)
+
+
+class TestTraversalRule:
+    ROW_WISE = (
+        "DIMENSION A(8, 8)\n"
+        "DO I = 1, 8\n"
+        "DO J = 1, 8\n"
+        "A(I, J) = 1.0\n"
+        "ENDDO\n"
+        "ENDDO\n"
+        "END\n"
+    )
+
+    def test_cd304_flags_row_wise_inner_loop(self):
+        diags = lint_source(self.ROW_WISE)
+        (d,) = [x for x in diags if x.rule == "CD304"]
+        assert d.severity is Severity.WARNING
+        (fix,) = d.fixits
+        assert "interchange" in fix.description
+        # concrete replacement: the two loop headers, swapped
+        assert fix.replacement.splitlines() == ["DO J = 1, 8", "DO I = 1, 8"]
+
+    def test_cd304_clean_for_column_wise(self):
+        src = self.ROW_WISE.replace("A(I, J)", "A(J, I)")
+        assert "CD304" not in rules_of(lint_source(src))
+
+
+class TestApi:
+    def test_rule_filtering(self):
+        src = (
+            "DIMENSION B(8)\n"
+            "DO I = 8, 1\n"
+            "B(MOD(I, 4) + 1) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert rules_of(lint_source(src, rule_ids=["CD303"])) == {"CD303"}
+
+    def test_severity_helpers(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 1, 12\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert has_errors(diags)
+        assert error_count(diags) == 1
+        assert worst_severity(diags) is Severity.ERROR
+        assert summarize(diags)["error"] == 1
+
+    def test_diagnostics_sorted_by_line(self):
+        diags = lint_source(
+            "DIMENSION B(8)\n"
+            "DO I = 8, 1\n"
+            "B(I) = 0.0\n"
+            "ENDDO\n"
+            "DO J = 1, 12\n"
+            "B(J) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        lines = [d.span.line for d in diags]
+        assert lines == sorted(lines)
+
+
+@pytest.mark.parametrize("workload", [w.name for w in all_workloads()])
+def test_every_workload_lints_clean_at_error_level(workload):
+    """The paper's own algorithms must satisfy the paper's invariants."""
+    from repro.workloads import get_workload
+
+    diags = lint_program(get_workload(workload).program())
+    assert not has_errors(diags), [str(d) for d in diags]

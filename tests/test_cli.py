@@ -1,5 +1,7 @@
 """CLI smoke tests (exercising the same paths a user would)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -263,3 +265,35 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "OK" in out
         assert not (tmp_path / "failures").exists()
+
+
+class TestLint:
+    DIRTY = str(Path(__file__).parent / "staticcheck" / "fixtures" / "dirty.f")
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "CD101" in out and "CD304" in out
+
+    def test_all_workloads_exit_zero(self, capsys):
+        assert main(["lint", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "error(s)" in out
+
+    def test_dirty_fixture_exits_one(self, capsys):
+        assert main(["lint", self.DIRTY]) == 1
+        out = capsys.readouterr().out
+        assert "CD103" in out and "fix:" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "TQL", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format_version"] == 1
+        assert "summary" in document
+
+    def test_rule_filter(self, capsys):
+        assert main(["lint", self.DIRTY, "--rules", "CD303"]) == 0
+        out = capsys.readouterr().out
+        assert "CD303" in out and "CD103" not in out
