@@ -1,0 +1,38 @@
+"""Benchmark: supervision overhead of the sweep engine.
+
+Each job attempt pays for a forked worker process, a pipe, and the
+supervisor's poll loop.  ``selftest`` jobs do trivial arithmetic, so
+the measured time is almost pure engine overhead — the number that
+tells us when per-attempt isolation is affordable (milliseconds per
+job) versus when work should be batched into fewer, larger jobs.
+"""
+
+from repro.engine import Engine, EngineConfig, JobSpec
+
+from .conftest import emit
+
+_JOBS = 16
+
+
+def _specs():
+    return [
+        JobSpec(f"selftest:{i}", "selftest", {"value": i}) for i in range(_JOBS)
+    ]
+
+
+def _run_batch():
+    report = Engine(EngineConfig(max_workers=4, backoff_base=0.01)).run(_specs())
+    assert report.ok
+    return report
+
+
+def bench_engine_overhead(benchmark):
+    report = benchmark(_run_batch)
+    per_job_ms = 1000.0 * report.elapsed / _JOBS
+    emit(
+        "Engine overhead",
+        f"{_JOBS} selftest jobs, 4 workers: {report.elapsed * 1000:.0f} ms "
+        f"total, {per_job_ms:.1f} ms/job supervision overhead",
+    )
+    benchmark.extra_info["jobs"] = _JOBS
+    benchmark.extra_info["per_job_ms"] = round(per_job_ms, 2)

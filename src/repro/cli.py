@@ -24,6 +24,13 @@ Subcommands
     1/2) and locality hygiene on the program and its directive plan.
     Exit code 1 when any error-level finding is reported.
 
+``run [targets…] --jobs N --resume <run-id>``
+    Run an experiment sweep (tables and/or oracle seed batches) as a
+    DAG of supervised, retryable jobs; completed jobs checkpoint to a
+    JSONL run ledger under ``results/runs/<run-id>/`` so an interrupted
+    sweep resumes exactly where it stopped.  ``--chaos`` injects
+    deterministic faults for testing the supervisor.
+
 ``list``
     List the bundled benchmark workloads.
 
@@ -264,6 +271,7 @@ def _cmd_table(args) -> int:
     import os
     import time
 
+    from repro.engine.jobs import TABLE_RENDERERS, render_table
     from repro.experiments.runner import STATS, warm_for_table
 
     if args.timelines:
@@ -272,58 +280,11 @@ def _cmd_table(args) -> int:
         os.environ["REPRO_TIMELINES_DIR"] = str(tdir)
     t0 = time.perf_counter()
     which = args.which.lower()
+    if which not in TABLE_RENDERERS:
+        raise SystemExit(f"error: unknown table {args.which!r}")
     if args.jobs and args.jobs > 1:
         warm_for_table(which, jobs=args.jobs)
-    if which == "1":
-        from repro.experiments.table1 import render_table1
-
-        print(render_table1())
-    elif which == "2":
-        from repro.experiments.table2 import render_table2
-
-        print(render_table2())
-    elif which == "3":
-        from repro.experiments.table3 import render_table3
-
-        print(render_table3())
-    elif which == "4":
-        from repro.experiments.table4 import render_table4
-
-        print(render_table4())
-    elif which == "zoo":
-        from repro.experiments.ablations import render_policy_zoo
-
-        print(render_policy_zoo())
-    elif which == "locks":
-        from repro.experiments.ablations import render_lock_ablation
-
-        print(render_lock_ablation())
-    elif which == "sizing":
-        from repro.experiments.ablations import render_sizing_ablation
-
-        print(render_sizing_ablation())
-    elif which == "geometry":
-        from repro.experiments.geometry import render_geometry
-
-        print(render_geometry())
-    elif which == "multiprog":
-        from repro.experiments.multiprog_study import render_multiprog
-
-        print(render_multiprog())
-    elif which == "wsfamily":
-        from repro.experiments.ablations import render_ws_family
-
-        print(render_ws_family())
-    elif which == "control":
-        from repro.experiments.controllability import render_controllability
-
-        print(render_controllability())
-    elif which == "adaptive":
-        from repro.experiments.ablations import render_adaptive_study
-
-        print(render_adaptive_study())
-    else:
-        raise SystemExit(f"error: unknown table {args.which!r}")
+    print(render_table(which))
     if args.stats:
         wall = time.perf_counter() - t0
         print(f"[stats] wall {wall:.2f}s · {STATS.describe()}", file=sys.stderr)
@@ -342,6 +303,8 @@ def _cmd_cache(args) -> int:
         print(f"dir:          {info['dir'] or '(disabled)'}")
         print(f"disk entries: {info['disk_entries']}")
         print(f"disk bytes:   {info['disk_bytes']}")
+        if info["quarantined"]:
+            print(f"quarantined:  {info['quarantined']} (*.npz.corrupt)")
     elif action == "clear":
         before = cache_info()["disk_entries"]
         clear_cache()
@@ -418,6 +381,52 @@ def _cmd_bli(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    """``repro run``: a supervised, resumable experiment sweep."""
+    from repro.engine import ChaosPlan, EngineConfig, new_run_id, run_sweep
+
+    chaos = None
+    if args.chaos:
+        chaos = ChaosPlan(
+            args.chaos, hits=args.chaos_hits, match=args.chaos_match
+        )
+    config = EngineConfig(
+        max_workers=max(1, args.jobs),
+        max_retries=args.max_retries,
+        timeout=args.timeout,
+        chaos=chaos,
+    )
+    run_id = args.resume or new_run_id()
+    try:
+        result = run_sweep(
+            args.targets,
+            run_id=run_id,
+            runs_root=Path(args.output),
+            resume=args.resume is not None,
+            config=config,
+            progress=lambda msg: print(msg, flush=True),
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}") from None
+    report = result.report
+    print(report.summary())
+    for job_id, error in sorted(report.failed.items()):
+        print(f"  {job_id}: {error}")
+    oracle_failures = result.oracle_failures()
+    for failure in oracle_failures:
+        print(
+            f"  oracle seed {failure['seed']}: {failure['check']} — "
+            f"{failure['detail']}"
+        )
+    print(f"run ledger: {result.run_dir / 'ledger.jsonl'}")
+    if not report.ok:
+        print(
+            f"resume with: repro run {' '.join(args.targets)} "
+            f"--resume {result.run_id}"
+        )
+    return 0 if report.ok and not oracle_failures else 1
+
+
 def _cmd_verify(args) -> int:
     from repro.oracle import verify
 
@@ -427,6 +436,7 @@ def _cmd_verify(args) -> int:
         start_seed=args.start_seed,
         out_dir=Path(args.output) if args.output else None,
         shrink=not args.no_shrink,
+        engine=args.engine,
         progress=lambda msg: print(msg, flush=True),
     )
     print(report.summary())
@@ -619,7 +629,79 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_shrink",
         help="write the original failing source without minimizing it",
     )
+    p.add_argument(
+        "--engine",
+        action="store_true",
+        help="also run the engine self-checks (chaos retry/resume, "
+        "ledger round-trip, cache self-healing)",
+    )
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "run",
+        help="run an experiment sweep under supervision: retries, "
+        "timeouts, checkpoint/resume, optional chaos",
+    )
+    p.add_argument(
+        "targets",
+        nargs="*",
+        default=["1", "2", "3", "4"],
+        help="tables/ablations (table names) and/or verify[:seeds[:batch]] "
+        "(default: tables 1-4)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="supervised worker processes",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="continue an interrupted run from its ledger",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        dest="max_retries",
+        help="extra attempts per job after the first (default 2)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-attempt timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--chaos",
+        choices=["kill-worker", "inject-exception", "slow-job",
+                 "corrupt-cache-entry"],
+        default=None,
+        help="inject deterministic faults (testing the supervisor)",
+    )
+    p.add_argument(
+        "--chaos-hits",
+        type=int,
+        default=1,
+        dest="chaos_hits",
+        help="sabotaged attempts per matching job (default 1)",
+    )
+    p.add_argument(
+        "--chaos-match",
+        default="*",
+        dest="chaos_match",
+        help="fnmatch pattern over job ids the chaos applies to",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="results/runs",
+        help="runs directory (default results/runs)",
+    )
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
         "reproduce",
@@ -636,6 +718,12 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Long sweeps are interrupted on purpose; the engine has already
+        # flushed its run ledger and event sinks on the way up.  Exit
+        # with the conventional 128+SIGINT instead of a traceback.
+        print("\ninterrupted — partial results checkpointed", file=sys.stderr)
+        return 130
     except FrontendError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

@@ -1,0 +1,45 @@
+"""Resilient sweep engine: supervised workers, checkpoint/resume, chaos.
+
+The paper's evaluation is a large grid — nine workloads x policies x
+geometries x sizing strategies — and a production-scale reproduction
+has to survive a worker that crashes, hangs, or gets OOM-killed halfway
+through.  This package runs experiment sweeps as a DAG of retryable
+jobs:
+
+* :mod:`repro.engine.jobs` — the job model and the job-kind registry
+  (``warm``, ``table``, ``oracle``, ``selftest``);
+* :mod:`repro.engine.supervisor` — the engine: per-attempt worker
+  processes, timeouts, bounded retries with backoff + jitter, crash
+  isolation, lifecycle events through :mod:`repro.obs`;
+* :mod:`repro.engine.ledger` — the JSONL run ledger under
+  ``results/runs/<run-id>/``, giving exact checkpoint/resume;
+* :mod:`repro.engine.chaos` — deterministic fault injection
+  (kill-worker, inject-exception, slow-job, corrupt-cache-entry);
+* :mod:`repro.engine.sweeps` — target expansion and the ``repro run``
+  entry point.
+"""
+
+from repro.engine.chaos import CHAOS_MODES, ChaosError, ChaosPlan
+from repro.engine.jobs import JOB_KINDS, JobSpec, render_table, run_job
+from repro.engine.ledger import LedgerState, RunLedger
+from repro.engine.supervisor import Engine, EngineConfig, RunReport
+from repro.engine.sweeps import SweepResult, build_sweep, new_run_id, run_sweep
+
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosError",
+    "ChaosPlan",
+    "Engine",
+    "EngineConfig",
+    "JOB_KINDS",
+    "JobSpec",
+    "LedgerState",
+    "RunLedger",
+    "RunReport",
+    "SweepResult",
+    "build_sweep",
+    "new_run_id",
+    "render_table",
+    "run_job",
+    "run_sweep",
+]

@@ -1,0 +1,140 @@
+"""The run ledger: crash-safe JSONL checkpoints under ``results/runs/``.
+
+One line per record, appended and fsynced as each job settles, so a
+SIGKILL at any instant loses at most the line being written.  Loading
+tolerates a truncated trailing line (the crash case) and ignores
+records it does not understand (a newer writer).
+
+Record kinds
+------------
+
+``run-start``
+    Run metadata: run id, targets, engine parameters.  Appended every
+    time the run starts *or resumes*, so the ledger doubles as a
+    supervision history.
+
+``job-done``
+    A completed job: id, attempts, the params fingerprint, and the
+    JSON payload the job returned.  Resume replays these as instant
+    results when the fingerprint still matches.
+
+``job-fail``
+    A permanently failed job (retries exhausted or dependency failed).
+    Failed jobs are *not* reused on resume — they run again.
+
+``interrupt``
+    The run stopped on Ctrl-C; recorded so a resumed run can tell a
+    clean failure from an interruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["LedgerState", "RunLedger"]
+
+
+class RunLedger:
+    """Append-only JSONL writer with durable (fsync) appends."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        json.dump(record, self._fh, separators=(",", ":"), sort_keys=True)
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def job_done(
+        self, job: str, fingerprint: str, attempts: int, payload: dict
+    ) -> None:
+        self.append(
+            {
+                "kind": "job-done",
+                "job": job,
+                "fingerprint": fingerprint,
+                "attempts": attempts,
+                "payload": payload,
+            }
+        )
+
+    def job_fail(self, job: str, attempts: int, error: str) -> None:
+        self.append(
+            {"kind": "job-fail", "job": job, "attempts": attempts, "error": error}
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+@dataclass
+class LedgerState:
+    """What a previous run left behind, as read back for ``--resume``."""
+
+    #: job id -> (params fingerprint, payload) for every completed job
+    completed: Dict[str, tuple] = field(default_factory=dict)
+    #: job id -> error string for jobs that failed permanently
+    failed: Dict[str, str] = field(default_factory=dict)
+    #: the most recent run-start record, if any
+    run_info: Optional[dict] = None
+    #: lines that could not be parsed (normally 0 or a truncated tail)
+    skipped_lines: int = 0
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LedgerState":
+        state = cls()
+        path = Path(path)
+        if not path.exists():
+            return state
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves one torn trailing line;
+                    # anything we can't read we simply don't trust.
+                    state.skipped_lines += 1
+                    continue
+                kind = record.get("kind")
+                if kind == "job-done":
+                    state.completed[record["job"]] = (
+                        record.get("fingerprint", ""),
+                        record.get("payload", {}),
+                    )
+                    state.failed.pop(record["job"], None)
+                elif kind == "job-fail":
+                    if record["job"] not in state.completed:
+                        state.failed[record["job"]] = record.get("error", "")
+                elif kind == "run-start":
+                    state.run_info = record
+        return state
+
+    def payload_for(self, job: str, fingerprint: str) -> Optional[dict]:
+        """The checkpointed payload, iff the job definition is unchanged."""
+        entry = self.completed.get(job)
+        if entry is None:
+            return None
+        stored_fingerprint, payload = entry
+        if stored_fingerprint != fingerprint:
+            return None
+        return payload

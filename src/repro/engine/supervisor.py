@@ -1,0 +1,370 @@
+"""The supervised job engine: crash-isolated workers with retries.
+
+Each job attempt runs in its *own* worker process with a dedicated
+result pipe — unlike a shared ``ProcessPoolExecutor``, a worker that
+raises, hangs past its timeout, or dies to SIGKILL takes down exactly
+one attempt of one job.  The supervisor:
+
+* schedules a DAG of :class:`~repro.engine.jobs.JobSpec` (a job launches
+  only after every dependency's payload exists);
+* retries failures with exponential backoff plus deterministic jitter,
+  up to ``max_retries`` extra attempts per job;
+* kills attempts that outlive their timeout;
+* checkpoints every settled job to a :class:`~repro.engine.ledger.RunLedger`
+  so an interrupted run resumes exactly where it stopped;
+* narrates everything (JobStart/JobRetry/JobFail/JobDone plus worker
+  heartbeats) through an :class:`~repro.obs.Tracer`.
+
+On Ctrl-C the engine kills its workers, records the interruption in
+the ledger, flushes, and re-raises — the CLI maps that to exit 130.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.chaos import ChaosPlan, apply_in_worker, corrupt_one_cache_entry
+from repro.engine.jobs import JobSpec, run_job
+from repro.engine.ledger import LedgerState, RunLedger
+from repro.obs.events import JobDone, JobFail, JobRetry, JobStart, WorkerHeartbeat
+
+__all__ = ["Engine", "EngineConfig", "RunReport"]
+
+#: scheduler poll granularity (seconds); bounds shutdown/timeout latency
+_POLL_INTERVAL = 0.02
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap workers, and state patched
+    into the parent — tests poison workloads this way — is inherited);
+    the default start method elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _worker_main(conn, kind: str, params: dict, chaos_action) -> None:
+    """Child-process entry: run one job attempt, send one message."""
+    try:
+        apply_in_worker(chaos_action)  # may SIGKILL us, raise, or sleep
+        payload = run_job(kind, params)
+        message = ("done", payload)
+    except BaseException as err:
+        message = ("error", f"{type(err).__name__}: {err}")
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+@dataclass
+class EngineConfig:
+    """Supervision parameters (per-job overrides live on the spec)."""
+
+    max_workers: int = 1
+    max_retries: int = 2  # extra attempts after the first
+    timeout: Optional[float] = None  # seconds per attempt (None: unlimited)
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    heartbeat_interval: float = 1.0
+    chaos: Optional[ChaosPlan] = None
+    seed: str = "run"  # jitter/chaos determinism scope
+
+
+@dataclass
+class RunReport:
+    """What the engine did with one batch of jobs."""
+
+    results: Dict[str, dict] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    resumed: int = 0
+    retries: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        done = len(self.results)
+        state = "OK" if self.ok else f"{len(self.failed)} FAILED"
+        resumed = f" ({self.resumed} from ledger)" if self.resumed else ""
+        retries = f", {self.retries} retried" if self.retries else ""
+        return (
+            f"engine: {done} job(s) done{resumed}{retries} "
+            f"in {self.elapsed:.1f}s — {state}"
+        )
+
+
+class _Worker:
+    """One live attempt: the process, its pipe, and its clock."""
+
+    def __init__(self, spec: JobSpec, attempt: int, proc, conn, timeout):
+        self.spec = spec
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = time.monotonic()
+        self.deadline = None if timeout is None else self.started + timeout
+        self.last_beat = self.started
+
+
+class Engine:
+    """Run a DAG of jobs under supervision.  Reusable across runs."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        tracer=None,
+        ledger: Optional[RunLedger] = None,
+    ):
+        self.config = config or EngineConfig()
+        self.tracer = tracer
+        self.ledger = ledger
+        self._seq = 0
+        self._chaos_uses = 0
+        self._ctx = _mp_context()
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _emit(self, event_cls, **fields) -> None:
+        if self.tracer is None:
+            return
+        self._seq += 1
+        self.tracer.emit(event_cls(time=self._seq, **fields))
+
+    # -- validation ------------------------------------------------------------
+
+    @staticmethod
+    def _validate(specs: Sequence[JobSpec]) -> None:
+        ids = [s.id for s in specs]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate job ids: {', '.join(dupes)}")
+        known = set(ids)
+        for spec in specs:
+            for dep in spec.deps:
+                if dep not in known:
+                    raise ValueError(f"job {spec.id!r} depends on unknown {dep!r}")
+        # Kahn's algorithm: everything must be reachable from the roots.
+        remaining = {s.id: set(s.deps) for s in specs}
+        while True:
+            ready = [i for i, deps in remaining.items() if not deps]
+            if not ready:
+                break
+            for i in ready:
+                del remaining[i]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        if remaining:
+            raise ValueError(
+                f"dependency cycle among: {', '.join(sorted(remaining))}"
+            )
+
+    # -- the run loop ----------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        resume: Optional[LedgerState] = None,
+    ) -> RunReport:
+        self._validate(specs)
+        config = self.config
+        report = RunReport()
+        pending: Dict[str, JobSpec] = {s.id: s for s in specs}
+        order: List[str] = [s.id for s in specs]  # stable launch order
+        live: Dict[str, _Worker] = {}
+        next_eligible: Dict[str, float] = {}
+        t0 = time.monotonic()
+
+        if resume is not None:
+            for spec in specs:
+                payload = resume.payload_for(spec.id, spec.fingerprint())
+                if payload is not None:
+                    report.results[spec.id] = payload
+                    report.attempts[spec.id] = 0
+                    del pending[spec.id]
+                    report.resumed += 1
+                    self._emit(JobDone, job=spec.id, attempts=0, seconds=0.0)
+
+        def retries_for(spec: JobSpec) -> int:
+            return (
+                config.max_retries
+                if spec.max_retries is None
+                else spec.max_retries
+            )
+
+        def timeout_for(spec: JobSpec) -> Optional[float]:
+            return config.timeout if spec.timeout is None else spec.timeout
+
+        def backoff_for(spec: JobSpec, attempt: int) -> float:
+            raw = min(
+                config.backoff_cap, config.backoff_base * (2 ** (attempt - 1))
+            )
+            rng = random.Random(f"{config.seed}:{spec.id}:{attempt}")
+            return raw * (0.5 + rng.random())
+
+        def fail_job(spec: JobSpec, attempts: int, error: str) -> None:
+            report.failed[spec.id] = error
+            report.attempts[spec.id] = attempts
+            pending.pop(spec.id, None)
+            self._emit(JobFail, job=spec.id, attempts=attempts, error=error)
+            if self.ledger is not None:
+                self.ledger.job_fail(spec.id, attempts, error)
+            # Cascade: dependents can never run now.
+            for other_id in list(pending):
+                other = pending.get(other_id)
+                if (
+                    other is not None
+                    and other_id not in live
+                    and spec.id in other.deps
+                ):
+                    fail_job(other, 0, f"dependency {spec.id!r} failed")
+
+        def finish_job(worker: _Worker, payload: dict) -> None:
+            spec = worker.spec
+            seconds = time.monotonic() - worker.started
+            report.results[spec.id] = payload
+            report.attempts[spec.id] = worker.attempt
+            pending.pop(spec.id, None)
+            self._emit(
+                JobDone,
+                job=spec.id,
+                attempts=worker.attempt,
+                seconds=round(seconds, 6),
+            )
+            if self.ledger is not None:
+                self.ledger.job_done(
+                    spec.id, spec.fingerprint(), worker.attempt, payload
+                )
+
+        def attempt_failed(worker: _Worker, error: str) -> None:
+            spec = worker.spec
+            if worker.attempt <= retries_for(spec):
+                backoff = backoff_for(spec, worker.attempt)
+                next_eligible[spec.id] = time.monotonic() + backoff
+                report.retries += 1
+                self._emit(
+                    JobRetry,
+                    job=spec.id,
+                    attempt=worker.attempt,
+                    error=error,
+                    backoff=round(backoff, 6),
+                )
+            else:
+                fail_job(spec, worker.attempt, error)
+
+        def launch(spec: JobSpec) -> None:
+            attempt = report.attempts.get(spec.id, 0) + 1
+            report.attempts[spec.id] = attempt
+            chaos_action = None
+            chaos = config.chaos
+            if chaos is not None and chaos.applies(spec.id, attempt):
+                chaos.record(spec.id)
+                if chaos.mode == "corrupt-cache-entry":
+                    corrupt_one_cache_entry(seed=self._chaos_uses)
+                    self._chaos_uses += 1
+                else:
+                    chaos_action = chaos.worker_action()
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, spec.kind, dict(spec.params), chaos_action),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            live[spec.id] = _Worker(
+                spec, attempt, proc, parent_conn, timeout_for(spec)
+            )
+            self._emit(
+                JobStart, job=spec.id, attempt=attempt, worker=proc.pid or 0
+            )
+
+        def reap(worker: _Worker) -> None:
+            if worker.proc.is_alive():
+                worker.proc.kill()
+            worker.proc.join()
+            worker.conn.close()
+
+        try:
+            while pending or live:
+                now = time.monotonic()
+                # Launch everything launchable, in submission order.
+                for job_id in order:
+                    if len(live) >= config.max_workers:
+                        break
+                    spec = pending.get(job_id)
+                    if spec is None or job_id in live:
+                        continue
+                    if any(dep not in report.results for dep in spec.deps):
+                        continue
+                    if now < next_eligible.get(job_id, 0.0):
+                        continue
+                    launch(spec)
+                if not live:
+                    # Everything pending is waiting out a backoff.
+                    time.sleep(_POLL_INTERVAL)
+                    continue
+                time.sleep(_POLL_INTERVAL)
+                now = time.monotonic()
+                for job_id, worker in list(live.items()):
+                    message = None
+                    if worker.conn.poll():
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                    if message is not None:
+                        del live[job_id]
+                        reap(worker)
+                        status, value = message
+                        if status == "done":
+                            finish_job(worker, value)
+                        else:
+                            attempt_failed(worker, str(value))
+                        continue
+                    if not worker.proc.is_alive():
+                        # Died without a message: crash or SIGKILL.
+                        del live[job_id]
+                        code = worker.proc.exitcode
+                        reap(worker)
+                        detail = (
+                            f"killed by signal {-code}"
+                            if code is not None and code < 0
+                            else f"exit code {code}"
+                        )
+                        attempt_failed(worker, f"worker died ({detail})")
+                        continue
+                    if worker.deadline is not None and now > worker.deadline:
+                        del live[job_id]
+                        reap(worker)
+                        timeout = timeout_for(worker.spec)
+                        attempt_failed(
+                            worker, f"timeout after {timeout:g}s"
+                        )
+                        continue
+                    if now - worker.last_beat >= config.heartbeat_interval:
+                        worker.last_beat = now
+                        self._emit(
+                            WorkerHeartbeat,
+                            worker=worker.proc.pid or 0,
+                            job=job_id,
+                        )
+        except KeyboardInterrupt:
+            for worker in live.values():
+                reap(worker)
+            if self.ledger is not None:
+                self.ledger.append(
+                    {"kind": "interrupt", "live": sorted(live)}
+                )
+                self.ledger.close()
+            raise
+        report.elapsed = time.monotonic() - t0
+        return report

@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -203,6 +204,28 @@ def _entry_paths(cdir: Path, key: str) -> Tuple[Path, Path]:
     return cdir / f"trace-{key}.npz", cdir / f"sweeps-{key}.npz"
 
 
+def _quarantine_entry(cdir: Path, key: str, reason: str) -> None:
+    """Move a bad cache entry aside as ``*.corrupt`` instead of leaving
+    it to crash (or silently poison) every future load.  The rename is
+    best-effort — a read-only cache just stays unreadable and is treated
+    as a miss each time."""
+    renamed = []
+    for path in _entry_paths(cdir, key):
+        if not path.exists():
+            continue
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+            renamed.append(path.name)
+        except OSError:
+            pass
+    warnings.warn(
+        f"artifact cache entry {key} unreadable ({reason}); "
+        f"quarantined {renamed or 'nothing'} and recomputing",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _load_entry(
     cdir: Path, key: str, name: str
 ) -> Optional[Tuple[ReferenceTrace, LRUSweep, WSSweep]]:
@@ -242,8 +265,13 @@ def _load_entry(
                 parameter=int(best[0]),
                 fault_service=ws.fault_service,
             )
-    except (OSError, ValueError, KeyError, IndexError):
-        return None  # stale/corrupt entry: rebuild (and overwrite)
+    except Exception as err:
+        # A truncated .npz surfaces as BadZipFile/EOFError, a bit-flip
+        # as anything from json/zlib/numpy — every one of them is a
+        # cache miss, never a crash.  Quarantine so the bad bytes are
+        # kept for inspection but never re-read.
+        _quarantine_entry(cdir, key, f"{type(err).__name__}: {err}")
+        return None
     return trace, lru, ws
 
 
@@ -360,10 +388,9 @@ def clear_cache(disk: bool = True) -> None:
     cdir = cache_dir()
     if cdir is None or not cdir.is_dir():
         return
-    for path in cdir.glob("trace-*.npz"):
-        path.unlink(missing_ok=True)
-    for path in cdir.glob("sweeps-*.npz"):
-        path.unlink(missing_ok=True)
+    for pattern in ("trace-*.npz", "sweeps-*.npz", "*.npz.corrupt"):
+        for path in cdir.glob(pattern):
+            path.unlink(missing_ok=True)
 
 
 def cache_info() -> Dict[str, object]:
@@ -374,11 +401,13 @@ def cache_info() -> Dict[str, object]:
         "dir": str(cdir) if cdir else None,
         "disk_entries": 0,
         "disk_bytes": 0,
+        "quarantined": 0,
     }
     if cdir is not None and cdir.is_dir():
         files = list(cdir.glob("trace-*.npz")) + list(cdir.glob("sweeps-*.npz"))
         info["disk_entries"] = len(files)
         info["disk_bytes"] = sum(f.stat().st_size for f in files)
+        info["quarantined"] = len(list(cdir.glob("*.npz.corrupt")))
     return info
 
 
@@ -389,17 +418,23 @@ def cache_info() -> Dict[str, object]:
 WarmSpec = Tuple[str, bool]
 
 
-def _warm_worker(args) -> str:
-    """Child-process entry: build one workload's artifacts so the disk
-    cache is populated; the parent then loads the result."""
-    name, with_locks, page_bytes, word_bytes, strategy_value = args
-    artifacts_for(
-        name,
-        page_config=PageConfig(page_bytes=page_bytes, word_bytes=word_bytes),
-        strategy=SizingStrategy(strategy_value),
-        with_locks=with_locks,
-    )
-    return name
+class WarmupError(RuntimeError):
+    """One or more workloads could not be warmed.
+
+    Raised *after* every other spec has been built, so a single bad
+    workload costs its own table cells and nothing else.  ``failures``
+    maps each failing :data:`WarmSpec` to its error string.
+    """
+
+    def __init__(self, failures: Dict[WarmSpec, str]):
+        self.failures = dict(failures)
+        details = "; ".join(
+            f"{name}{'+locks' if with_locks else ''}: {error}"
+            for (name, with_locks), error in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(self.failures)} workload(s) failed to warm: {details}"
+        )
 
 
 def warm_artifacts(
@@ -409,11 +444,16 @@ def warm_artifacts(
     jobs: Optional[int] = None,
 ) -> None:
     """Ensure artifacts exist for every (workload, with_locks) spec,
-    fanning independent builds across a process pool when ``jobs`` > 1.
+    fanning independent builds across supervised worker processes when
+    ``jobs`` > 1 (one crash, hang, or kill fails only its own spec, and
+    transient failures get one retry).
 
     Parallel builds communicate through the disk cache; with persistence
     disabled (``REPRO_CACHE_DIR=""``) the fan-out would be wasted work,
     so everything runs sequentially in-process instead.
+
+    A spec that cannot be built never aborts the others: every failure
+    is collected and reported at the end as one :class:`WarmupError`.
     """
     page_config = page_config or PageConfig()
     specs = list(dict.fromkeys(specs))
@@ -432,32 +472,64 @@ def warm_artifacts(
                 continue
         todo.append((name, with_locks))
 
+    failures: Dict[WarmSpec, str] = {}
     jobs = jobs or 1
     if jobs > 1 and cdir is not None and len(todo) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        from repro.engine.jobs import JobSpec
+        from repro.engine.supervisor import Engine, EngineConfig
 
         t0 = time.perf_counter()
-        worker_args = [
-            (name, with_locks, page_config.page_bytes, page_config.word_bytes,
-             strategy.value)
-            for name, with_locks in todo
-        ]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            for _ in pool.map(_warm_worker, worker_args):
-                pass
+        job_ids: Dict[str, WarmSpec] = {}
+        job_specs = []
+        for name, with_locks in todo:
+            job_id = f"warm:{name.lower()}" + ("+locks" if with_locks else "")
+            job_ids[job_id] = (name, with_locks)
+            job_specs.append(
+                JobSpec(
+                    id=job_id,
+                    kind="warm",
+                    params={
+                        "workload": name,
+                        "with_locks": with_locks,
+                        "page_bytes": page_config.page_bytes,
+                        "word_bytes": page_config.word_bytes,
+                        "strategy": strategy.value,
+                    },
+                )
+            )
+        engine = Engine(
+            EngineConfig(
+                max_workers=min(jobs, len(todo)),
+                max_retries=1,
+                backoff_base=0.05,
+            )
+        )
+        report = engine.run(job_specs)
+        for job_id, error in report.failed.items():
+            failures[job_ids[job_id]] = error
         STATS.add("warm-pool", time.perf_counter() - t0)
         todo = []
     for name, with_locks in todo:
-        artifacts_for(
-            name, page_config=page_config, strategy=strategy,
-            with_locks=with_locks,
-        )
+        try:
+            artifacts_for(
+                name, page_config=page_config, strategy=strategy,
+                with_locks=with_locks,
+            )
+        except Exception as err:
+            failures[(name, with_locks)] = f"{type(err).__name__}: {err}"
     # pull everything (parallel builds included) into the process memo
     for name, with_locks in specs:
-        artifacts_for(
-            name, page_config=page_config, strategy=strategy,
-            with_locks=with_locks,
-        )
+        if (name, with_locks) in failures:
+            continue
+        try:
+            artifacts_for(
+                name, page_config=page_config, strategy=strategy,
+                with_locks=with_locks,
+            )
+        except Exception as err:
+            failures[(name, with_locks)] = f"{type(err).__name__}: {err}"
+    if failures:
+        raise WarmupError(failures)
 
 
 def warm_for_table(which: str, jobs: Optional[int] = None) -> None:

@@ -19,12 +19,17 @@ from repro.obs.events import (
     Evict,
     Fault,
     ForcedRelease,
+    JobDone,
+    JobFail,
+    JobRetry,
+    JobStart,
     LevelChange,
     Lock,
     ResidentSample,
     Resume,
     Suspend,
     Unlock,
+    WorkerHeartbeat,
     event_from_dict,
 )
 from repro.obs.metrics import Profile, build_profile, load_events
@@ -41,12 +46,17 @@ __all__ = [
     "Evict",
     "Fault",
     "ForcedRelease",
+    "JobDone",
+    "JobFail",
+    "JobRetry",
+    "JobStart",
     "LevelChange",
     "Lock",
     "ResidentSample",
     "Resume",
     "Suspend",
     "Unlock",
+    "WorkerHeartbeat",
     "event_from_dict",
     "Profile",
     "build_profile",

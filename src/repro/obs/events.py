@@ -198,6 +198,73 @@ class LevelChange(Event):
     new_level: int
 
 
+# -- engine lifecycle ---------------------------------------------------------
+#
+# The sweep engine (:mod:`repro.engine`) narrates its supervision
+# decisions through the same tracer the paging stack uses, so one
+# events.jsonl holds both worlds.  Engine events use a per-run sequence
+# number for ``time`` (job lifecycles have no virtual reference index).
+
+
+@dataclass(frozen=True)
+class JobStart(Event):
+    """One attempt of a job began in worker process ``worker``."""
+
+    kind: ClassVar[str] = "job_start"
+
+    job: str
+    attempt: int
+    worker: int
+
+
+@dataclass(frozen=True)
+class JobRetry(Event):
+    """An attempt failed and the job will be retried after ``backoff``
+    seconds.  ``attempt`` is the attempt that just failed (1-based)."""
+
+    kind: ClassVar[str] = "job_retry"
+
+    job: str
+    attempt: int
+    error: str
+    backoff: float
+
+
+@dataclass(frozen=True)
+class JobFail(Event):
+    """A job failed permanently (retries exhausted, or a dependency
+    failed before it could run)."""
+
+    kind: ClassVar[str] = "job_fail"
+
+    job: str
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class JobDone(Event):
+    """A job completed; ``seconds`` is the successful attempt's wall
+    time (0.0 for results restored from a run ledger on resume)."""
+
+    kind: ClassVar[str] = "job_done"
+
+    job: str
+    attempts: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeat(Event):
+    """A live worker observed by the supervisor's poll loop (emitted at
+    most once per heartbeat interval per worker)."""
+
+    kind: ClassVar[str] = "worker_heartbeat"
+
+    worker: int
+    job: str
+
+
 #: kind discriminator -> event class (drives JSONL round-tripping)
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -214,6 +281,11 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         Resume,
         ResidentSample,
         LevelChange,
+        JobStart,
+        JobRetry,
+        JobFail,
+        JobDone,
+        WorkerHeartbeat,
     )
 }
 

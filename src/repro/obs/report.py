@@ -117,6 +117,17 @@ def render_profile(
             )
         out.append("")
 
+    job_kinds = ("job_start", "job_retry", "job_fail", "job_done")
+    if any(profile.event_counts.get(k) for k in job_kinds):
+        heading("engine jobs")
+        counts = {k: profile.event_counts.get(k, 0) for k in job_kinds}
+        out.append(
+            f"  started={counts['job_start']} done={counts['job_done']} "
+            f"retried={counts['job_retry']} failed={counts['job_fail']} "
+            f"heartbeats={profile.event_counts.get('worker_heartbeat', 0)}"
+        )
+        out.append("")
+
     if profile.per_array_faults:
         heading("fault attribution by array")
         total = max(profile.faults, 1)

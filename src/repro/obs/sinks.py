@@ -55,17 +55,21 @@ class JsonlSink(Sink):
 
     The file is opened lazily on the first event and truncated then, so
     constructing the sink is free and an eventless run leaves no file.
+    ``append=True`` keeps whatever is already there — the sweep engine
+    uses it so a resumed run extends the original event log instead of
+    erasing it.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], append: bool = False):
         self.path = Path(path)
+        self.append = append
         self.count = 0
         self._fh = None
 
     def handle(self, event: Event) -> None:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w")
+            self._fh = self.path.open("a" if self.append else "w")
         json.dump(event.to_dict(), self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self.count += 1

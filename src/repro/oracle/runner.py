@@ -96,6 +96,7 @@ def verify(
     out_dir: Optional[Path] = None,
     shrink: bool = True,
     deep: bool = True,
+    engine: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> VerifyReport:
     """Run the differential oracle over ``seeds`` seeds.
@@ -103,11 +104,30 @@ def verify(
     ``time_budget`` (seconds) stops cleanly between seeds — always at
     least one seed runs.  Failures are shrunk (bounded work) and
     written to ``out_dir`` (default ``results/oracle_failures/``).
+    ``engine=True`` first runs the sweep-engine self-checks
+    (``engine-*``) — chaos injection, ledger round-trip, cache healing
+    — and reports their divergences without reproducer files (there is
+    no generated program to shrink; ``seed`` is recorded as ``-1``).
     """
     out_dir = DEFAULT_FAILURE_DIR if out_dir is None else Path(out_dir)
     report = VerifyReport()
     t0 = time.perf_counter()
     say = progress or (lambda _msg: None)
+    if engine:
+        from repro.oracle.engine_checks import check_engine
+
+        say("  engine self-checks (chaos, ledger, cache healing)")
+        for divergence in check_engine():
+            say(f"  engine: {divergence}")
+            report.failures.append(
+                FailureRecord(
+                    seed=-1,
+                    check=divergence.check,
+                    detail=divergence.detail,
+                    source="",
+                    shrunk_source="",
+                )
+            )
     for seed in range(start_seed, start_seed + seeds):
         if (
             time_budget is not None

@@ -1,0 +1,86 @@
+"""Acceptance: a chaos-killed sweep resumes to byte-identical output.
+
+The sweep renders Table 1 under supervision while chaos SIGKILLs the
+table job's worker past its retry budget — the "power cut mid-run"
+scenario.  The warm jobs' checkpoints survive in the run ledger, the
+resumed run replays them and re-renders only the table, and the final
+``table1.txt`` must equal an uninterrupted run byte for byte.
+"""
+
+from repro.engine import ChaosPlan, EngineConfig, run_sweep
+from repro.obs import load_events
+from repro.obs.events import JobFail, JobRetry
+
+
+def _config(**kwargs):
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("backoff_base", 0.01)
+    return EngineConfig(**kwargs)
+
+
+class TestChaosResume:
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path):
+        runs = tmp_path / "runs"
+
+        # An uninterrupted run provides the golden bytes.
+        clean = run_sweep(["1"], run_id="clean", runs_root=runs, config=_config())
+        assert clean.ok, clean.report.failed
+        golden = (clean.run_dir / "table1.txt").read_bytes()
+
+        # Kill the table job's worker on both allowed attempts: the job
+        # fails permanently, i.e. the sweep is interrupted mid-run.
+        chaos = ChaosPlan("kill-worker", hits=2, match="table:1")
+        crashed = run_sweep(
+            ["1"],
+            run_id="crashy",
+            runs_root=runs,
+            config=_config(max_retries=1, chaos=chaos),
+        )
+        assert not crashed.ok
+        assert "worker died" in crashed.report.failed["table:1"]
+        assert not (crashed.run_dir / "table1.txt").exists()
+        # The warm jobs completed and checkpointed before the crash.
+        warm_done = [j for j in crashed.report.results if j.startswith("warm:")]
+        assert warm_done
+
+        # Every injected fault surfaces as exactly one lifecycle event.
+        events = load_events(crashed.run_dir / "events.jsonl")
+        retries = [
+            e for e in events if isinstance(e, JobRetry) and e.job == "table:1"
+        ]
+        fails = [
+            e for e in events if isinstance(e, JobFail) and e.job == "table:1"
+        ]
+        assert len(retries) + len(fails) == chaos.injected["table:1"] == 2
+        assert all("killed by signal" in e.error for e in retries + fails)
+
+        # Resume the same run id without chaos: completed jobs replay
+        # from the ledger, only the table job actually runs.
+        resumed = run_sweep(
+            ["1"],
+            run_id="crashy",
+            runs_root=runs,
+            resume=True,
+            config=_config(),
+        )
+        assert resumed.ok, resumed.report.failed
+        assert resumed.report.resumed == len(warm_done)
+        assert resumed.report.attempts["table:1"] >= 1  # really re-ran
+        assert (resumed.run_dir / "table1.txt").read_bytes() == golden
+
+    def test_resumed_run_extends_the_event_log(self, tmp_path):
+        runs = tmp_path / "runs"
+        chaos = ChaosPlan("kill-worker", hits=2, match="table:1")
+        crashed = run_sweep(
+            ["1"],
+            run_id="r",
+            runs_root=runs,
+            config=_config(max_retries=1, chaos=chaos),
+        )
+        before = len(load_events(crashed.run_dir / "events.jsonl"))
+        resumed = run_sweep(
+            ["1"], run_id="r", runs_root=runs, resume=True, config=_config()
+        )
+        after = len(load_events(resumed.run_dir / "events.jsonl"))
+        assert resumed.run_dir == crashed.run_dir
+        assert after > before  # appended, not truncated

@@ -1,0 +1,121 @@
+"""The run ledger: durable checkpoints, torn tails, resume semantics."""
+
+import json
+
+from repro.engine import Engine, EngineConfig, JobSpec, LedgerState, RunLedger
+
+
+def selftest(job_id, value, **kwargs):
+    return JobSpec(job_id, "selftest", {"value": value}, **kwargs)
+
+
+class TestRoundTrip:
+    def test_done_and_fail_records(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.append({"kind": "run-start", "run_id": "r1"})
+            ledger.job_done("a", "fp", 2, {"x": 1})
+            ledger.job_fail("b", 3, "boom")
+        state = LedgerState.load(path)
+        assert state.run_info["run_id"] == "r1"
+        assert state.payload_for("a", "fp") == {"x": 1}
+        assert state.failed == {"b": "boom"}
+        assert state.skipped_lines == 0
+
+    def test_fingerprint_mismatch_is_not_reused(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_done("a", "old-fingerprint", 1, {"x": 1})
+        state = LedgerState.load(path)
+        assert state.payload_for("a", "new-fingerprint") is None
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_done("a", "fp", 1, {"x": 1})
+        with path.open("a") as fh:
+            fh.write('{"kind":"job-done","job":"b","payl')  # crash mid-write
+        state = LedgerState.load(path)
+        assert state.skipped_lines == 1
+        assert state.payload_for("a", "fp") == {"x": 1}
+        assert "b" not in state.completed
+
+    def test_later_success_clears_earlier_failure(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_fail("a", 3, "first run died")
+            ledger.job_done("a", "fp", 1, {"x": 2})  # the resumed run
+        state = LedgerState.load(path)
+        assert state.payload_for("a", "fp") == {"x": 2}
+        assert "a" not in state.failed
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = LedgerState.load(tmp_path / "nothing.jsonl")
+        assert not state.completed and not state.failed
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.append({"kind": "run-start", "run_id": "r"})
+            ledger.job_done("a", "fp", 1, {"deep": {"nested": [1, 2]}})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+
+class TestEngineCheckpointResume:
+    def test_completed_jobs_replay_without_rerunning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        specs = [selftest("a", 2), selftest("b", 3)]
+        with RunLedger(path) as ledger:
+            first = Engine(
+                EngineConfig(max_workers=2, backoff_base=0.01), ledger=ledger
+            ).run(specs)
+        assert first.ok
+        state = LedgerState.load(path)
+        assert set(state.completed) == {"a", "b"}
+        with RunLedger(path) as ledger:
+            second = Engine(
+                EngineConfig(max_workers=2, backoff_base=0.01), ledger=ledger
+            ).run(specs, resume=state)
+        assert second.ok
+        assert second.resumed == 2
+        assert second.attempts == {"a": 0, "b": 0}  # replayed, not re-run
+        assert second.results == first.results
+
+    def test_changed_params_invalidate_the_checkpoint(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            Engine(EngineConfig(backoff_base=0.01), ledger=ledger).run(
+                [selftest("a", 2)]
+            )
+        state = LedgerState.load(path)
+        report = Engine(EngineConfig(backoff_base=0.01)).run(
+            [selftest("a", 99)], resume=state  # same id, different params
+        )
+        assert report.resumed == 0
+        assert report.attempts["a"] == 1  # actually re-ran
+        assert report.results["a"] == {"value": 99, "square": 9801}
+
+    def test_failed_jobs_rerun_on_resume(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            first = Engine(
+                EngineConfig(max_retries=0, backoff_base=0.01), ledger=ledger
+            ).run(
+                [
+                    JobSpec("bad", "selftest", {"fail": True}),
+                    selftest("good", 4),
+                ]
+            )
+        assert "bad" in first.failed
+        state = LedgerState.load(path)
+        # Resume with a fixed job definition: same id, healthy params.
+        report = Engine(EngineConfig(backoff_base=0.01)).run(
+            [JobSpec("bad", "selftest", {"value": 5}), selftest("good", 4)],
+            resume=state,
+        )
+        assert report.ok
+        assert report.resumed == 1  # only "good" replayed
+        assert report.results["bad"] == {"value": 5, "square": 25}

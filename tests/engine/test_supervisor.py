@@ -1,0 +1,186 @@
+"""The supervised engine: DAG scheduling, retries, crash isolation.
+
+All tests run ``selftest`` jobs (pure arithmetic in the worker) so the
+engine's own machinery — per-attempt processes, backoff, timeouts,
+chaos — is what dominates the clock, not trace generation.
+"""
+
+import pytest
+
+from repro.engine import ChaosPlan, Engine, EngineConfig, JobSpec
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.events import (
+    JobDone,
+    JobFail,
+    JobRetry,
+    JobStart,
+    WorkerHeartbeat,
+)
+
+
+def selftest(job_id, value, **kwargs):
+    return JobSpec(job_id, "selftest", {"value": value}, **kwargs)
+
+
+def run_engine(specs, config=None, resume=None, ledger=None):
+    ring = RingBufferSink()
+    engine = Engine(
+        config or EngineConfig(max_workers=2, backoff_base=0.01),
+        tracer=Tracer(ring),
+        ledger=ledger,
+    )
+    report = engine.run(specs, resume=resume)
+    return report, ring.events
+
+
+class TestScheduling:
+    def test_payloads_and_attempts(self):
+        report, events = run_engine([selftest("a", 3), selftest("b", 5)])
+        assert report.ok
+        assert report.results["a"] == {"value": 3, "square": 9}
+        assert report.results["b"] == {"value": 5, "square": 25}
+        assert report.attempts == {"a": 1, "b": 1}
+        assert sum(isinstance(e, JobDone) for e in events) == 2
+
+    def test_dependency_runs_after_dependency_done(self):
+        report, events = run_engine(
+            [
+                selftest("a", 1),
+                JobSpec("b", "selftest", {"value": 2}, deps=("a",)),
+            ]
+        )
+        assert report.ok
+        a_done = next(
+            e.time for e in events if isinstance(e, JobDone) and e.job == "a"
+        )
+        b_start = next(
+            e.time for e in events if isinstance(e, JobStart) and e.job == "b"
+        )
+        assert b_start > a_done
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            run_engine([selftest("a", 1), selftest("a", 2)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_engine([JobSpec("a", "selftest", {}, deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            run_engine(
+                [
+                    JobSpec("a", "selftest", {}, deps=("b",)),
+                    JobSpec("b", "selftest", {}, deps=("a",)),
+                ]
+            )
+
+
+class TestFailureHandling:
+    def test_permanent_failure_and_cascade(self):
+        report, events = run_engine(
+            [
+                JobSpec("bad", "selftest", {"fail": True}, max_retries=1),
+                JobSpec("child", "selftest", {"value": 1}, deps=("bad",)),
+                selftest("unrelated", 7),
+            ]
+        )
+        assert not report.ok
+        assert "asked to fail" in report.failed["bad"]
+        assert report.failed["child"] == "dependency 'bad' failed"
+        assert report.attempts["bad"] == 2  # first try + one retry
+        assert report.results["unrelated"]["square"] == 49
+        fails = [e for e in events if isinstance(e, JobFail)]
+        assert sorted(e.job for e in fails) == ["bad", "child"]
+
+    def test_unknown_job_kind_fails_cleanly(self):
+        report, _events = run_engine(
+            [JobSpec("x", "no-such-kind", {}, max_retries=0)]
+        )
+        assert "unknown job kind" in report.failed["x"]
+
+    def test_timeout_kills_hung_worker(self):
+        config = EngineConfig(max_workers=1, max_retries=0, backoff_base=0.01)
+        report, _events = run_engine(
+            [
+                JobSpec(
+                    "hang", "selftest", {"value": 1, "sleep": 30.0}, timeout=0.2
+                )
+            ],
+            config=config,
+        )
+        assert "timeout after 0.2s" in report.failed["hang"]
+        assert report.elapsed < 10.0  # killed, not waited out
+
+
+class TestChaos:
+    def test_injected_exception_is_retried_to_success(self):
+        chaos = ChaosPlan("inject-exception", hits=1, match="flaky")
+        report, events = run_engine(
+            [selftest("flaky", 4), selftest("calm", 2)],
+            config=EngineConfig(
+                max_workers=2, max_retries=2, backoff_base=0.01, chaos=chaos
+            ),
+        )
+        assert report.ok
+        assert report.attempts == {"flaky": 2, "calm": 1}
+        retries = [e for e in events if isinstance(e, JobRetry)]
+        assert len(retries) == chaos.total_injected == 1
+        assert retries[0].job == "flaky"
+        assert "ChaosError" in retries[0].error
+
+    def test_sigkilled_worker_fails_only_its_own_attempt(self):
+        chaos = ChaosPlan("kill-worker", hits=1, match="victim")
+        report, events = run_engine(
+            [selftest("victim", 6), selftest("bystander", 8)],
+            config=EngineConfig(
+                max_workers=2, max_retries=1, backoff_base=0.01, chaos=chaos
+            ),
+        )
+        assert report.ok  # the victim retried; the bystander never noticed
+        assert report.attempts == {"victim": 2, "bystander": 1}
+        retry = next(e for e in events if isinstance(e, JobRetry))
+        assert "killed by signal 9" in retry.error
+
+    def test_kill_past_budget_is_permanent(self):
+        chaos = ChaosPlan("kill-worker", hits=3, match="victim")
+        report, events = run_engine(
+            [selftest("victim", 6)],
+            config=EngineConfig(
+                max_workers=1, max_retries=1, backoff_base=0.01, chaos=chaos
+            ),
+        )
+        assert report.failed["victim"].startswith("worker died")
+        retries = sum(isinstance(e, JobRetry) for e in events)
+        fails = sum(isinstance(e, JobFail) for e in events)
+        # every injected kill surfaces as exactly one lifecycle event
+        assert retries + fails == chaos.injected["victim"] == 2
+
+    def test_slow_job_trips_timeout_then_recovers(self):
+        chaos = ChaosPlan("slow-job", hits=1, delay=5.0)
+        report, _events = run_engine(
+            [selftest("s", 3)],
+            config=EngineConfig(
+                max_workers=1,
+                max_retries=1,
+                timeout=0.2,
+                backoff_base=0.01,
+                chaos=chaos,
+            ),
+        )
+        assert report.ok
+        assert report.attempts["s"] == 2
+
+
+class TestHeartbeats:
+    def test_long_job_emits_heartbeats(self):
+        config = EngineConfig(
+            max_workers=1, backoff_base=0.01, heartbeat_interval=0.05
+        )
+        _report, events = run_engine(
+            [JobSpec("slow", "selftest", {"value": 1, "sleep": 0.3})],
+            config=config,
+        )
+        beats = [e for e in events if isinstance(e, WorkerHeartbeat)]
+        assert beats
+        assert all(b.job == "slow" for b in beats)

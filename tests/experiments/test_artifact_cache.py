@@ -12,6 +12,7 @@ import pytest
 
 from repro.experiments.runner import (
     STATS,
+    WarmupError,
     artifacts_for,
     cache_dir,
     cache_info,
@@ -88,7 +89,8 @@ class TestDiskCache:
         for path in fresh_cache.glob("*.npz"):
             path.write_bytes(b"not an npz archive")
         STATS.reset()
-        artifacts = artifacts_for("FIELD")
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            artifacts = artifacts_for("FIELD")
         assert STATS.cache_misses == 1
         assert artifacts.trace.pages.size > 0
 
@@ -99,6 +101,55 @@ class TestDiskCache:
         artifacts_for("FIELD")
         assert cache_info()["disk_entries"] == 0
         clear_cache()
+
+
+class TestCacheSelfHealing:
+    """A corrupt persisted entry is quarantined and rebuilt, never
+    trusted and never fatal (the regression: a bit-flipped archive used
+    to raise ``BadZipFile`` straight through ``artifacts_for``)."""
+
+    def _flip_one_byte(self, path):
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_bitflip_is_quarantined_and_rebuilt(self, fresh_cache):
+        built = artifacts_for("FIELD")
+        built_cd = built.best_cd_result()
+        clear_cache(disk=False)  # cold process, poisoned disk
+        self._flip_one_byte(sorted(fresh_cache.glob("trace-*.npz"))[0])
+        STATS.reset()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            healed = artifacts_for("FIELD")
+        assert STATS.cache_misses == 1  # rebuilt, not crashed
+        corrupt = sorted(fresh_cache.glob("*.npz.corrupt"))
+        assert corrupt, "bad bytes must be kept aside for inspection"
+        assert cache_info()["quarantined"] == len(corrupt)
+        healed_cd = healed.best_cd_result()
+        assert healed_cd.page_faults == built_cd.page_faults
+        assert healed_cd.space_time == built_cd.space_time
+
+    def test_rebuilt_entry_is_loadable_again(self, fresh_cache):
+        artifacts_for("FIELD")
+        clear_cache(disk=False)
+        self._flip_one_byte(sorted(fresh_cache.glob("sweeps-*.npz"))[0])
+        with pytest.warns(RuntimeWarning):
+            artifacts_for("FIELD")
+        clear_cache(disk=False)
+        STATS.reset()
+        artifacts_for("FIELD")  # the healed entry, warm from disk
+        assert STATS.cache_hits == 1
+        assert STATS.cache_misses == 0
+
+    def test_clear_cache_removes_quarantined_files(self, fresh_cache):
+        artifacts_for("FIELD")
+        clear_cache(disk=False)
+        self._flip_one_byte(sorted(fresh_cache.glob("trace-*.npz"))[0])
+        with pytest.warns(RuntimeWarning):
+            artifacts_for("FIELD")
+        assert cache_info()["quarantined"] > 0
+        clear_cache()
+        assert cache_info()["quarantined"] == 0
 
 
 class TestWarmArtifacts:
@@ -115,6 +166,49 @@ class TestWarmArtifacts:
         STATS.reset()
         warm_artifacts([("FIELD", False)])
         assert STATS.cache_misses == 0
+
+
+class TestWarmFailureIsolation:
+    """One poisoned workload must cost its own cells, nothing else
+    (the regression: the first failing build aborted the whole warm)."""
+
+    @pytest.fixture
+    def poisoned_init(self, monkeypatch):
+        from repro.workloads.catalog import get_workload
+
+        workload = get_workload("INIT")
+        monkeypatch.setattr(workload, "_program", None)
+
+        def boom():
+            raise RuntimeError("poisoned workload")
+
+        monkeypatch.setattr(workload, "program", boom)
+
+    def test_sequential_warm_finishes_the_rest(self, fresh_cache, poisoned_init):
+        with pytest.raises(WarmupError) as exc_info:
+            warm_artifacts([("FIELD", False), ("INIT", False)])
+        assert list(exc_info.value.failures) == [("INIT", False)]
+        assert "poisoned workload" in exc_info.value.failures[("INIT", False)]
+        assert "INIT" in str(exc_info.value)
+        # FIELD was still built, cached, and memoized.
+        assert cache_info()["disk_entries"] == 2
+        STATS.reset()
+        artifacts_for("FIELD")
+        assert STATS.cache_misses == 0
+
+    def test_parallel_warm_finishes_the_rest(self, fresh_cache, poisoned_init):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("poisoning workers requires the fork start method")
+        with pytest.raises(WarmupError) as exc_info:
+            warm_artifacts([("FIELD", False), ("INIT", False)], jobs=2)
+        assert set(exc_info.value.failures) == {("INIT", False)}
+        assert "poisoned workload" in exc_info.value.failures[("INIT", False)]
+        assert cache_info()["disk_entries"] == 2  # FIELD made it to disk
+        STATS.reset()
+        artifacts_for("FIELD")
+        assert STATS.cache_misses == 0  # pulled into the memo by warm
 
 
 class TestFastSimIntegration:

@@ -26,7 +26,14 @@ from repro.obs import (
     event_from_dict,
     load_events,
 )
-from repro.obs.events import ResidentSample
+from repro.obs.events import (
+    JobDone,
+    JobFail,
+    JobRetry,
+    JobStart,
+    ResidentSample,
+    WorkerHeartbeat,
+)
 
 SAMPLES = [
     Fault(time=3, page=7, resident=4),
@@ -42,6 +49,11 @@ SAMPLES = [
     Resume(time=40, proc="P2"),
     ResidentSample(time=41, resident=6),
     LevelChange(time=50, site=3, old_level=1, new_level=2),
+    JobStart(time=60, job="table:1", attempt=1, worker=4242),
+    JobRetry(time=61, job="table:1", attempt=1, error="killed", backoff=0.05),
+    JobFail(time=62, job="warm:tql", attempts=3, error="timeout after 2s"),
+    JobDone(time=63, job="table:1", attempts=2, seconds=1.25),
+    WorkerHeartbeat(time=64, worker=4242, job="table:1"),
 ]
 
 
@@ -125,7 +137,7 @@ class TestSummarySink:
         assert summary["faults"] == 2
         assert summary["events"] == len(SAMPLES)
         assert summary["peak_resident"] == 6
-        assert summary["last_time"] == 50
+        assert summary["last_time"] == 64  # the engine heartbeat sample
         assert summary["by_kind"]["fault"] == 2
 
 

@@ -267,6 +267,77 @@ class TestVerify:
         assert not (tmp_path / "failures").exists()
 
 
+class TestRun:
+    def test_oracle_sweep_writes_run_artifacts(self, tmp_path, capsys):
+        assert (
+            main(["run", "verify:4:2", "--jobs", "2", "-o", str(tmp_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine:" in out and "OK" in out
+        (run_dir,) = tmp_path.iterdir()
+        assert (run_dir / "ledger.jsonl").exists()
+        assert (run_dir / "events.jsonl").exists()
+
+    def test_table_sweep_survives_chaos(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "1",
+                    "--jobs",
+                    "2",
+                    "--chaos",
+                    "inject-exception",
+                    "-o",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "retried" in out  # every first attempt was sabotaged
+        (run_dir,) = tmp_path.iterdir()
+        assert "MAIN3" in (run_dir / "table1.txt").read_text()
+
+    def test_failed_sweep_exits_one_and_hints_resume(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "1",
+                    "--chaos",
+                    "kill-worker",
+                    "--chaos-hits",
+                    "9",
+                    "--chaos-match",
+                    "table:1",
+                    "--max-retries",
+                    "0",
+                    "-o",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "--resume" in out
+
+    def test_unknown_target(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "bogus-table", "-o", str(tmp_path)])
+
+    def test_keyboard_interrupt_exits_130(self, tmp_path, monkeypatch, capsys):
+        import repro.engine
+
+        def interrupted(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.engine, "run_sweep", interrupted)
+        assert main(["run", "1", "-o", str(tmp_path)]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
 class TestLint:
     DIRTY = str(Path(__file__).parent / "staticcheck" / "fixtures" / "dirty.f")
 
