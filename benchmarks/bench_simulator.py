@@ -156,7 +156,14 @@ def write_summary(path="BENCH_simulator.json"):
     from repro.vm.policies import CDConfig
     from repro.workloads import get_workload, workload_names
 
-    summary = {"seed_table2_wall_sec": SEED_TABLE2_WALL}
+    # merge into the existing file so sections owned by other writers
+    # (e.g. ``stream`` from bench_stream.py) survive a regeneration
+    try:
+        with open(path) as fh:
+            summary = json.load(fh)
+    except (OSError, ValueError):
+        summary = {}
+    summary["seed_table2_wall_sec"] = SEED_TABLE2_WALL
 
     trace = artifacts_for("CONDUCT").trace
     replay = {}

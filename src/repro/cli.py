@@ -79,6 +79,29 @@ def _load_program(spec: str):
         ) from None
 
 
+def _replay_trace(spec: str, with_locks: bool):
+    """An instrumented trace for a replay command.
+
+    Bundled workloads go through the content-hash artifact cache
+    (:func:`repro.experiments.runner.artifacts_for`), so the slow
+    tracegen workloads (HYBRJ, TQL) pay their generation cost once per
+    cache, not once per invocation.  Source files are always fresh.
+    """
+    path = Path(spec)
+    if not path.exists():
+        from repro.experiments.runner import artifacts_for
+
+        try:
+            return artifacts_for(spec, with_locks=with_locks).trace
+        except KeyError:
+            raise SystemExit(
+                f"error: {spec!r} is neither a file nor a bundled workload"
+            ) from None
+    program = parse_source(path.read_text())
+    plan = instrument_program(program, with_locks=with_locks)
+    return generate_trace(program, plan=plan)
+
+
 def _cmd_list(_args) -> int:
     for w in all_workloads():
         print(f"{w.name:8s} [{w.origin:8s}] {w.description}")
@@ -161,9 +184,9 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    program = _load_program(args.program)
     if args.policy is not None:
-        return _trace_with_policy(args, program)
+        return _trace_with_policy(args)
+    program = _load_program(args.program)
     plan = None
     if args.directives:
         plan = instrument_program(program)
@@ -175,7 +198,7 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _trace_with_policy(args, program) -> int:
+def _trace_with_policy(args) -> int:
     """``trace --policy``: replay under a policy with the tracer on,
     then write the event log and/or render a profile report."""
     from repro.obs import (
@@ -187,8 +210,7 @@ def _trace_with_policy(args, program) -> int:
         render_profile,
     )
 
-    plan = instrument_program(program, with_locks=args.locks)
-    trace = generate_trace(program, plan=plan)
+    trace = _replay_trace(args.program, args.locks)
     policy = _make_policy(args)
     sample_every = args.sample_every
     if sample_every is None:
@@ -252,10 +274,43 @@ def _make_policy(args):
     raise SystemExit(f"error: unknown policy {args.policy!r}")
 
 
+def _stream_request(args):
+    """Translate ``simulate`` policy flags to a streaming request."""
+    from repro.vm.stream import StreamRequest
+
+    name = args.policy.upper()
+    if name == "LRU":
+        return StreamRequest.lru(args.frames or 8)
+    if name == "FIFO":
+        return StreamRequest.fifo(args.frames or 8)
+    if name == "WS":
+        return StreamRequest.ws(args.tau or 1000)
+    if name == "CD":
+        return StreamRequest.cd(
+            CDConfig(pi_cap=args.pi_cap, memory_limit=args.memory_limit)
+        )
+    raise SystemExit(
+        f"error: --stream supports LRU, FIFO, WS, and CD (got {args.policy!r})"
+    )
+
+
 def _cmd_simulate(args) -> int:
-    program = _load_program(args.program)
-    plan = instrument_program(program, with_locks=args.locks)
-    trace = generate_trace(program, plan=plan)
+    trace = _replay_trace(args.program, args.locks)
+    if args.stream:
+        from repro.vm.stream import BackendUnavailable, stream_simulate
+
+        try:
+            result = stream_simulate(
+                trace,
+                [_stream_request(args)],
+                backend=args.backend,
+                chunk_size=args.chunk_size,
+            )[0]
+        except BackendUnavailable as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        print(result.describe())
+        return 0
     policy = _make_policy(args)
     result = simulate(trace, policy)
     print(result.describe())
@@ -278,6 +333,16 @@ def _cmd_table(args) -> int:
         tdir = Path(args.timelines)
         tdir.mkdir(parents=True, exist_ok=True)
         os.environ["REPRO_TIMELINES_DIR"] = str(tdir)
+    if args.backend:
+        # resolve eagerly so an unavailable backend fails before any work
+        from repro.vm.stream import BackendUnavailable, resolve_backend
+
+        try:
+            resolve_backend(args.backend)
+        except BackendUnavailable as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        os.environ["REPRO_BACKEND"] = args.backend
     t0 = time.perf_counter()
     which = args.which.lower()
     if which not in TABLE_RENDERERS:
@@ -545,6 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pi-cap", type=int, dest="pi_cap")
     p.add_argument("--memory-limit", type=int, dest="memory_limit")
     p.add_argument("--locks", action="store_true", help="execute LOCK/UNLOCK")
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="replay through the one-pass streaming engine (LRU/FIFO/WS/CD)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="streaming kernel backend (default: REPRO_BACKEND or auto)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        dest="chunk_size",
+        help="streaming chunk size in references (default 65536)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("table", help="regenerate a paper table or ablation")
@@ -574,6 +657,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist per-cell CD event timelines (JSONL) under this "
         "directory (default results/timelines)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="streaming kernel backend for one-pass replays "
+        "(sets REPRO_BACKEND for the run)",
     )
     p.set_defaults(func=_cmd_table)
 

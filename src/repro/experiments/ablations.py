@@ -28,7 +28,6 @@ from repro.vm.policies import (
     CDConfig,
     ClockPolicy,
     DampedWorkingSetPolicy,
-    FIFOPolicy,
     OPTPolicy,
     PFFPolicy,
     SampledWorkingSetPolicy,
@@ -55,19 +54,31 @@ class ZooRow:
 def policy_zoo(
     names: Optional[List[str]] = None, pi_cap: Optional[int] = 2
 ) -> List[ZooRow]:
-    """Fault counts of every policy at CD's average memory."""
+    """Fault counts of every policy at CD's average memory.
+
+    The streamable policies (LRU, FIFO, WS) come from one shared scan
+    of the trace (:meth:`WorkloadArtifacts.policy_results`) instead of
+    one event-driven replay each; CLOCK and OPT keep the event-driven
+    path (reference-bit state and future knowledge don't stream).
+    """
+    from repro.vm.stream import StreamRequest
+
     rows = []
     for name in names or workload_names():
         artifacts = artifacts_for(name)
         cd = artifacts.cd_result(CDConfig(pi_cap=pi_cap))
         frames = max(1, round(cd.mem_average))
         trace = artifacts.trace
-        lru = artifacts.lru.result(frames)
-        fifo = simulate(trace, FIFOPolicy(frames=frames))
+        tau = artifacts.ws.tau_for_mem(cd.mem_average)
+        lru, fifo, ws = artifacts.policy_results(
+            [
+                StreamRequest.lru(frames),
+                StreamRequest.fifo(frames),
+                StreamRequest.ws(tau),
+            ]
+        )
         clock = simulate(trace, ClockPolicy(frames=frames))
         opt = simulate(trace, OPTPolicy(frames=frames))
-        tau = artifacts.ws.tau_for_mem(cd.mem_average)
-        ws = artifacts.ws.result(tau)
         pff = _pff_at_mem(trace, cd.mem_average)
         rows.append(
             ZooRow(

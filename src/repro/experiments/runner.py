@@ -150,6 +150,33 @@ class WorkloadArtifacts:
         STATS.add("simulate", time.perf_counter() - t0, len(self.trace.pages))
         return result
 
+    def policy_results(
+        self,
+        requests,
+        backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """One-pass multi-policy replay of this workload's trace.
+
+        ``requests`` are :class:`repro.vm.stream.StreamRequest` items;
+        a single scan of the trace feeds every policy at once instead
+        of one full event-driven replay per policy.  Results are exact
+        (the oracle's ``stream-*`` checks pin them to the event-driven
+        simulator); non-streamable CD requests fall back transparently.
+        """
+        from repro.vm.stream import stream_simulate
+
+        t0 = time.perf_counter()
+        results = stream_simulate(
+            self.trace, requests, backend=backend, chunk_size=chunk_size
+        )
+        STATS.add(
+            "simulate",
+            time.perf_counter() - t0,
+            len(self.trace.pages) * len(requests),
+        )
+        return results
+
     def best_cd_result(
         self, caps: Tuple[Optional[int], ...] = (None, 2, 1)
     ) -> SimulationResult:

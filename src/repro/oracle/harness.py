@@ -21,7 +21,11 @@ identified by the ``check`` field of a :class:`Divergence`):
   Algorithm-1/2 plans lint clean at error level, every dynamic
   directive event traces back to a static directive, and a clean
   static lock balance (rule CD103) implies an exactly balanced
-  dynamic pin ledger.
+  dynamic pin ledger;
+* ``stream-*`` — the one-pass streaming engine against the per-policy
+  event-driven replays: metrics (PF, MEM, ST) across chunk sizes, the
+  per-fault event stream (time, page, residency), and the sharded
+  on-disk round trip.
 
 All comparisons are exact — both sides compute in integer or identical
 float arithmetic, so any difference at all is a real divergence.
@@ -589,6 +593,168 @@ def check_event_conservation(
     return out
 
 
+# -- check class 6: streaming-engine equivalence -------------------------------
+
+
+def _stream_requests(trace: ReferenceTrace):
+    """A representative request battery for one trace, with the exact
+    event-driven reference result for each."""
+    from repro.vm.policies import FIFOPolicy
+    from repro.vm.stream import StreamRequest, cd_streamable
+
+    v = max(1, trace.distinct_pages)
+    n = max(1, len(trace.pages))
+    pairs = []
+    lru = LRUSweep(trace)
+    for frames in sorted({1, 2, max(1, v // 2), v}):
+        pairs.append((StreamRequest.lru(frames), lru.result(frames)))
+    for frames in sorted({1, 3, max(1, v // 2)}):
+        pairs.append(
+            (
+                StreamRequest.fifo(frames),
+                simulate(trace, FIFOPolicy(frames=frames)),
+            )
+        )
+    ws = WSSweep(trace)
+    for tau in sorted({1, 3, max(1, n // 3), n + 5}):
+        pairs.append((StreamRequest.ws(tau), ws.result(tau)))
+    for config in (CDConfig(), CDConfig(pi_cap=1), CDConfig(min_allocation=3)):
+        if cd_streamable(config, trace.directives):
+            pairs.append(
+                (
+                    StreamRequest.cd(config),
+                    fastsim.simulate_cd_fast(trace, config),
+                )
+            )
+    return pairs
+
+
+def check_stream_metrics(
+    trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    """One-pass streaming metrics ≡ event-driven, at several chunkings."""
+    from repro.vm.stream import StreamEngine
+
+    out: List[Divergence] = []
+    n = len(trace.pages)
+    pairs = _stream_requests(trace)
+    requests = [rq for rq, _ in pairs]
+    for chunk_size in sorted({max(1, n), 257, 64}):
+        engine = StreamEngine(requests, backend="numpy", chunk_size=chunk_size)
+        for (request, want), got in zip(pairs, engine.run(trace)):
+            if _result_fields(got) != _result_fields(want):
+                out.append(
+                    Divergence(
+                        "stream-metrics",
+                        f"{label}: {request.label()} chunk={chunk_size}: "
+                        f"stream {_result_fields(got)} vs reference "
+                        f"{_result_fields(want)}",
+                    )
+                )
+    return out
+
+
+def check_stream_events(
+    trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    """The engine's per-fault event stream (time, page, post-fault
+    residency) ≡ the event-driven simulator's, chunking included."""
+    from repro.obs import RingBufferSink, Tracer
+    from repro.obs.events import Fault
+    from repro.vm.stream import StreamEngine, StreamRequest, cd_streamable
+
+    out: List[Divergence] = []
+    v = max(1, trace.distinct_pages)
+    runs = [
+        (StreamRequest.lru(max(2, v // 2)), LRUPolicy(frames=max(2, v // 2))),
+        (StreamRequest.ws(7), WorkingSetPolicy(tau=7)),
+    ]
+    if cd_streamable(CDConfig(), trace.directives):
+        runs.append((StreamRequest.cd(CDConfig()), CDPolicy(CDConfig())))
+    for request, policy in runs:
+        ring = RingBufferSink()
+        simulate(trace, policy, tracer=Tracer(ring))
+        want = [
+            (e.time, e.page, e.resident)
+            for e in ring.events
+            if isinstance(e, Fault)
+        ]
+        ring = RingBufferSink()
+        engine = StreamEngine(
+            [request], backend="numpy", chunk_size=193, tracer=Tracer(ring)
+        )
+        engine.run(trace)
+        got = [
+            (e.time, e.page, e.resident)
+            for e in ring.events
+            if isinstance(e, Fault)
+        ]
+        if got != want:
+            i = next(
+                (k for k, (a, b) in enumerate(zip(got, want)) if a != b),
+                min(len(got), len(want)),
+            )
+            out.append(
+                Divergence(
+                    "stream-events",
+                    f"{label}: {request.label()}: fault stream diverges at "
+                    f"index {i}: stream {len(got)} faults vs event-driven "
+                    f"{len(want)}",
+                )
+            )
+    return out
+
+
+def check_stream_sharded(
+    trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    """Sharded round trip: pages/directives survive, and streaming off
+    disk (chunks straddling shard boundaries) matches the in-RAM run."""
+    import tempfile
+
+    from repro.tracegen.io import open_sharded_trace, save_trace_sharded
+    from repro.vm.stream import StreamEngine
+
+    out: List[Divergence] = []
+    n = len(trace.pages)
+    with tempfile.TemporaryDirectory(prefix="oracle-shard-") as tmp:
+        shard = max(1, min(997, n // 3 + 1))
+        save_trace_sharded(trace, tmp, shard_size=shard)
+        reloaded = open_sharded_trace(tmp)
+        back = reloaded.to_reference_trace()
+        if len(back.pages) != n or (n and (back.pages != trace.pages).any()):
+            out.append(
+                Divergence(
+                    "stream-sharded",
+                    f"{label}: sharded round trip changed the page string",
+                )
+            )
+            return out
+        if list(back.directives) != list(trace.directives):
+            out.append(
+                Divergence(
+                    "stream-sharded",
+                    f"{label}: sharded round trip changed the directives",
+                )
+            )
+            return out
+        pairs = _stream_requests(trace)
+        requests = [rq for rq, _ in pairs]
+        chunk = max(1, min(shard + shard // 2, n))  # straddle shards
+        engine = StreamEngine(requests, backend="numpy", chunk_size=chunk)
+        for (request, want), got in zip(pairs, engine.run(reloaded)):
+            if _result_fields(got) != _result_fields(want):
+                out.append(
+                    Divergence(
+                        "stream-sharded",
+                        f"{label}: {request.label()} off-disk "
+                        f"{_result_fields(got)} vs reference "
+                        f"{_result_fields(want)}",
+                    )
+                )
+    return out
+
+
 # -- check class 5: static checker agreement ----------------------------------
 
 
@@ -754,12 +920,15 @@ def check_program(
         if trace is None or not len(trace.pages):
             continue
         out.extend(check_metrics(trace, label))
+        out.extend(check_stream_metrics(trace, label))
         if deep:
             out.extend(check_lru_inclusion(trace, label))
             out.extend(check_ws_window(trace, label))
             out.extend(check_cd_lru_prefix(trace, label))
             out.extend(check_cd_locks(trace, label))
             out.extend(check_event_conservation(trace, label))
+            out.extend(check_stream_events(trace, label))
+            out.extend(check_stream_sharded(trace, label))
     return out
 
 

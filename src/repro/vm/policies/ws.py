@@ -5,12 +5,21 @@
 not in the working set; pages leave the set when their last reference
 falls out of the window.  "The WS parameter, the window size τ, is
 varied between 1 and some integer K ≤ R."
+
+Expiry is incremental: a ring of ``τ`` slots records which page was
+referenced at each time modulo ``τ``.  With consecutive time steps the
+cursor's current slot holds exactly the reference from ``t − τ`` — the
+one leaving the window now — so each access is one list read and one
+ledger probe, with no window rescan, no per-access tuple boxing, and no
+modulo in the hot path.  A slot's page is evicted only when the
+last-use ledger confirms its most recent reference has really left the
+window (``last_ref == t − τ``); later re-references keep it resident.
+Non-consecutive time steps (direct API use) fall back to a full resync.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Tuple
+from typing import Dict, List
 
 from repro.vm.policies.base import Policy
 
@@ -25,33 +34,70 @@ class WorkingSetPolicy(Policy):
             raise ValueError("the WS window must be at least 1")
         self.tau = tau
         self._last_ref: Dict[int, int] = {}
-        self._window: Deque[Tuple[int, int]] = deque()  # (time, page)
+        self._ring: List[int] = []  # page referenced at time t, by t % tau
+        self._slot = 0  # ring position of the next (current) time step
+        self._time = -1  # time of the previous access
 
     def access(self, page: int, time: int) -> bool:
         # Fault test: the page is absent from W(t−1, τ), i.e. its backward
         # inter-reference gap exceeds τ.
-        previous = self._last_ref.get(page)
-        fault = previous is None or (time - previous) > self.tau
-        self._last_ref[page] = time
-        self._window.append((time, page))
-        self._expire(time)
+        last_ref = self._last_ref
+        previous = last_ref.get(page)
+        tau = self.tau
+        fault = previous is None or time - previous > tau
+        last_ref[page] = time
+        if time != self._time + 1:
+            self._resync(time)
+        self._time = time
+        ring = self._ring
+        if len(ring) < tau:
+            # growth phase: nothing can expire before time τ, so the ring
+            # fills to τ slots without ever examining an occupant
+            ring.append(page)
+            return fault
+        slot = self._slot
+        old = ring[slot]
+        if old >= 0 and last_ref[old] == time - tau:
+            del last_ref[old]
+            if self.tracer is not None:
+                from repro.obs.events import Evict
+
+                self.tracer.emit(Evict(time=time, page=old, reason="window"))
+        ring[slot] = page
+        slot += 1
+        self._slot = 0 if slot == tau else slot
         return fault
 
-    def _expire(self, now: int) -> None:
-        """Keep exactly W(now, τ): pages last referenced in (now−τ, now]."""
-        boundary = now - self.tau  # last reference <= boundary has expired
-        window = self._window
+    def _resync(self, time: int) -> None:
+        """Catch up after a non-consecutive time step (direct API use).
+
+        The simulators always advance time by one, so this never runs on
+        the replay paths; it exists so out-of-band ``access`` calls keep
+        the ledger and ring consistent.  The current page is already in
+        the ledger when this runs.
+        """
+        tau = self.tau
         last_ref = self._last_ref
-        while window and window[0][0] <= boundary:
-            when, page = window.popleft()
-            if last_ref.get(page) == when:
-                del last_ref[page]
+        boundary = time - tau
+        if boundary > 0:
+            expired = [p for p, when in last_ref.items() if when < boundary]
+            for p in expired:
+                del last_ref[p]
                 if self.tracer is not None:
                     from repro.obs.events import Evict
 
                     self.tracer.emit(
-                        Evict(time=now, page=page, reason="window")
+                        Evict(time=time, page=p, reason="window")
                     )
+        ring = self._ring
+        if len(ring) < tau:
+            ring.extend([-1] * (tau - len(ring)))
+        else:
+            for i in range(tau):
+                ring[i] = -1
+        for p, when in last_ref.items():
+            ring[when % tau] = p
+        self._slot = time % tau
 
     @property
     def resident_size(self) -> int:
@@ -59,7 +105,9 @@ class WorkingSetPolicy(Policy):
 
     def reset(self) -> None:
         self._last_ref.clear()
-        self._window.clear()
+        self._ring = []
+        self._slot = 0
+        self._time = -1
 
     def describe_parameter(self) -> int:
         return self.tau

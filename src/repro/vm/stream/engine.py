@@ -1,0 +1,745 @@
+"""One-pass multi-policy streaming engine.
+
+A single scan of the reference string feeds every requested policy at
+once: the shared per-chunk kernel (:class:`~repro.vm.stream.kernels.
+ChunkScan`) computes previous-occurrence/reuse-gap state one time, and
+per-policy state machines consume it to produce the exact metrics the
+event-driven :func:`repro.vm.simulator.simulate` would — faults, MEM,
+and ST are byte-identical (asserted by the oracle's ``stream-*``
+checks).  Directive events are merged at their recorded positions
+exactly as the simulator does: CD's allocation schedule fires before
+the reference at each position; LRU/FIFO/WS ignore directives, as
+their ``on_directive`` does.
+
+How each policy streams:
+
+* **LRU(m)** — a reference faults iff its stack distance exceeds
+  ``m``.  References with reuse gap ≤ m are guaranteed hits (the gap
+  bounds the distance), so only the sparse candidate set needs the
+  kernel's threshold queries.  Residency is ``min(distinct-so-far, m)``.
+* **FIFO(m)** — replayed by *trajectory speculation*: guess the fault
+  set (cold ∪ gap > m is exact when no page is re-fetched), derive the
+  per-reference last-insertion ordinals the guess implies (one
+  segmented scan), and recompute the implied fault set: a reference
+  faults iff its page was never inserted or at least ``m`` insertions
+  happened since.  A self-consistent trajectory is *the* trajectory
+  (induction on the first divergence), and each iteration extends the
+  guaranteed-correct prefix, so the loop converges — almost always in
+  one round; a bounded iteration cap falls back to an exact
+  event-driven replay of the chunk from the carried queue state.
+* **WS(τ)** — faults are exactly the references with backward gap > τ;
+  the working-set size over time is the coverage count of the
+  intervals ``[s, min(s+τ, next(s)))``, accumulated with a difference
+  array (carried intervals resolve across chunk boundaries).
+* **CD** — streams when the closed-form replay applies (no memory
+  ceiling, no honored LOCKs — the paper's main configuration): LRU
+  with a piecewise-constant allocation target from the directive
+  schedule, ramping by one per fault.  Other configurations raise
+  :class:`StreamFallback`; :func:`stream_simulate` transparently runs
+  those through the event-driven simulator when the trace is in RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.tracegen.events import DirectiveEvent, DirectiveKind
+from repro.vm.fastsim import _allocation_schedule
+from repro.vm.metrics import FAULT_SERVICE_REFERENCES, SimulationResult
+from repro.vm.policies.cd import CDConfig
+from repro.vm.stream.chunks import as_chunk_source
+from repro.vm.stream.kernels import (
+    INFINITE,
+    ChunkScan,
+    StreamCarry,
+    resolve_backend,
+)
+
+
+class StreamFallback(RuntimeError):
+    """The request needs the event-driven simulator (not streamable)."""
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One policy/parameter pair for the one-pass engine."""
+
+    kind: str  # "LRU" | "FIFO" | "WS" | "CD"
+    frames: int = 0
+    tau: int = 0
+    config: Optional[CDConfig] = None
+
+    @staticmethod
+    def lru(frames: int) -> "StreamRequest":
+        if frames < 1:
+            raise ValueError("LRU needs at least one frame")
+        return StreamRequest(kind="LRU", frames=frames)
+
+    @staticmethod
+    def fifo(frames: int) -> "StreamRequest":
+        if frames < 1:
+            raise ValueError("FIFO needs at least one frame")
+        return StreamRequest(kind="FIFO", frames=frames)
+
+    @staticmethod
+    def ws(tau: int) -> "StreamRequest":
+        if tau < 1:
+            raise ValueError("the WS window must be at least 1")
+        return StreamRequest(kind="WS", tau=tau)
+
+    @staticmethod
+    def cd(config: Optional[CDConfig] = None) -> "StreamRequest":
+        return StreamRequest(kind="CD", config=config or CDConfig())
+
+    def parameter(self):
+        if self.kind in ("LRU", "FIFO"):
+            return self.frames
+        if self.kind == "WS":
+            return self.tau
+        return self.config.pi_cap
+
+    def label(self) -> str:
+        return f"{self.kind}({self.parameter()})"
+
+
+def cd_streamable(
+    config: CDConfig, directives: Sequence[DirectiveEvent]
+) -> bool:
+    """Mirror of :func:`repro.vm.fastsim.cd_fast_applicable` that works
+    from a chunk source's metadata (no materialized trace needed)."""
+    if config.memory_limit is not None:
+        return False
+    if config.honor_locks and any(
+        d.kind is DirectiveKind.LOCK for d in directives
+    ):
+        return False
+    return True
+
+
+class _Base:
+    """Shared accumulator plumbing for the numpy state machines."""
+
+    def __init__(self, request, program, fault_service, collect_faults):
+        self.request = request
+        self.program = program
+        self.fault_service = fault_service
+        self.collect = collect_faults
+        self.faults = 0
+        self.mem_sum = 0
+        self.fault_mem = 0  # Σ resident-at-fault; × service at finalize
+        self.chunk_faults = None  # (positions, resident) when collecting
+        self.last_resident = 0
+
+    def _record(self, positions, resident_at_faults):
+        if self.collect:
+            self.chunk_faults = (positions, resident_at_faults)
+
+    def finalize(self, n: int) -> SimulationResult:
+        return SimulationResult(
+            policy=self.request.kind,
+            program=self.program,
+            page_faults=int(self.faults),
+            references=n,
+            mem_average=self.mem_sum / n if n else 0.0,
+            space_time=float(self.mem_sum + self.fault_mem * self.fault_service),
+            parameter=self.request.parameter(),
+            fault_service=self.fault_service,
+        )
+
+
+class _LRUState(_Base):
+    def __init__(self, request, program, fault_service, collect_faults):
+        super().__init__(request, program, fault_service, collect_faults)
+        self.distinct = 0
+
+    def consume(self, scan: ChunkScan) -> None:
+        m = self.request.frames
+        n = scan.n
+        if n == 0:
+            return
+        cand = np.flatnonzero(~scan.cold & (scan.gap > m))
+        deep = cand[scan.distance_gt(cand, m)]
+        cold_pos = np.flatnonzero(scan.cold)
+        # resident(t) = min(distinct + cold_cum[t], m) is monotone: sum
+        # it in O(crossing point) instead of materializing the array
+        cc = scan.cold_cum
+        c0 = self.distinct
+        idx = int(np.searchsorted(cc, m - c0, side="left"))
+        self.mem_sum += c0 * idx + int(cc[:idx].sum(dtype=np.int64))
+        self.mem_sum += m * (n - idx)
+        self.distinct += len(cold_pos)
+        fpos = np.sort(np.concatenate([cold_pos, deep]))
+        res_f = np.minimum(c0 + cc[fpos].astype(np.int64), m)
+        self.faults += len(fpos)
+        self.fault_mem += int(res_f.sum())
+        self.last_resident = min(c0 + int(cc[-1]), m)
+        self._record(fpos, res_f)
+
+
+class _FIFOState(_Base):
+    """FIFO by whole-trajectory speculation.
+
+    Guess the fault set (cold ∪ gap > m — exact when no page is ever
+    re-fetched), derive the insertion ordinals the guess implies with
+    one segmented scan, and recompute the implied fault set: a
+    reference faults iff its page was never inserted or ≥ m insertions
+    happened since its last insertion.  A fixed point is *the* FIFO
+    trajectory, and a self-consistent **prefix** is already correct
+    (induction on positions: each implied value depends only on
+    earlier ones), so on the rare non-convergent chunk (FIFO is not
+    stack-based; small frame counts can oscillate) we commit the
+    agreeing prefix and replay only the disputed tail exactly.
+    """
+
+    FULL_ROUNDS = 6  # typical chunks converge in one
+    SUB_ROUNDS = 10
+    SUB = 2048
+
+    def __init__(self, request, program, fault_service, collect_faults, V):
+        super().__init__(request, program, fault_service, collect_faults)
+        self.insertions = 0
+        self.last_ordinal = np.zeros(V, dtype=np.int64)  # 0 = never inserted
+        self._small_keys = V <= 0xFFFF
+        self._inserted = None  # cumsum cache from the converged round
+
+    def consume(self, scan: ChunkScan) -> None:
+        n = scan.n
+        if n == 0:
+            return
+        m = self.request.frames
+        guess = scan.cold | (scan.gap > m)
+        fault = self._speculate(
+            scan.pages,
+            guess,
+            self.FULL_ROUNDS,
+            scan.order,
+            scan.first_sorted,
+            scan.last_sorted,
+        )
+        if fault is None:
+            fault = self._subchunks(scan.pages, guess)
+        inserted = self._inserted
+        if inserted is None or len(inserted) != n:
+            inserted = np.cumsum(fault, dtype=np.int32)
+        # resident(t) = min(pre + inserted[t], m) is monotone — same
+        # O(crossing point) summation as LRU
+        pre = self.insertions - int(inserted[-1])
+        idx = int(np.searchsorted(inserted, m - pre, side="left"))
+        self.mem_sum += pre * idx + int(inserted[:idx].sum(dtype=np.int64))
+        self.mem_sum += m * (n - idx)
+        fpos = np.flatnonzero(fault)
+        res_f = np.minimum(pre + inserted[fpos].astype(np.int64), m)
+        self.faults += len(fpos)
+        self.fault_mem += int(res_f.sum())
+        self.last_resident = min(pre + int(inserted[-1]), m)
+        self._record(fpos, res_f)
+
+    def _speculate(
+        self, pages, guess, rounds, order=None, first=None, last=None
+    ):
+        """Iterate to a fixed point over one slice; commit the carry and
+        return the fault vector on convergence, else commit the agreed
+        prefix and finish the tail with the exact replay.  ``order``/
+        ``first``/``last`` reuse a ChunkScan's sort when available.
+        Returns None (no commit) when ``rounds`` runs out and the slice
+        is larger than one sub-chunk (caller retries in sub-chunks)."""
+        n = len(pages)
+        if order is None:
+            keys = pages.astype(np.uint16) if self._small_keys else pages
+            order = np.argsort(keys, kind="stable")
+            sp = pages[order]
+            first = np.empty(n, dtype=bool)
+            first[0] = True
+            first[1:] = sp[1:] != sp[:-1]
+            last = np.empty(n, dtype=bool)
+            last[:-1] = first[1:]
+            last[-1] = True
+        else:
+            sp = pages[order]
+        group = np.cumsum(first, dtype=np.int32)
+        group -= 1
+        seed = self.last_ordinal[sp]
+        big = np.int64(self.insertions + n + 2)
+        G = group * big  # per-page lift, fixed across rounds
+        m = self.request.frames
+        fault = guess.copy()
+        converged = False
+        run_max = None
+        for _ in range(rounds):
+            inserted = np.cumsum(fault, dtype=np.int32)
+            ordinal = np.add(inserted, np.int64(self.insertions))
+            val = np.where(fault, ordinal, 0)[order]
+            val += G
+            run_max = np.maximum.accumulate(val, out=val)
+            run_max -= G
+            exclusive = np.empty(n, dtype=np.int64)
+            exclusive[1:] = run_max[:-1]
+            exclusive[first] = 0
+            last_seen = np.empty(n, dtype=np.int64)
+            last_seen[order] = np.maximum(exclusive, seed)
+            before = ordinal - fault
+            implied = (last_seen == 0) | (before - last_seen >= m)
+            if np.array_equal(implied, fault):
+                converged = True
+                break
+            prior = fault
+            fault = implied
+        if converged:
+            self.last_ordinal[sp[last]] = np.maximum(run_max[last], seed[last])
+            self.insertions += int(inserted[-1])
+            self._inserted = inserted
+            return fault
+        self._inserted = None
+        if n > self.SUB:
+            return None
+        # commit the self-consistent prefix, replay the disputed tail
+        agreed = int(np.argmin(prior == fault)) if n else 0
+        if agreed:
+            inserted = np.cumsum(fault[:agreed])
+            ordinal = np.zeros(n, dtype=np.int64)
+            ordinal[:agreed] = np.where(
+                fault[:agreed], self.insertions + inserted, 0
+            )
+            val = ordinal[order]
+            run_max = np.maximum.accumulate(val + G) - G
+            self.last_ordinal[sp[last]] = np.maximum(run_max[last], seed[last])
+            self.insertions += int(inserted[-1])
+        tail = self._replay(pages[agreed:])
+        out = fault.copy()
+        out[:agreed] = fault[:agreed]
+        out[agreed:] = tail
+        return out
+
+    def _subchunks(self, pages, guess):
+        out = np.empty(len(pages), dtype=bool)
+        for a in range(0, len(pages), self.SUB):
+            b = min(a + self.SUB, len(pages))
+            out[a:b] = self._speculate(pages[a:b], guess[a:b], self.SUB_ROUNDS)
+        return out
+
+    def _replay(self, pages) -> np.ndarray:
+        """Exact event-driven FIFO over a short slice from the carried
+        ordinals (the resident set and queue order are fully determined
+        by each page's last insertion ordinal)."""
+        from collections import deque
+
+        m = self.request.frames
+        alive = np.flatnonzero(
+            (self.last_ordinal > 0)
+            & (self.last_ordinal > self.insertions - m)
+        )
+        queue = deque(sorted(alive.tolist(), key=lambda p: self.last_ordinal[p]))
+        resident = set(queue)
+        fault = np.zeros(len(pages), dtype=bool)
+        count = self.insertions
+        for t in range(len(pages)):
+            page = int(pages[t])
+            if page in resident:
+                continue
+            fault[t] = True
+            count += 1
+            self.last_ordinal[page] = count
+            if len(resident) >= m:
+                victim = queue.popleft()
+                resident.discard(victim)
+            queue.append(page)
+            resident.add(page)
+        self.insertions = count
+        return fault
+
+
+class _WSState(_Base):
+    def consume(self, scan: ChunkScan) -> None:
+        n, base = scan.n, scan.base
+        if n == 0:
+            return
+        tau = self.request.tau
+        local = np.arange(n, dtype=np.int64)
+        next_g = scan.next_local
+        end = np.where(
+            next_g >= 0,
+            np.minimum(base + local + tau, next_g),
+            np.minimum(base + local + tau, base + n),
+        )
+        # interval-coverage difference array; bincount beats np.add.at
+        # by a wide margin for these scatter-adds
+        ends = np.bincount(end - base, minlength=n + 1)
+        pre = scan.lastocc_pre
+        carried = np.flatnonzero((pre >= 0) & (pre + tau > base))
+        opens = len(carried)
+        if opens:
+            first_here = np.full(len(pre), -1, dtype=np.int64)
+            fp = scan.order[scan.first_sorted]
+            first_here[scan.sorted_pages[scan.first_sorted]] = base + fp
+            reref = first_here[carried]
+            stop = np.where(
+                reref >= 0,
+                np.minimum(pre[carried] + tau, reref),
+                pre[carried] + tau,
+            )
+            stop = np.minimum(stop, base + n)
+            ends += np.bincount(
+                np.maximum(stop - base, 0), minlength=n + 1
+            )
+        diff = -ends[:n]
+        diff[0] += 1 + opens
+        diff[1:] += 1
+        resident = np.cumsum(diff, dtype=np.int32)
+        fault = scan.cold | (scan.gap > tau)
+        fpos = np.flatnonzero(fault)
+        self.faults += len(fpos)
+        self.mem_sum += int(resident.sum(dtype=np.int64))
+        self.fault_mem += int(resident[fpos].sum(dtype=np.int64))
+        self.last_resident = int(resident[-1])
+        self._record(fpos, resident[fpos])
+
+
+class _CDState(_Base):
+    RAMP_BATCH = 1024
+
+    def __init__(
+        self, request, program, fault_service, collect_faults, directives, length
+    ):
+        super().__init__(request, program, fault_service, collect_faults)
+        config = request.config
+        holder = _DirectiveHolder(directives)
+        self.schedule = _allocation_schedule(holder, config)
+        self.length = length
+        self.next_event = 0
+        self.resident = 0  # r: depth of the LRU-stack prefix held
+        self.target = config.min_allocation
+        self._fpos: List[int] = []
+        self._fres: List[int] = []
+
+    def consume(self, scan: ChunkScan) -> None:
+        if self.collect:
+            self._fpos, self._fres = [], []
+        base, hi = scan.base, scan.base + scan.n
+        at = base
+        while self.next_event < len(self.schedule):
+            position, new_target, _granted, _event = self.schedule[
+                self.next_event
+            ]
+            position = min(position, self.length)
+            if position > hi:
+                break
+            if new_target == self.target:
+                # no-op grant: the segment logic re-checks distances at
+                # the live residency, so equal-target segments merge
+                self.next_event += 1
+                continue
+            if position > at:
+                self._segment(scan, at, position)
+                at = position
+            self.target = new_target
+            if self.resident > self.target:
+                self.resident = self.target
+            self.next_event += 1
+        if at < hi:
+            self._segment(scan, at, hi)
+        if self.collect:
+            self.chunk_faults = (
+                np.asarray(self._fpos, dtype=np.int64) - base,
+                np.asarray(self._fres, dtype=np.int64),
+            )
+
+    def _segment(self, scan: ChunkScan, a: int, b: int) -> None:
+        """Stream one directive segment slice [a, b) (global positions).
+
+        Mirrors ``fastsim.run_segment``: candidates are the references
+        that could possibly fault at the entry residency (cold or gap
+        beyond it — gap bounds the stack distance, and the residency
+        only grows inside a segment, so everything else is a hit)."""
+        base = scan.base
+        al, bl = a - base, b - base
+        r, target = self.resident, self.target
+        sl = slice(al, bl)
+        cand = al + np.flatnonzero(scan.cold[sl] | (scan.gap[sl] > r))
+        cur = al
+        ci = 0
+        rel = scan.prev_rel
+        while r < target and ci < len(cand):
+            # distance *bounds* for the next candidate block (the exact
+            # straggler count is deferred), then a pure scalar walk:
+            # distances don't depend on the residency, so the ramp
+            # needs no re-querying as r grows, and most candidates
+            # resolve from ``alive <= d - 1 <= alive + window`` alone
+            block = cand[ci : ci + self.RAMP_BATCH]
+            nb = len(block)
+            dlow = np.full(nb, INFINITE)
+            dhigh = np.full(nb, INFINITE)
+            wstart = np.zeros(nb, dtype=np.int64)
+            wP = np.zeros(nb, dtype=np.int64)
+            warm = np.flatnonzero(~scan.cold[block])
+            if len(warm):
+                q = block[warm]
+                cross = scan.prev[q] < scan.base
+                cq = np.flatnonzero(cross)
+                if len(cq):
+                    d = scan._cross_distances(q[cq])
+                    dlow[warm[cq]] = d
+                    dhigh[warm[cq]] = d
+                iq = np.flatnonzero(~cross)
+                if len(iq):
+                    qi = q[iq]
+                    P_rel = rel[qi].astype(np.int64)
+                    alive = scan._alive(qi, P_rel)
+                    C = scan._snap[0]
+                    start = np.maximum((qi // C) * C, P_rel + 1)
+                    dlow[warm[iq]] = 1 + alive
+                    dhigh[warm[iq]] = 1 + alive + (qi - start)
+                    wstart[warm[iq]] = start
+                    wP[warm[iq]] = P_rel
+            # certain hits (dhigh <= r) stay hits as r grows, so jump
+            # straight to the next candidate whose bracket can exceed
+            # the live residency instead of walking hits one by one
+            k0 = 0
+            while r < target and k0 < nb:
+                k = k0 + int(np.argmax(dhigh[k0:] > r))
+                if dhigh[k] <= r:
+                    k0 = nb
+                    break
+                pos = int(block[k])
+                if dlow[k] <= r:
+                    # bracket straddles the live residency: one short
+                    # slice-sum settles the exact distance
+                    d = int(dlow[k]) + int(
+                        (rel[int(wstart[k]) : pos] <= wP[k]).sum()
+                    )
+                    dlow[k] = dhigh[k] = d
+                    if d <= r:
+                        k0 = k + 1
+                        continue
+                self.mem_sum += r * (pos - cur)
+                r += 1  # min(r + 1, target) — loop holds r < target
+                self.mem_sum += r
+                self.fault_mem += r
+                self.faults += 1
+                if self.collect:
+                    self._fpos.append(base + pos)
+                    self._fres.append(r)
+                cur = pos + 1
+                k0 = k + 1
+            ci += k0
+        if cur < bl and r < target:
+            # ramp exhausted its candidates below target: everything
+            # left in the segment is a hit at the current residency
+            self.mem_sum += r * (bl - cur)
+            cur = bl
+        if cur < bl:
+            live = cand[(cand >= cur) & (scan.gap[cand] > target)]
+            deep = scan.cold[live].copy()
+            warm = np.flatnonzero(~deep)
+            if len(warm):
+                deep[warm] = scan.distance_gt(live[warm], target)
+            seg_faults = int(deep.sum())
+            self.faults += seg_faults
+            self.mem_sum += target * (bl - cur)
+            self.fault_mem += target * seg_faults
+            if self.collect and seg_faults:
+                for pos in live[deep]:
+                    self._fpos.append(base + int(pos))
+                    self._fres.append(target)
+        self.resident = r
+        self.last_resident = r
+
+    def finalize(self, n: int) -> SimulationResult:
+        # drain trailing directives (target updates after the last
+        # reference change no metric, but keep the schedule consistent)
+        while self.next_event < len(self.schedule):
+            _, new_target, _g, _e = self.schedule[self.next_event]
+            self.target = new_target
+            if self.resident > self.target:
+                self.resident = self.target
+            self.next_event += 1
+        return super().finalize(n)
+
+
+class _DirectiveHolder:
+    """Minimal trace stand-in for ``_allocation_schedule``."""
+
+    def __init__(self, directives):
+        self.directives = list(directives)
+
+
+class StreamEngine:
+    """Replay many policies over one scan of a chunked trace.
+
+    ``backend`` follows :func:`repro.vm.stream.kernels.resolve_backend`
+    (``REPRO_BACKEND`` env, ``auto`` by default).  With a ``tracer``
+    the engine emits exact per-fault events (time, page, post-fault
+    residency, matching the event-driven stream) plus one
+    ResidentSample per chunk boundary; tracing requires a single
+    request and always uses the numpy kernels.  Eviction events are not
+    synthesized — use the event-driven simulator when victim identity
+    matters.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[StreamRequest],
+        fault_service: int = FAULT_SERVICE_REFERENCES,
+        backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        tracer=None,
+    ):
+        if not requests:
+            raise ValueError("at least one StreamRequest is required")
+        self.requests = list(requests)
+        self.fault_service = fault_service
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.tracer = tracer
+        if tracer is not None and len(self.requests) != 1:
+            raise ValueError("tracing supports exactly one request")
+
+    def run(self, source) -> List[SimulationResult]:
+        src = as_chunk_source(source, self.chunk_size)
+        directives = list(src.directives)
+        for request in self.requests:
+            if request.kind == "CD" and not cd_streamable(
+                request.config, directives
+            ):
+                raise StreamFallback(
+                    f"{request.label()} needs the event-driven simulator "
+                    "(memory ceiling or honored LOCK directives)"
+                )
+        backend = resolve_backend(self.backend)
+        if self.tracer is not None:
+            backend = "numpy"
+        if backend == "numba":
+            from repro.vm.stream import _numba
+
+            return _numba.run(self, src)
+        return self._run_numpy(src)
+
+    def _make_states(self, src, collect):
+        states = []
+        for request in self.requests:
+            if request.kind == "LRU":
+                states.append(
+                    _LRUState(
+                        request, src.program_name, self.fault_service, collect
+                    )
+                )
+            elif request.kind == "FIFO":
+                states.append(
+                    _FIFOState(
+                        request,
+                        src.program_name,
+                        self.fault_service,
+                        collect,
+                        src.total_pages,
+                    )
+                )
+            elif request.kind == "WS":
+                states.append(
+                    _WSState(
+                        request, src.program_name, self.fault_service, collect
+                    )
+                )
+            elif request.kind == "CD":
+                states.append(
+                    _CDState(
+                        request,
+                        src.program_name,
+                        self.fault_service,
+                        collect,
+                        src.directives,
+                        src.length,
+                    )
+                )
+            else:
+                raise ValueError(f"unknown stream policy {request.kind!r}")
+        return states
+
+    def _run_numpy(self, src) -> List[SimulationResult]:
+        collect = self.tracer is not None
+        states = self._make_states(src, collect)
+        carry = StreamCarry(src.total_pages)
+        for chunk in src.chunks():
+            scan = ChunkScan(chunk.pages, chunk.base, carry)
+            for state in states:
+                state.consume(scan)
+            if collect:
+                self._emit(states[0], scan)
+        return [state.finalize(src.length) for state in states]
+
+    def _emit(self, state, scan) -> None:
+        from repro.obs.events import Fault, ResidentSample
+
+        positions, residents = state.chunk_faults or (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        for pos, res in zip(positions, residents):
+            self.tracer.emit(
+                Fault(
+                    time=scan.base + int(pos),
+                    page=int(scan.pages[int(pos)]),
+                    resident=int(res),
+                )
+            )
+        self.tracer.emit(
+            ResidentSample(
+                time=scan.base + scan.n - 1, resident=int(state.last_resident)
+            )
+        )
+
+
+def stream_simulate(
+    source,
+    requests: Sequence[StreamRequest],
+    fault_service: int = FAULT_SERVICE_REFERENCES,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    tracer=None,
+) -> List[SimulationResult]:
+    """One-pass replay of ``requests`` over ``source``.
+
+    Requests the engine cannot stream (CD with a memory ceiling or
+    honored LOCKs) fall back to the event-driven simulator when the
+    source is an in-RAM :class:`ReferenceTrace`; for sharded sources
+    the :class:`StreamFallback` propagates, since falling back would
+    materialize the whole trace.
+    """
+    from repro.tracegen.events import ReferenceTrace
+
+    requests = list(requests)
+    engine_requests = []
+    fallback = {}
+    for index, request in enumerate(requests):
+        if request.kind == "CD" and not cd_streamable(
+            request.config, list(getattr(source, "directives", []))
+        ):
+            fallback[index] = request
+        else:
+            engine_requests.append((index, request))
+    if fallback and not isinstance(source, ReferenceTrace):
+        raise StreamFallback(
+            "event-driven fallback needs an in-RAM trace; got "
+            f"{type(source).__name__}"
+        )
+    results: List[Optional[SimulationResult]] = [None] * len(requests)
+    if engine_requests:
+        engine = StreamEngine(
+            [request for _, request in engine_requests],
+            fault_service=fault_service,
+            backend=backend,
+            chunk_size=chunk_size,
+            tracer=tracer,
+        )
+        for (index, _), result in zip(engine_requests, engine.run(source)):
+            results[index] = result
+    if fallback:
+        from repro.vm.policies.cd import CDPolicy
+        from repro.vm.simulator import simulate
+
+        for index, request in fallback.items():
+            results[index] = simulate(
+                source, CDPolicy(request.config), fault_service=fault_service
+            )
+    return results

@@ -85,6 +85,41 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "TQL", "--policy", "MAGIC"])
 
+    def test_stream_matches_event_driven(self, capsys):
+        assert main(["simulate", "TQL", "--policy", "LRU", "--frames", "4"]) == 0
+        plain = capsys.readouterr().out
+        args = ["simulate", "TQL", "--policy", "LRU", "--frames", "4"]
+        assert main([*args, "--stream"]) == 0
+        assert capsys.readouterr().out == plain
+        assert main([*args, "--stream", "--chunk-size", "97"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_stream_rejects_clock(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "TQL", "--policy", "CLOCK", "--stream"])
+
+    def test_stream_explicit_numpy_backend(self, capsys):
+        args = ["simulate", "TQL", "--policy", "WS", "--tau", "100"]
+        assert main([*args, "--stream", "--backend", "numpy"]) == 0
+        assert "WS" in capsys.readouterr().out
+
+    def test_missing_numba_is_a_clean_error(self, capsys):
+        from repro.vm.stream import numba_available
+
+        if numba_available():
+            pytest.skip("numba installed; nothing to refuse")
+        args = ["simulate", "TQL", "--policy", "LRU", "--stream"]
+        assert main([*args, "--backend", "numba"]) == 1
+        assert "numba" in capsys.readouterr().err
+
+    def test_replays_hit_artifact_cache(self):
+        # workload replays must reuse the content-hash artifact cache
+        # rather than regenerating the trace per invocation
+        from repro.cli import _replay_trace
+        from repro.experiments.runner import artifacts_for
+
+        assert _replay_trace("TQL", False) is artifacts_for("TQL").trace
+
 
 class TestTable:
     def test_table1(self, capsys):

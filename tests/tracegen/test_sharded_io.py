@@ -1,0 +1,143 @@
+"""Sharded on-disk trace format: round-trips and failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.directives.model import AllocateRequest
+from repro.tracegen.events import DirectiveEvent, DirectiveKind, ReferenceTrace
+from repro.tracegen.io import (
+    ShardedTraceWriter,
+    open_sharded_trace,
+    save_trace_sharded,
+)
+
+
+def make_trace(pages, directives=None, name="SHARD"):
+    pages = np.asarray(pages, dtype=np.int32)
+    total = int(pages.max()) + 1 if len(pages) else 1
+    return ReferenceTrace(
+        program_name=name,
+        pages=pages,
+        total_pages=total,
+        directives=list(directives or []),
+    )
+
+
+def alloc(position):
+    return DirectiveEvent(
+        position=position,
+        kind=DirectiveKind.ALLOCATE,
+        site=0,
+        requests=(AllocateRequest(priority_index=2, pages=4),),
+    )
+
+
+class TestRoundTrip:
+    def test_pages_identical_across_shards(self, tmp_path):
+        trace = make_trace(np.arange(1000) % 37)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=64)
+        loaded = open_sharded_trace(tmp_path / "t")
+        assert loaded.length == 1000
+        np.testing.assert_array_equal(
+            loaded.to_reference_trace().pages, trace.pages
+        )
+
+    def test_metadata_and_directives_preserved(self, tmp_path):
+        directives = [alloc(0), alloc(64), alloc(100)]
+        trace = make_trace([1, 2, 3] * 50, directives=directives)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=64)
+        loaded = open_sharded_trace(tmp_path / "t")
+        assert loaded.program_name == "SHARD"
+        assert loaded.total_pages == trace.total_pages
+        assert list(loaded.directives) == directives
+
+    def test_empty_trace(self, tmp_path):
+        trace = make_trace([])
+        save_trace_sharded(trace, tmp_path / "t", shard_size=8)
+        loaded = open_sharded_trace(tmp_path / "t")
+        assert loaded.length == 0
+        assert list(loaded.as_chunks(16).chunks()) == []
+        assert loaded.to_reference_trace().pages.shape == (0,)
+
+    def test_read_straddles_shard_boundary(self, tmp_path):
+        trace = make_trace(np.arange(200) % 11)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=50)
+        loaded = open_sharded_trace(tmp_path / "t")
+        np.testing.assert_array_equal(
+            loaded.read(40, 160), trace.pages[40:160]
+        )
+
+    def test_chunks_reassemble_regardless_of_chunk_size(self, tmp_path):
+        trace = make_trace(np.arange(333) % 7)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=100)
+        loaded = open_sharded_trace(tmp_path / "t")
+        for chunk_size in (1, 33, 100, 150, 999):
+            chunks = list(loaded.as_chunks(chunk_size).chunks())
+            pages = np.concatenate([c.pages for c in chunks])
+            np.testing.assert_array_equal(pages, trace.pages)
+
+
+class TestWriter:
+    def test_incremental_appends_shard_evenly(self, tmp_path):
+        writer = ShardedTraceWriter(
+            tmp_path / "t", "INC", total_pages=10, shard_size=32
+        )
+        rng = np.random.default_rng(0)
+        written = []
+        for size in (1, 31, 7, 40, 0, 21):
+            piece = rng.integers(0, 10, size=size).astype(np.int32)
+            writer.append(piece)
+            written.append(piece)
+        writer.close()
+        manifest = json.loads((tmp_path / "t" / "manifest.json").read_text())
+        # every shard is exactly shard_size except possibly the last
+        lengths = [int(s["length"]) for s in manifest["shards"]]
+        assert lengths[:-1] == [32] * (len(lengths) - 1)
+        assert sum(lengths) == 100
+        loaded = open_sharded_trace(tmp_path / "t")
+        np.testing.assert_array_equal(
+            loaded.to_reference_trace().pages, np.concatenate(written)
+        )
+
+    def test_out_of_range_page_rejected(self, tmp_path):
+        writer = ShardedTraceWriter(
+            tmp_path / "t", "BAD", total_pages=4, shard_size=8
+        )
+        with pytest.raises(ValueError):
+            writer.append(np.array([5], dtype=np.int32))
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = ShardedTraceWriter(
+            tmp_path / "t", "TWICE", total_pages=2, shard_size=8
+        )
+        writer.append(np.zeros(3, dtype=np.int32))
+        writer.close()
+        writer.close()
+        assert open_sharded_trace(tmp_path / "t").length == 3
+
+
+class TestCorruption:
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "t").mkdir()
+        with pytest.raises(ValueError, match="manifest"):
+            open_sharded_trace(tmp_path / "t")
+
+    def test_truncated_shard_rejected_with_clear_error(self, tmp_path):
+        trace = make_trace(np.arange(400) % 13)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=128)
+        shard = tmp_path / "t" / "shard-00001.npy"
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2])
+        loaded = open_sharded_trace(tmp_path / "t")
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            loaded.read(0, 400)
+
+    def test_missing_shard_rejected(self, tmp_path):
+        trace = make_trace(np.arange(300) % 5)
+        save_trace_sharded(trace, tmp_path / "t", shard_size=100)
+        (tmp_path / "t" / "shard-00002.npy").unlink()
+        loaded = open_sharded_trace(tmp_path / "t")
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            loaded.read(250, 300)
