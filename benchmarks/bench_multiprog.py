@@ -1,14 +1,19 @@
 """Benchmark: CD vs WS in a multiprogramming environment.
 
-The paper's future-work experiment: a mix of three benchmark programs
-shares one physical memory under round-robin scheduling with overlapped
-fault service.  CD processes are managed by their directives (with the
-paper's PI=1 swapping rule); WS processes by working sets with classic
-load control.
+The paper's future-work experiment at both scales: a fixed mix of
+three benchmark programs under round-robin scheduling (CD directives
+vs WS load control), and the heavy-traffic load-controlled pool —
+hundreds of stochastic arrivals over a shared frame pool, measuring
+scheduler throughput in executed references per second of wall time.
 """
 
 from repro.experiments.runner import artifacts_for
-from repro.vm.multiprog import MultiprogSimulator
+from repro.vm.multiprog import (
+    JobProfile,
+    LoadControlledPool,
+    MultiprogSimulator,
+    poisson_arrivals,
+)
 
 from .conftest import emit
 
@@ -55,3 +60,37 @@ def bench_multiprog_cd_beats_ws(benchmark, warm_artifacts):
     assert cd.swaps <= ws.swaps
     benchmark.extra_info["cd_makespan"] = cd.makespan
     benchmark.extra_info["ws_makespan"] = ws.makespan
+
+
+def _pool_arrivals():
+    profiles = [
+        JobProfile.from_trace(
+            artifacts_for(name).trace, name=name, max_refs=30_000
+        )
+        for name in MIX
+    ]
+    return poisson_arrivals(profiles, load=2.0, horizon=2_000_000, seed=0)
+
+
+def bench_pool_knee_heavy_traffic(benchmark, warm_artifacts):
+    """Hundreds of concurrent arrivals under knee-based admission:
+    the event-driven pool must stay cheap per executed reference."""
+    arrivals = _pool_arrivals()
+
+    def run_pool():
+        return LoadControlledPool(
+            arrivals, total_frames=96, policy="knee", horizon=6_000_000
+        ).run()
+
+    result = benchmark(run_pool)
+    assert result.violations == []
+    assert result.completed > 0
+    emit(
+        "Load-controlled pool (knee, 96 frames)",
+        result.describe(),
+    )
+    benchmark.extra_info["arrivals"] = result.arrivals
+    benchmark.extra_info["completed"] = result.completed
+    benchmark.extra_info["sim_refs_per_sec"] = round(
+        result.executed_refs / benchmark.stats.stats.mean
+    )

@@ -322,6 +322,88 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_multiprog(args) -> int:
+    from repro.experiments.load_control import (
+        cliff_report,
+        load_control_sweep,
+        nest_profiles,
+        render_load_control,
+        workload_profiles,
+    )
+
+    if args.smoke:
+        loads = [0.25, 1.0, 4.0]
+        nest_seeds = [11, 23, 47]
+        workloads: list = []
+        frames = 48
+        arrival_horizon = 150_000
+        run_horizon = 450_000
+    else:
+        loads = [float(x) for x in args.loads.split(",")]
+        nest_seeds = (
+            [int(x) for x in args.nest_seeds.split(",")]
+            if args.nest_seeds
+            else []
+        )
+        workloads = args.workloads.split(",") if args.workloads else []
+        frames = args.frames
+        arrival_horizon = args.horizon
+        run_horizon = args.run_horizon
+    policies = args.policies.split(",")
+
+    profiles = []
+    if workloads:
+        profiles.extend(workload_profiles(workloads, max_refs=args.max_refs))
+    if nest_seeds:
+        profiles.extend(nest_profiles(nest_seeds, max_refs=args.max_refs))
+    if not profiles:
+        # default mix: three benchmarks plus three fuzzer nests
+        profiles.extend(
+            workload_profiles(("TQL", "FDJAC", "HYBRJ"), max_refs=args.max_refs)
+        )
+        profiles.extend(nest_profiles((11, 23, 47), max_refs=args.max_refs))
+
+    tracer = None
+    sink = None
+    if args.events:
+        from repro.obs import JsonlSink, Tracer
+
+        sink = JsonlSink(Path(args.events))
+        tracer = Tracer(sink)
+    try:
+        points = load_control_sweep(
+            profiles,
+            loads=loads,
+            policies=policies,
+            total_frames=frames,
+            cpus=args.cpus,
+            arrival_horizon=arrival_horizon,
+            run_horizon=run_horizon,
+            seed=args.seed,
+            tracer=tracer,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    print(render_load_control(points))
+    if args.check:
+        verdicts = cliff_report(points)
+        failures = []
+        if "uncontrolled" in policies and not verdicts.get("uncontrolled"):
+            failures.append(
+                "expected the uncontrolled baseline to hit a thrashing cliff"
+            )
+        for policy in policies:
+            if policy != "uncontrolled" and verdicts.get(policy, False):
+                failures.append(f"{policy} control fell off a cliff")
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        print("load-control checks passed", file=sys.stderr)
+    return 0
+
+
 def _cmd_table(args) -> int:
     import os
     import time
@@ -635,7 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         "which",
         help=(
             "1, 2, 3, 4, zoo, locks, sizing, geometry, multiprog, "
-            "wsfamily, control, or adaptive"
+            "loadctl, wsfamily, control, or adaptive"
         ),
     )
     p.add_argument(
@@ -666,6 +748,74 @@ def build_parser() -> argparse.ArgumentParser:
         "(sets REPRO_BACKEND for the run)",
     )
     p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser(
+        "multiprog",
+        help="heavy-traffic load-control sweep: throughput/response vs load",
+    )
+    p.add_argument(
+        "--policies",
+        default="uncontrolled,knee,ws,cd",
+        help="comma-separated admission policies to sweep",
+    )
+    p.add_argument(
+        "--loads",
+        default="0.25,0.5,1.0,2.0,4.0",
+        help="comma-separated offered loads (fraction of CPU capacity)",
+    )
+    p.add_argument("--frames", type=int, default=64, help="shared pool size")
+    p.add_argument("--cpus", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument(
+        "--workloads",
+        default="",
+        help="comma-separated traced benchmark names (default mix if no "
+        "--workloads/--nest-seeds given)",
+    )
+    p.add_argument(
+        "--nest-seeds",
+        default="",
+        dest="nest_seeds",
+        help="comma-separated fuzzer seeds for generated nest jobs",
+    )
+    p.add_argument(
+        "--max-refs",
+        type=int,
+        default=30_000,
+        dest="max_refs",
+        help="truncate each job's trace to this many references",
+    )
+    p.add_argument(
+        "--horizon",
+        type=int,
+        default=400_000,
+        help="arrival window in virtual time units",
+    )
+    p.add_argument(
+        "--run-horizon",
+        type=int,
+        default=1_200_000,
+        dest="run_horizon",
+        help="hard stop for each pool run (virtual time)",
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        help="write pool events (Admit/Defer/Suspend/Depart/PoolSample) "
+        "to this JSONL file",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the uncontrolled baseline thrashes and every "
+        "controlled policy stays flat-topped",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast preset (fuzzer nests only) for CI",
+    )
+    p.set_defaults(func=_cmd_multiprog)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"

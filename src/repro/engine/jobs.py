@@ -89,6 +89,7 @@ TABLE_RENDERERS: Dict[str, Tuple[str, str]] = {
     "adaptive": ("repro.experiments.ablations", "render_adaptive_study"),
     "geometry": ("repro.experiments.geometry", "render_geometry"),
     "multiprog": ("repro.experiments.multiprog_study", "render_multiprog"),
+    "loadctl": ("repro.experiments.load_control", "render_load_control"),
     "control": ("repro.experiments.controllability", "render_controllability"),
 }
 

@@ -1,0 +1,250 @@
+"""Heavy-traffic load control: throughput/response vs. offered load.
+
+The deliverable figure of the multiprogramming scenario family: sweep
+offered load over a shared frame pool under each admission policy in
+:data:`repro.vm.multiprog.ADMISSION_POLICIES` and tabulate throughput,
+response time, and fault volume.  The uncontrolled baseline falls off
+the classic thrashing cliff as load climbs; knee-based (Denning),
+WS-estimate, and CD-directive-aware control flat-top instead — that
+contrast is asserted by :func:`detect_cliff` and smoke-checked in CI.
+
+Job mixes come from two sources so the sweep scales from CI-smoke to
+heavy traffic:
+
+* the traced benchmark workloads (``repro.workloads``), via the
+  cached artifact layer; and
+* fuzzer-generated nests from the oracle's program generator —
+  thousands of distinct programs for the hundreds-to-thousands-of-
+  processes regime, each instrumented with ALLOCATE chains so the CD
+  policy has directives to read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.vm.multiprog import (
+    ADMISSION_POLICIES,
+    JobProfile,
+    LoadControlledPool,
+    PoolResult,
+    poisson_arrivals,
+)
+
+#: default sweep shape (kept small enough for CI; `repro multiprog`
+#: exposes every knob)
+DEFAULT_LOADS = (0.25, 0.5, 1.0, 2.0, 4.0)
+DEFAULT_POLICIES = tuple(ADMISSION_POLICIES)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (policy, offered-load) cell of the sweep."""
+
+    policy: str
+    load: float
+    arrivals: int
+    completed: int
+    throughput: float  # normalized: fraction of total CPU capacity
+    mean_response: float
+    p95_response: float
+    faults: int
+    deferrals: int
+    suspensions: int
+    utilization: float
+
+    @classmethod
+    def from_result(cls, load: float, result: PoolResult) -> "LoadPoint":
+        return cls(
+            policy=result.policy,
+            load=load,
+            arrivals=result.arrivals,
+            completed=result.completed,
+            throughput=result.normalized_throughput,
+            mean_response=result.mean_response,
+            p95_response=result.p95_response,
+            faults=result.faults,
+            deferrals=result.deferrals,
+            suspensions=result.suspensions,
+            utilization=result.utilization,
+        )
+
+
+def nest_profiles(
+    seeds: Sequence[int],
+    max_refs: int = 30_000,
+    with_directives: bool = True,
+) -> List[JobProfile]:
+    """Job profiles from fuzzer-generated nests.
+
+    Each seed becomes one distinct program (the oracle's generator),
+    instrumented with ALLOCATE directives so CD admission has real
+    compiler output to read.  Degenerate traces (no references) are
+    dropped.
+    """
+    from repro.directives import instrument_program
+    from repro.oracle.generator import generate_case
+    from repro.tracegen.interpreter import generate_trace
+
+    profiles: List[JobProfile] = []
+    for seed in seeds:
+        case = generate_case(seed)
+        plan = None
+        if with_directives:
+            plan = instrument_program(case.program, with_locks=False)
+        trace = generate_trace(
+            case.program, plan=plan, max_references=max_refs
+        )
+        if len(trace.pages) == 0:
+            continue
+        profiles.append(
+            JobProfile.from_trace(trace, name=f"nest{seed}")
+        )
+    return profiles
+
+
+def workload_profiles(
+    names: Sequence[str], max_refs: Optional[int] = None
+) -> List[JobProfile]:
+    """Job profiles for traced benchmark workloads (cached artifacts)."""
+    from repro.experiments.runner import artifacts_for
+
+    return [
+        JobProfile.from_trace(
+            artifacts_for(name).trace, name=name, max_refs=max_refs
+        )
+        for name in names
+    ]
+
+
+def load_control_sweep(
+    profiles: Sequence[JobProfile],
+    loads: Sequence[float] = DEFAULT_LOADS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    total_frames: int = 64,
+    cpus: int = 1,
+    arrival_horizon: int = 400_000,
+    run_horizon: Optional[int] = 1_200_000,
+    seed: int = 0,
+    tracer=None,
+) -> List[LoadPoint]:
+    """The sweep: every policy at every offered load.
+
+    The arrival stream for a given ``(seed, load)`` is identical
+    across policies (same Poisson draw), so each column of the table
+    is a paired comparison.
+    """
+    if not profiles:
+        raise ValueError("need at least one job profile")
+    points: List[LoadPoint] = []
+    for load in loads:
+        arrivals = poisson_arrivals(
+            profiles, load=load, horizon=arrival_horizon,
+            seed=seed, cpus=cpus,
+        )
+        for policy in policies:
+            pool = LoadControlledPool(
+                arrivals,
+                total_frames=total_frames,
+                policy=policy,
+                cpus=cpus,
+                horizon=run_horizon,
+                tracer=tracer,
+            )
+            result = pool.run()
+            if result.violations:
+                raise AssertionError(
+                    f"pool conservation violated at load={load} "
+                    f"policy={policy}: {result.violations[:3]}"
+                )
+            points.append(LoadPoint.from_result(load, result))
+    return points
+
+
+def detect_cliff(
+    points: Sequence[LoadPoint], policy: str, drop: float = 0.6
+) -> bool:
+    """True if ``policy`` exhibits a thrashing cliff in this sweep.
+
+    A cliff means throughput at the heaviest load fell below ``drop``
+    of the sweep's *achievable* peak — the best throughput any policy
+    reached at any load on the same paired arrival stream.  (Judging
+    against the policy's own peak would hide a baseline so congested
+    it never peaks at all.)  This is the signature the uncontrolled
+    baseline must show and controlled policies must not.
+    """
+    curve = sorted(
+        (p for p in points if p.policy == policy), key=lambda p: p.load
+    )
+    if len(curve) < 2:
+        return False
+    peak = max(p.throughput for p in points)
+    if peak <= 0:
+        return False
+    return curve[-1].throughput < drop * peak
+
+
+def cliff_report(points: Sequence[LoadPoint]) -> Dict[str, bool]:
+    """policy -> did it fall off a cliff."""
+    return {
+        policy: detect_cliff(points, policy)
+        for policy in dict.fromkeys(p.policy for p in points)
+    }
+
+
+def _default_profiles() -> List[JobProfile]:
+    """The standing mix for the rendered table: three traced
+    benchmarks plus three fuzzer nests (CD-directive carriers)."""
+    profiles = workload_profiles(
+        ("TQL", "FDJAC", "HYBRJ"), max_refs=30_000
+    )
+    profiles.extend(nest_profiles((11, 23, 47)))
+    return profiles
+
+
+def render_load_control(
+    points: Optional[List[LoadPoint]] = None,
+) -> str:
+    """The throughput/response-vs-load table plus cliff verdicts."""
+    if points is None:
+        points = load_control_sweep(_default_profiles())
+    table = format_table(
+        [
+            "policy",
+            "load",
+            "jobs",
+            "done",
+            "thru",
+            "resp",
+            "p95",
+            "faults",
+            "defer",
+            "susp",
+            "util",
+        ],
+        [
+            (
+                p.policy,
+                p.load,
+                p.arrivals,
+                p.completed,
+                round(p.throughput, 3),
+                int(p.mean_response) if p.completed else "-",
+                int(p.p95_response) if p.completed else "-",
+                p.faults,
+                p.deferrals,
+                p.suspensions,
+                round(p.utilization, 2),
+            )
+            for p in sorted(points, key=lambda p: (p.policy, p.load))
+        ],
+        title="Load control: throughput and response vs. offered load",
+    )
+    verdicts = cliff_report(points)
+    lines = [table, ""]
+    for policy, cliff in sorted(verdicts.items()):
+        tag = "thrashing cliff" if cliff else "flat-topped (no cliff)"
+        lines.append(f"  {policy:12s} {tag}")
+    return "\n".join(lines)

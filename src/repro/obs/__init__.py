@@ -12,12 +12,16 @@ hold times, and MEM-over-time curves for the profile reports.
 
 from repro.obs.events import (
     EVENT_TYPES,
+    Admit,
     AllocateDeny,
     AllocateGrant,
     AllocateRequest,
+    Defer,
+    Depart,
     Event,
     Evict,
     Fault,
+    PoolSample,
     ForcedRelease,
     JobDone,
     JobFail,
@@ -39,12 +43,16 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "EVENT_TYPES",
+    "Admit",
     "AllocateDeny",
     "AllocateGrant",
     "AllocateRequest",
+    "Defer",
+    "Depart",
     "Event",
     "Evict",
     "Fault",
+    "PoolSample",
     "ForcedRelease",
     "JobDone",
     "JobFail",

@@ -13,7 +13,7 @@ JSONL event file round-trips through :func:`event_from_dict`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from typing import ClassVar, Dict, Tuple, Type
 
 
@@ -155,12 +155,15 @@ class ForcedRelease(Event):
 @dataclass(frozen=True)
 class Suspend(Event):
     """A process was suspended/swapped (CD's PI=1 swap mechanism or
-    multiprogramming load control)."""
+    multiprogramming load control).  ``frames`` is the allocation the
+    suspension released back to the pool (0 outside the pool
+    scheduler), so the frame ledger replays from the event stream."""
 
     kind: ClassVar[str] = "suspend"
 
     reason: str = "swap"
     proc: str = ""
+    frames: int = 0
 
 
 @dataclass(frozen=True)
@@ -170,6 +173,61 @@ class Resume(Event):
     kind: ClassVar[str] = "resume"
 
     proc: str = ""
+
+
+@dataclass(frozen=True)
+class Admit(Event):
+    """The load controller admitted ``proc`` into the memory pool with
+    an allocation of ``frames`` frames.  ``waited`` is how long the
+    process sat in the deferral queue (0 for immediate admission)."""
+
+    kind: ClassVar[str] = "admit"
+
+    proc: str
+    frames: int
+    waited: int = 0
+
+
+@dataclass(frozen=True)
+class Defer(Event):
+    """The load controller declined to admit ``proc`` right now.
+
+    ``frames`` is the allocation the process would have needed;
+    ``reason``: ``"no-frames"`` (free pool below the demand) or
+    ``"queued"`` (FIFO head-of-line: earlier deferrals go first).
+    """
+
+    kind: ClassVar[str] = "defer"
+
+    proc: str
+    frames: int
+    reason: str = "no-frames"
+
+
+@dataclass(frozen=True)
+class Depart(Event):
+    """``proc`` finished and released its allocation back to the pool."""
+
+    kind: ClassVar[str] = "depart"
+
+    proc: str
+    frames: int
+    refs: int
+    faults: int
+
+
+@dataclass(frozen=True)
+class PoolSample(Event):
+    """Periodic snapshot of the multiprogramming pool: frames in use
+    and the process census by state."""
+
+    kind: ClassVar[str] = "pool_sample"
+
+    used: int
+    free: int
+    admitted: int
+    deferred: int
+    suspended: int
 
 
 @dataclass(frozen=True)
@@ -269,6 +327,10 @@ class WorkerHeartbeat(Event):
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
     for cls in (
+        Admit,
+        Defer,
+        Depart,
+        PoolSample,
         Fault,
         Evict,
         AllocateRequest,
@@ -298,6 +360,8 @@ def event_from_dict(data: dict) -> Event:
         raise ValueError(f"unknown event kind {kind!r}")
     kwargs = {}
     for f in fields(cls):
+        if f.name not in data and f.default is not MISSING:
+            continue  # an older log predating this field: keep the default
         value = data[f.name]
         if isinstance(value, list):
             value = tuple(

@@ -886,6 +886,157 @@ def _check_lint_ledger(trace: ReferenceTrace, label: str) -> List[Divergence]:
     return out
 
 
+# -- check class: multiprogramming pool conservation -------------------------
+
+
+def check_pool_conservation(
+    trace: ReferenceTrace, label: str
+) -> List[Divergence]:
+    """The ``pool-*`` battery: load-controlled multiprogramming obeys
+    its frame ledger and replays each process exactly.
+
+    Four copies of the program (full-length and truncated, so CD
+    preemption has a smaller newcomer to admit) run through
+    :class:`~repro.vm.multiprog.LoadControlledPool` under knee and CD
+    admission.  The emitted Admit/Suspend/Resume/Depart stream is then
+    replayed independently and checked:
+
+    * ``pool-frames``     — the ledger from events never leaves
+      ``[0, total]`` and drains to zero when every job departs;
+    * ``pool-admission``  — no admission ever exceeds the free pool;
+    * ``pool-suspended``  — a suspended process holds zero frames
+      until it is re-admitted, and releases exactly what it held;
+    * ``pool-faults``     — a never-suspended process's fault count
+      equals the single-process LRU replay at its granted allocation.
+    """
+    from repro.obs import RingBufferSink, Tracer
+    from repro.obs.events import Admit, Depart, Resume, Suspend
+    from repro.vm.multiprog import JobProfile, LoadControlledPool
+
+    out: List[Divergence] = []
+    if not len(trace.pages):
+        return out
+    full = JobProfile.from_trace(trace, name="full", max_refs=1500)
+    short = JobProfile.from_trace(
+        trace, name="short", max_refs=max(1, full.length // 3)
+    )
+    total = max(full.cd_pref_frames, full.knee_frames, 2)
+    arrivals = [(0, full), (1, short), (2, full), (3, short)]
+    for policy in ("knee", "cd"):
+        ring = RingBufferSink()
+        result = LoadControlledPool(
+            arrivals,
+            total_frames=total,
+            policy=policy,
+            tracer=Tracer(ring),
+            horizon=None,
+        ).run()
+        tag = f"{label}/pool-{policy}"
+        for violation in result.violations:
+            out.append(Divergence("pool-frames", f"{tag}: {violation}"))
+        if result.completed != len(arrivals):
+            out.append(
+                Divergence(
+                    "pool-frames",
+                    f"{tag}: only {result.completed}/{len(arrivals)} "
+                    "jobs completed with no horizon",
+                )
+            )
+        used = 0
+        held: dict = {}
+        suspended: set = set()
+        ever_suspended: set = set()
+        for event in ring.events:
+            if isinstance(event, Admit):
+                if event.frames > total - used:
+                    out.append(
+                        Divergence(
+                            "pool-admission",
+                            f"{tag}: admitted {event.proc} with "
+                            f"{event.frames} frame(s) but only "
+                            f"{total - used} free",
+                        )
+                    )
+                used += event.frames
+                held[event.proc] = event.frames
+                suspended.discard(event.proc)
+            elif isinstance(event, Suspend) and event.proc in held:
+                if event.frames != held[event.proc]:
+                    out.append(
+                        Divergence(
+                            "pool-suspended",
+                            f"{tag}: {event.proc} released "
+                            f"{event.frames} but held {held[event.proc]}",
+                        )
+                    )
+                used -= event.frames
+                held[event.proc] = 0
+                suspended.add(event.proc)
+                ever_suspended.add(event.proc)
+            elif isinstance(event, Resume):
+                if event.proc not in suspended:
+                    out.append(
+                        Divergence(
+                            "pool-suspended",
+                            f"{tag}: {event.proc} resumed but was "
+                            "not suspended",
+                        )
+                    )
+            elif isinstance(event, Depart):
+                if event.proc in suspended:
+                    out.append(
+                        Divergence(
+                            "pool-suspended",
+                            f"{tag}: {event.proc} departed while "
+                            "suspended",
+                        )
+                    )
+                used -= event.frames
+                held.pop(event.proc, None)
+            if not 0 <= used <= total:
+                out.append(
+                    Divergence(
+                        "pool-frames",
+                        f"{tag}: ledger hit {used} (pool is {total}) "
+                        f"after {event.kind} of {event.proc}",
+                    )
+                )
+                break
+        else:
+            if used != 0:
+                out.append(
+                    Divergence(
+                        "pool-frames",
+                        f"{tag}: {used} frame(s) leaked after all "
+                        "departures",
+                    )
+                )
+        profiles = {"full": full, "short": short}
+        for record in result.records:
+            if record.suspensions or record.finish_time is None:
+                continue
+            profile = profiles[record.program]
+            expected = profile.faults_at(record.allocation)
+            if record.faults != expected:
+                out.append(
+                    Divergence(
+                        "pool-faults",
+                        f"{tag}: {record.name} saw {record.faults} "
+                        f"fault(s) at {record.allocation} frame(s); "
+                        f"single-process replay says {expected}",
+                    )
+                )
+            if record.references != profile.length:
+                out.append(
+                    Divergence(
+                        "pool-faults",
+                        f"{tag}: {record.name} executed "
+                        f"{record.references}/{profile.length} refs",
+                    )
+                )
+    return out
+
+
 # -- the full battery --------------------------------------------------------
 
 
@@ -929,6 +1080,8 @@ def check_program(
             out.extend(check_event_conservation(trace, label))
             out.extend(check_stream_events(trace, label))
             out.extend(check_stream_sharded(trace, label))
+            if label == "alloc":
+                out.extend(check_pool_conservation(trace, label))
     return out
 
 

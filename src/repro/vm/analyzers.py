@@ -47,6 +47,28 @@ def _as_pages(trace_or_pages: PagesLike) -> np.ndarray:
     return np.asarray(trace_or_pages, dtype=np.int32)
 
 
+def previous_occurrences(trace_or_pages: PagesLike) -> np.ndarray:
+    """``prev[t]``: index of the previous reference to ``pages[t]``
+    (−1 on first touch), computed with one stable sort.
+
+    This array, together with the LRU stack distances, is the whole
+    state a segmented replay needs: after a flush at position ``f`` a
+    reference faults iff ``prev < f`` (the page left with the flush) or
+    its stack distance exceeds the allocation.  The multiprogrammed
+    pool scheduler leans on exactly that identity.
+    """
+    pages = _as_pages(trace_or_pages)
+    n = len(pages)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n:
+        idx = np.arange(n, dtype=np.int64)
+        order = np.lexsort((idx, pages))
+        po = idx[order]
+        same = pages[order][1:] == pages[order][:-1]
+        prev[po[1:][same]] = po[:-1][same]
+    return prev
+
+
 class LRUSweep:
     """All-partition-sizes LRU analysis of one reference string."""
 
@@ -86,12 +108,7 @@ class LRUSweep:
             self._distinct = np.empty(0, dtype=np.int64)
             self.max_useful_frames = 0
             return
-        idx = np.arange(n, dtype=np.int64)
-        order = np.lexsort((idx, self.pages))
-        po = idx[order]
-        same = self.pages[order][1:] == self.pages[order][:-1]
-        prev = np.full(n, -1, dtype=np.int64)
-        prev[po[1:][same]] = po[:-1][same]
+        prev = previous_occurrences(self.pages)
 
         pad_point = n + 1  # sorts after every real prev, never ≤ a query
         offset = n + 3  # lifts row r into [r·offset, r·offset + n + 1]
@@ -251,6 +268,22 @@ class LRUSweep:
             (n / np.maximum(faults, 1)) / np.arange(1, len(faults) + 1),
         )
         return int(np.argmax(scores)) + 1
+
+    def lifetime_curve(self) -> np.ndarray:
+        """Denning's lifetime function g(m) for every m in 1..V: mean
+        references between faults (``inf`` where nothing faults).
+
+        This — with :meth:`knee_frames` — is the load-control API the
+        multiprogrammed pool uses: knee-based admission sizes each
+        process at the allocation maximizing g(m)/m and refuses to
+        admit past the pool.
+        """
+        if not len(self.pages):
+            return np.empty(0, dtype=np.float64)
+        faults, _, _ = self._frame_stats()
+        n = len(self.pages)
+        with np.errstate(divide="ignore"):
+            return np.where(faults > 0, n / np.maximum(faults, 1), np.inf)
 
     def result(self, frames: int) -> SimulationResult:
         return SimulationResult(
@@ -481,6 +514,15 @@ class WSSweep:
         if faults == 0:
             return float("inf")
         return len(self.pages) / faults
+
+    def mean_frames(self, tau: int) -> int:
+        """The WS load-control estimate: mean working-set size at
+        window ``tau``, rounded up to whole frames (≥ 1 for a
+        non-empty string) — what a WS-style admission controller
+        reserves for the process."""
+        if not len(self.pages):
+            return 1
+        return max(1, int(np.ceil(self.mem(tau))))
 
     # -- sweep helpers ---------------------------------------------------------------
 

@@ -1,0 +1,134 @@
+"""The load-control sweep: table, cliff detection, pairing."""
+
+import pytest
+
+from repro.experiments.load_control import (
+    LoadPoint,
+    cliff_report,
+    detect_cliff,
+    load_control_sweep,
+    nest_profiles,
+    render_load_control,
+)
+from repro.vm.multiprog import JobProfile
+
+from ..vm.conftest import make_trace
+
+
+def profiles():
+    return [
+        JobProfile.from_trace(make_trace(list(range(8)) * 150, name="A")),
+        JobProfile.from_trace(make_trace([0, 1, 2, 3] * 200, name="B")),
+    ]
+
+
+SWEEP_KW = dict(
+    loads=(0.5, 4.0),
+    total_frames=24,
+    arrival_horizon=60_000,
+    run_horizon=180_000,
+)
+
+
+class TestSweep:
+    def test_every_policy_and_load_present(self):
+        points = load_control_sweep(profiles(), **SWEEP_KW)
+        cells = {(p.policy, p.load) for p in points}
+        assert cells == {
+            (pol, load)
+            for pol in ("uncontrolled", "knee", "ws", "cd")
+            for load in (0.5, 4.0)
+        }
+
+    def test_arrival_streams_are_paired(self):
+        points = load_control_sweep(profiles(), **SWEEP_KW)
+        by_load = {}
+        for p in points:
+            by_load.setdefault(p.load, set()).add(p.arrivals)
+        # identical arrival count across policies at each load
+        assert all(len(counts) == 1 for counts in by_load.values())
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            load_control_sweep([], **SWEEP_KW)
+
+    def test_uncontrolled_cliffs_and_knee_does_not(self):
+        points = load_control_sweep(
+            profiles(),
+            loads=(0.5, 1.0, 4.0),
+            total_frames=24,
+            arrival_horizon=100_000,
+            run_horizon=300_000,
+        )
+        verdicts = cliff_report(points)
+        assert verdicts["uncontrolled"] is True
+        assert verdicts["knee"] is False
+        assert verdicts["ws"] is False
+        assert verdicts["cd"] is False
+
+
+def point(policy, load, thru):
+    return LoadPoint(
+        policy=policy,
+        load=load,
+        arrivals=10,
+        completed=10,
+        throughput=thru,
+        mean_response=1.0,
+        p95_response=2.0,
+        faults=0,
+        deferrals=0,
+        suspensions=0,
+        utilization=0.5,
+    )
+
+
+class TestCliffDetection:
+    def test_flat_curve_is_not_a_cliff(self):
+        pts = [point("knee", load, 0.9) for load in (1, 2, 4)]
+        assert not detect_cliff(pts, "knee")
+
+    def test_collapse_is_a_cliff(self):
+        pts = [point("unc", 1, 0.9), point("unc", 2, 0.5), point("unc", 4, 0.1)]
+        assert detect_cliff(pts, "unc")
+
+    def test_judged_against_sweep_peak(self):
+        # a baseline so congested it never peaks still counts as a
+        # cliff when another policy shows what was achievable
+        pts = [
+            point("unc", 1, 0.2),
+            point("unc", 4, 0.15),
+            point("knee", 1, 0.2),
+            point("knee", 4, 0.9),
+        ]
+        assert detect_cliff(pts, "unc")
+        assert not detect_cliff(pts, "knee")
+
+    def test_single_point_is_never_a_cliff(self):
+        assert not detect_cliff([point("x", 1, 0.0)], "x")
+
+
+class TestRendering:
+    def test_render_contains_policies_and_verdicts(self):
+        points = load_control_sweep(profiles(), **SWEEP_KW)
+        text = render_load_control(points)
+        for policy in ("uncontrolled", "knee", "ws", "cd"):
+            assert policy in text
+        assert "cliff" in text
+        assert "throughput" in text.lower()
+
+
+class TestNestProfiles:
+    def test_nests_have_directive_demand(self):
+        profs = nest_profiles((11, 47))
+        assert profs
+        for p in profs:
+            assert p.length > 0
+            assert p.cd_min_frames >= 1
+            assert p.cd_pref_frames >= p.cd_min_frames
+
+    def test_nests_deterministic(self):
+        a = nest_profiles((11,))
+        b = nest_profiles((11,))
+        assert a[0].length == b[0].length
+        assert a[0].knee_frames == b[0].knee_frames

@@ -7,9 +7,12 @@ import pytest
 from repro.obs import (
     EVENT_TYPES,
     NULL_TRACER,
+    Admit,
     AllocateDeny,
     AllocateGrant,
     AllocateRequest,
+    Defer,
+    Depart,
     Evict,
     Fault,
     ForcedRelease,
@@ -17,6 +20,7 @@ from repro.obs import (
     LevelChange,
     Lock,
     NullTracer,
+    PoolSample,
     Resume,
     RingBufferSink,
     SummarySink,
@@ -46,7 +50,12 @@ SAMPLES = [
     Unlock(time=20, site=2, pages=(3,)),
     ForcedRelease(time=22, site=2, pages=(4,), priority_index=1, reason="pressure"),
     Suspend(time=30, reason="swap", proc="P2"),
+    Suspend(time=31, reason="preempt", proc="P3", frames=12),
     Resume(time=40, proc="P2"),
+    Admit(time=42, proc="P4", frames=8, waited=120),
+    Defer(time=43, proc="P5", frames=16, reason="no-frames"),
+    Depart(time=44, proc="P4", frames=8, refs=2400, faults=17),
+    PoolSample(time=45, used=40, free=8, admitted=3, deferred=2, suspended=1),
     ResidentSample(time=41, resident=6),
     LevelChange(time=50, site=3, old_level=1, new_level=2),
     JobStart(time=60, job="table:1", attempt=1, worker=4242),
@@ -84,6 +93,17 @@ class TestEventSchema:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown event kind"):
             event_from_dict({"kind": "warp-core-breach", "time": 0})
+
+    def test_old_logs_without_new_fields_still_load(self):
+        # A suspend serialized before the ``frames`` field existed must
+        # deserialize with the default, not KeyError.
+        old = {"kind": "suspend", "time": 5, "reason": "swap", "proc": "P1"}
+        event = event_from_dict(old)
+        assert event == Suspend(time=5, reason="swap", proc="P1", frames=0)
+
+    def test_missing_required_field_still_fails(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"kind": "admit", "time": 1, "proc": "P1"})
 
     def test_events_frozen(self):
         with pytest.raises(AttributeError):

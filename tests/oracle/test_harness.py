@@ -63,3 +63,61 @@ def test_check_source_tolerates_garbage():
 def test_shallow_mode_skips_invariants_but_checks_traces():
     case = generate_case(3)
     assert check_case(case, deep=False) == []
+
+
+class TestPoolConservation:
+    def _trace(self):
+        import numpy as np
+
+        from repro.tracegen.events import ReferenceTrace
+
+        pages = np.asarray(list(range(6)) * 80, dtype=np.int32)
+        return ReferenceTrace(
+            program_name="CYC6",
+            pages=pages,
+            total_pages=6,
+            directives=[],
+        )
+
+    def test_clean_pool_has_no_divergences(self):
+        from repro.oracle.harness import check_pool_conservation
+
+        assert check_pool_conservation(self._trace(), "unit") == []
+
+    def test_detects_a_leaking_ledger(self, monkeypatch):
+        # a pool that under-reports what departures release must trip
+        # the replayed frame ledger
+        import repro.vm.multiprog as mp
+        from repro.oracle.harness import check_pool_conservation
+        from repro.obs.events import Depart
+
+        class LeakyPool(mp.LoadControlledPool):
+            def _emit(self, event):
+                if isinstance(event, Depart) and event.frames > 0:
+                    event = Depart(
+                        time=event.time,
+                        proc=event.proc,
+                        frames=event.frames - 1,
+                        refs=event.refs,
+                        faults=event.faults,
+                    )
+                super()._emit(event)
+
+        monkeypatch.setattr(mp, "LoadControlledPool", LeakyPool)
+        divergences = check_pool_conservation(self._trace(), "unit")
+        assert any(d.check == "pool-frames" for d in divergences)
+
+    def test_detects_wrong_fault_counts(self, monkeypatch):
+        import repro.vm.multiprog as mp
+        from repro.oracle.harness import check_pool_conservation
+
+        class MiscountingPool(mp.LoadControlledPool):
+            def run(self):
+                result = super().run()
+                for record in result.records:
+                    record.faults += 1
+                return result
+
+        monkeypatch.setattr(mp, "LoadControlledPool", MiscountingPool)
+        divergences = check_pool_conservation(self._trace(), "unit")
+        assert any(d.check == "pool-faults" for d in divergences)
