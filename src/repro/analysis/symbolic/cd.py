@@ -1,0 +1,207 @@
+"""Closed-form CD replay over the run-structured trace.
+
+:func:`~repro.vm.fastsim.simulate_cd_fast` is already a segment-level
+replay: a reference faults iff its LRU stack distance exceeds the
+current residency ``r``, which ramps up by one per fault toward a
+piecewise-constant target.  This module replays the same recurrence
+over the *collapsed* structure instead of the full distance array:
+
+* **kept stretches** are processed exactly like the fast path (ramp by
+  ``argmax`` over the kept distance slice, then a per-target prefix sum
+  for the saturated remainder);
+* **omitted spans** — the interior copies of a collapsed run — reuse
+  the copy-1 distance block ``dc``.  Saturated spans are pure
+  arithmetic (``faults += Ω · #(dc > target)``); spans reached while
+  still ramping are walked copy by copy, but each faulting copy raises
+  ``r``, so at most ``target`` copies are walked before the span either
+  saturates or stops faulting (a fault-free copy at unchanged ``r``
+  proves all remaining copies fault-free too).
+
+The decomposition is sound because runs never straddle a directive
+position (:func:`~repro.analysis.symbolic.collapse.detect_runs` splits
+segments there), so every allocation boundary falls between structure
+pieces; this is re-checked defensively and a :exc:`ValueError` falls
+back to the exact replay at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.symbolic.collapse import Surrogate
+from repro.analysis.symbolic.runtrace import RunTrace
+from repro.vm.fastsim import _allocation_schedule, cd_fast_applicable
+from repro.vm.metrics import FAULT_SERVICE_REFERENCES, SimulationResult
+from repro.vm.policies.cd import CDConfig
+
+__all__ = ["simulate_cd_symbolic"]
+
+
+def simulate_cd_symbolic(
+    runtrace: RunTrace,
+    config: Optional[CDConfig] = None,
+    surrogate: Optional[Surrogate] = None,
+    kept_distances: Optional[np.ndarray] = None,
+    fault_service: int = FAULT_SERVICE_REFERENCES,
+) -> SimulationResult:
+    """Replay CD from the run journal; equals ``simulate_cd_fast``.
+
+    ``kept_distances`` are the kept string's LRU stack distances (they
+    equal the true distances at kept references); pass
+    ``LRUSweep(surrogate.kept_pages)._distances`` to share work with
+    :class:`~repro.analysis.symbolic.locality.SymbolicLRU`, or leave
+    None to compute them here.  Raises :exc:`ValueError` when the
+    closed form does not apply (ceiling/LOCK, like the fast path) or a
+    directive lands inside a collapsed span (never for detector-built
+    journals — re-checked anyway).
+    """
+    trace = runtrace.trace
+    config = config or CDConfig()
+    if not cd_fast_applicable(trace, config):
+        raise ValueError("trace/config requires the event-driven simulator")
+    s = surrogate if surrogate is not None else Surrogate(trace.pages, runtrace.runs)
+    if kept_distances is None:
+        from repro.vm.analyzers import LRUSweep
+
+        kept_distances = LRUSweep(s.kept_pages)._distances
+    d = kept_distances
+    kept_pos = s.kept_pos
+    kept_count = s.kept_count
+    n = len(trace.pages)
+    nr = len(s.r_olo)
+
+    prefix_cache = {}
+
+    def kprefix(tgt: int) -> np.ndarray:
+        p = prefix_cache.get(tgt)
+        if p is None:
+            p = np.empty(len(d) + 1, dtype=np.int64)
+            p[0] = 0
+            np.cumsum(d > tgt, out=p[1:])
+            prefix_cache[tgt] = p
+        return p
+
+    r = 0
+    target = config.min_allocation
+    mem_sum = 0
+    fault_space = 0
+    faults = 0
+
+    def kept_piece(x: int, y: int) -> None:
+        """True references [x, y), all kept — fastsim's run_segment."""
+        nonlocal r, mem_sum, fault_space, faults
+        if y <= x:
+            return
+        j0 = int(kept_count[x])
+        j1 = j0 + (y - x)
+        if j1 > len(kept_pos) or int(kept_pos[j1 - 1]) != y - 1:
+            raise ValueError("collapsed span overlaps a kept stretch")
+        cur = j0
+        while r < target and cur < j1:
+            window = d[cur:j1] > r
+            hit = int(np.argmax(window))
+            if not window[hit]:
+                mem_sum += r * (j1 - cur)
+                return
+            mem_sum += r * hit
+            r = min(r + 1, target)
+            mem_sum += r
+            fault_space += r * fault_service
+            faults += 1
+            cur += hit + 1
+        if cur < j1:
+            p = kprefix(target)
+            seg_faults = int(p[j1] - p[cur])
+            faults += seg_faults
+            mem_sum += target * (j1 - cur)
+            fault_space += target * fault_service * seg_faults
+
+    def omit_piece(i: int) -> None:
+        """The Ω omitted copies of run ``i`` (copy-1 distance layout)."""
+        nonlocal r, mem_sum, fault_space, faults
+        block = int(s.r_block[i])
+        c1 = int(s.r_c1ki[i])
+        dc = d[c1 : c1 + block]
+        left = int(s.r_omega[i])
+        while left:
+            if r >= target:
+                f1 = int((dc > target).sum())
+                faults += f1 * left
+                mem_sum += target * block * left
+                fault_space += target * fault_service * f1 * left
+                return
+            cur = 0
+            faulted = False
+            while r < target and cur < block:
+                window = dc[cur:] > r
+                hit = int(np.argmax(window))
+                if not window[hit]:
+                    mem_sum += r * (block - cur)
+                    cur = block
+                    break
+                mem_sum += r * hit
+                r = min(r + 1, target)
+                mem_sum += r
+                fault_space += r * fault_service
+                faults += 1
+                faulted = True
+                cur += hit + 1
+            if cur < block:  # saturated mid-copy
+                f1 = int((dc[cur:] > target).sum())
+                faults += f1
+                mem_sum += target * (block - cur)
+                fault_space += target * fault_service * f1
+            left -= 1
+            if not faulted and r < target:
+                # Steady state below target: the remaining identical
+                # copies can never fault.
+                mem_sum += r * block * left
+                return
+
+    next_run = 0  # runs are disjoint and sorted; segments arrive in order
+
+    def run_segment(a: int, b: int) -> None:
+        nonlocal next_run
+        i = next_run
+        if i > 0 and int(s.r_ohi[i - 1]) > a:
+            raise ValueError("allocation boundary inside a collapsed span")
+        cur = a
+        while i < nr and int(s.r_olo[i]) < b:
+            if int(s.r_ohi[i]) > b:
+                raise ValueError("allocation boundary inside a collapsed span")
+            kept_piece(cur, int(s.r_olo[i]))
+            omit_piece(i)
+            cur = int(s.r_ohi[i])
+            i += 1
+        next_run = i
+        kept_piece(cur, b)
+
+    at = 0
+    for position, new_target, _granted, _event in _allocation_schedule(
+        trace, config
+    ):
+        position = min(position, n)
+        if position > at:
+            run_segment(at, position)
+            at = position
+        target = new_target
+        if r > target:
+            r = target
+    if at < n:
+        run_segment(at, n)
+
+    return SimulationResult(
+        policy="CD",
+        program=trace.program_name,
+        page_faults=faults,
+        references=n,
+        mem_average=mem_sum / n if n else 0.0,
+        space_time=float(mem_sum + fault_space),
+        parameter=config.pi_cap,
+        fault_service=fault_service,
+        swaps=0,
+        denied_requests=0,
+        lock_releases=0,
+    )

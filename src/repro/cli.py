@@ -429,6 +429,18 @@ def _cmd_table(args) -> int:
     which = args.which.lower()
     if which not in TABLE_RENDERERS:
         raise SystemExit(f"error: unknown table {args.which!r}")
+    if args.mode == "symbolic":
+        if which != "2":
+            raise SystemExit(
+                "error: --mode symbolic currently supports table 2 only"
+            )
+        from repro.experiments.table2 import render_table2
+
+        print(render_table2(mode="symbolic"))
+        if args.stats:
+            wall = time.perf_counter() - t0
+            print(f"[stats] wall {wall:.2f}s · {STATS.describe()}", file=sys.stderr)
+        return 0
     if args.jobs and args.jobs > 1:
         warm_for_table(which, jobs=args.jobs)
     print(render_table(which))
@@ -746,6 +758,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="streaming kernel backend for one-pass replays "
         "(sets REPRO_BACKEND for the run)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["trace", "symbolic"],
+        default="trace",
+        help="symbolic: derive the table from the run-structured trace "
+        "via the weighted analyzers (identical rows, no full replay)",
     )
     p.set_defaults(func=_cmd_table)
 

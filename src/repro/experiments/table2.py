@@ -42,11 +42,27 @@ class Table2Row:
         return percent_excess(self.st_ws_min, self.st_cd)
 
 
-def generate_table2(variants: Optional[List[CDVariant]] = None) -> List[Table2Row]:
-    """Compute every row of Table 2."""
+def generate_table2(
+    variants: Optional[List[CDVariant]] = None, mode: str = "trace"
+) -> List[Table2Row]:
+    """Compute every row of Table 2.
+
+    ``mode="trace"`` replays the full reference trace (the default);
+    ``mode="symbolic"`` derives every cell from the run-structured
+    trace via the weighted analyzers — the rows are identical (the
+    test suite asserts row-for-row equality), only faster.
+    """
+    if mode not in ("trace", "symbolic"):
+        raise ValueError(f"unknown table mode {mode!r}")
+    if mode == "symbolic":
+        from repro.analysis.symbolic.artifacts import symbolic_artifacts_for
+
+        builder = symbolic_artifacts_for
+    else:
+        builder = artifacts_for
     rows = []
     for variant in variants or table2_rows():
-        artifacts = artifacts_for(variant.workload, with_locks=variant.with_locks)
+        artifacts = builder(variant.workload, with_locks=variant.with_locks)
         cd = artifacts.best_cd_result()
         lru_best = artifacts.lru.min_space_time()
         ws_best = artifacts.ws.min_space_time()
@@ -64,8 +80,10 @@ def generate_table2(variants: Optional[List[CDVariant]] = None) -> List[Table2Ro
     return rows
 
 
-def render_table2(rows: Optional[List[Table2Row]] = None) -> str:
-    rows = rows if rows is not None else generate_table2()
+def render_table2(
+    rows: Optional[List[Table2Row]] = None, mode: str = "trace"
+) -> str:
+    rows = rows if rows is not None else generate_table2(mode=mode)
     return format_table(
         ["PROGRAM", "%ST LRU vs CD", "%ST WS vs CD"],
         [(r.label, round(r.pct_st_lru), round(r.pct_st_ws)) for r in rows],

@@ -1,0 +1,202 @@
+"""Unit tests for the symbolic (trace-free) locality engine.
+
+Synthetic page strings pin the run detector and the collapse algebra;
+a catalog workload pins the end-to-end equality against the exact
+trace-backed analyzers; a deliberately non-affine nest pins the CD301
+fallback path (exact trace, zero runs from that nest, coverage report).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.symbolic import (
+    Run,
+    Surrogate,
+    SymbolicLRU,
+    SymbolicWS,
+    detect_runs,
+    generate_runtrace,
+    simulate_cd_symbolic,
+)
+from repro.frontend.parser import parse_source
+from repro.tracegen.events import ReferenceTrace
+from repro.tracegen.interpreter import generate_trace
+from repro.vm.analyzers import LRUSweep, WSSweep
+from repro.vm.fastsim import simulate_cd_fast
+from repro.vm.policies import CDConfig
+
+
+def _trace_of(pages):
+    return ReferenceTrace(
+        program_name="SYN",
+        pages=np.asarray(pages, dtype=np.int32),
+        total_pages=int(max(pages)) + 1,
+    )
+
+
+class TestDetectRuns:
+    def test_finds_verified_periodic_run(self):
+        pages = np.array([7, 8, 9] * 10, dtype=np.int32)
+        runs = detect_runs(pages, [(0, len(pages), [3])])
+        assert runs == [Run(0, 3, 10)]
+
+    def test_wrong_hint_finds_nothing(self):
+        pages = np.arange(30, dtype=np.int32)  # aperiodic
+        assert detect_runs(pages, [(0, 30, [3])]) == []
+
+    def test_runs_never_straddle_boundaries(self):
+        pages = np.array([1, 2] * 12, dtype=np.int32)
+        runs = detect_runs(pages, [(0, 24, [2])], boundaries=[10])
+        assert runs  # both halves long enough to collapse
+        for r in runs:
+            assert not (r.start < 10 < r.start + r.block * r.repeats)
+
+    def test_partial_trailing_period_is_excluded(self):
+        pages = np.array([1, 2, 3] * 5 + [1], dtype=np.int32)
+        runs = detect_runs(pages, [(0, 16, [3])])
+        assert runs == [Run(0, 3, 5)]
+
+    def test_smaller_period_wins_and_claims_positions(self):
+        pages = np.array([4] * 12, dtype=np.int32)
+        runs = detect_runs(pages, [(0, 12, [1, 2])])
+        assert runs == [Run(0, 1, 12)]
+
+
+class TestSurrogateAlgebra:
+    def _pages(self):
+        rng = np.random.default_rng(7)
+        head = rng.integers(0, 6, size=17)
+        body = np.tile(rng.integers(0, 6, size=4), 25)
+        tail = rng.integers(0, 6, size=13)
+        return np.concatenate([head, body, tail]).astype(np.int32)
+
+    def _runtrace_like(self):
+        pages = self._pages()
+        runs = detect_runs(pages, [(0, len(pages), [4])])
+        assert runs, "the synthetic string must contain a collapsible run"
+        return pages, runs
+
+    def test_weights_conserve_references(self):
+        pages, runs = self._runtrace_like()
+        s = Surrogate(pages, runs)
+        assert s.verify_weights()
+        assert len(s.kept_pos) < len(pages)
+
+    def test_weighted_lru_equals_exact_sweep(self):
+        pages, runs = self._runtrace_like()
+        s = Surrogate(pages, runs)
+        exact = LRUSweep(_trace_of(pages))
+        sym = SymbolicLRU(s, program="SYN")
+        for frames in range(1, max(exact.max_useful_frames, 1) + 2):
+            assert sym.faults(frames) == exact.faults(frames)
+            assert sym.mem(frames) == exact.mem(frames)
+            assert sym.space_time(frames) == exact.space_time(frames)
+        a, b = sym.min_space_time(), exact.min_space_time()
+        assert (a.parameter, a.space_time) == (b.parameter, b.space_time)
+        assert sym.knee_frames() == exact.knee_frames()
+
+    def test_weighted_ws_equals_exact_sweep(self):
+        pages, runs = self._runtrace_like()
+        s = Surrogate(pages, runs)
+        exact = WSSweep(_trace_of(pages))
+        sym = SymbolicWS(s, program="SYN")
+        n = len(pages)
+        for tau in sorted({1, 2, 3, 5, 11, n // 2, n, n + 4}):
+            assert sym.faults(tau) == exact.faults(tau)
+            assert sym.mem(tau) == exact.mem(tau)
+            assert sym.space_time(tau) == exact.space_time(tau)
+        a, b = sym.min_space_time(), exact.min_space_time()
+        assert (a.parameter, a.space_time) == (b.parameter, b.space_time)
+
+    def test_batched_st_matches_scalar(self):
+        pages, runs = self._runtrace_like()
+        sym = SymbolicWS(Surrogate(pages, runs), program="SYN")
+        taus = np.arange(1, len(pages) + 10, 3, dtype=np.int64)
+        batch = sym._st_many(taus)
+        scalar = np.array([sym.space_time(int(t)) for t in taus])
+        np.testing.assert_array_equal(batch, scalar)
+
+
+class TestSymbolicCD:
+    def test_walk_matches_fastsim_on_workload(self):
+        from repro.analysis.symbolic import symbolic_artifacts_for
+
+        art = symbolic_artifacts_for("FIELD")
+        for config in (CDConfig(), CDConfig(pi_cap=1), CDConfig(pi_cap=2)):
+            sym = simulate_cd_symbolic(
+                art.runtrace, config, surrogate=art.surrogate
+            )
+            fast = simulate_cd_fast(art.trace, config)
+            assert sym.page_faults == fast.page_faults
+            assert sym.mem_average == fast.mem_average
+            assert sym.space_time == fast.space_time
+
+    def test_memory_limit_rejected_like_fast_path(self):
+        from repro.analysis.symbolic import symbolic_artifacts_for
+
+        art = symbolic_artifacts_for("INIT")
+        with pytest.raises(ValueError):
+            simulate_cd_symbolic(art.runtrace, CDConfig(memory_limit=4))
+        # ...but the artifact-level entry point falls back cleanly.
+        result = art.cd_result(CDConfig(pi_cap=2, memory_limit=4))
+        assert result.page_faults > 0
+
+
+_NONAFFINE = """\
+      PROGRAM TWISTY
+      DIMENSION A(64), B(64)
+      DO 10 I = 1, 8
+         A(I*I) = B(I*I) + 1.0
+10    CONTINUE
+      END
+"""
+
+
+class TestNonAffineFallback:
+    def test_fallback_trace_is_exact_and_flagged(self):
+        program = parse_source(_NONAFFINE)
+        rt = generate_runtrace(program)
+        exact = generate_trace(program, compile_nests=False)
+        np.testing.assert_array_equal(rt.trace.pages, exact.pages)
+        from repro.staticcheck import lint_program
+
+        flagged = [
+            d for d in lint_program(program) if d.rule == "CD301"
+        ]
+        assert flagged, "the quadratic subscript must be CD301-flagged"
+
+    def test_workload_coverage_report(self):
+        from repro.analysis.symbolic import symbolic_artifacts_for
+
+        # FIELD carries four CD301-flagged subscripts; INIT none.  The
+        # flags are advisory: both traces stay exact either way.
+        assert symbolic_artifacts_for("FIELD").coverage()["nonaffine_sites"] == 4
+        assert symbolic_artifacts_for("INIT").coverage()["nonaffine_sites"] == 0
+
+
+class TestEndToEndEquality:
+    def test_symbolic_artifacts_match_trace_artifacts(self):
+        from repro.analysis.symbolic import symbolic_artifacts_for
+        from repro.experiments.runner import artifacts_for
+
+        sym = symbolic_artifacts_for("INIT")
+        exact = artifacts_for("INIT")
+        np.testing.assert_array_equal(sym.trace.pages, exact.trace.pages)
+        a, b = sym.lru.min_space_time(), exact.lru.min_space_time()
+        assert (a.parameter, a.page_faults, a.space_time) == (
+            b.parameter,
+            b.page_faults,
+            b.space_time,
+        )
+        a, b = sym.ws.min_space_time(), exact.ws.min_space_time()
+        assert (a.parameter, a.page_faults, a.space_time) == (
+            b.parameter,
+            b.page_faults,
+            b.space_time,
+        )
+        a, b = sym.best_cd_result(), exact.best_cd_result()
+        assert (a.parameter, a.page_faults, a.space_time) == (
+            b.parameter,
+            b.page_faults,
+            b.space_time,
+        )

@@ -1,0 +1,54 @@
+"""Deliberately broken symbolic kernels must be caught by the
+``symbolic-*`` battery, shrunk, and written out as reproducers — the
+end-to-end acceptance test for the trace-free engine's oracle."""
+
+import json
+
+from repro.analysis.symbolic import interp
+from repro.analysis.symbolic.locality import SymbolicLRU
+from repro.analysis.symbolic.runtrace import Run
+from repro.oracle.runner import verify
+
+
+def test_off_by_one_reuse_bin_is_caught(tmp_path, monkeypatch):
+    # Shift the reuse-distance bin boundary by one: a reference whose
+    # stack distance is exactly frames+1 no longer counts as a fault.
+    real = SymbolicLRU.faults
+
+    def off_by_one(self, frames):
+        return real(self, frames + 1)
+
+    monkeypatch.setattr(SymbolicLRU, "faults", off_by_one)
+    report = verify(seeds=4, out_dir=tmp_path, deep=False)
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.check.startswith("symbolic-")
+    # the reproducer pair landed on disk and replays from the metadata
+    src = tmp_path / f"seed{failure.seed:06d}-symbolic.f"
+    meta = tmp_path / f"seed{failure.seed:06d}-symbolic.json"
+    assert src.exists() and meta.exists()
+    payload = json.loads(meta.read_text())
+    assert payload["seed"] == failure.seed
+    assert "verify --seeds 1 --start-seed" in payload["replay"]
+    # shrinking can only remove text, never add it
+    assert len(failure.shrunk_source) <= len(failure.source)
+    assert src.read_text() == failure.shrunk_source
+
+
+def test_dropped_boundary_iteration_is_caught(tmp_path, monkeypatch):
+    # A detector that claims one extra trailing repeat per run drops the
+    # true boundary iteration from the kept string; the element-wise
+    # journal re-verification must reject it.
+    real = interp.detect_runs
+
+    def overclaim(pages, segments, boundaries=(), **kwargs):
+        return [
+            Run(r.start, r.block, r.repeats + 1)
+            for r in real(pages, segments, boundaries, **kwargs)
+        ]
+
+    monkeypatch.setattr(interp, "detect_runs", overclaim)
+    report = verify(seeds=6, out_dir=tmp_path, deep=False, shrink=False)
+    assert not report.ok
+    assert any(f.check.startswith("symbolic-") for f in report.failures)
+    assert any(p.suffix == ".f" for p in tmp_path.iterdir())
