@@ -280,6 +280,60 @@ def write_summary(path="BENCH_simulator.json"):
             else:
                 os.environ["REPRO_CACHE_DIR"] = prior
 
+    # Static (closed-form) tier vs cold tracegen, same protocol as the
+    # symbolic section: cold (empty cache — affine recovery + partial
+    # evaluation, no flat string ever built) and steady-state (static
+    # npz on disk, process memo cleared).  Rows asserted identical.
+    from repro.analysis.staticloc.artifacts import (
+        _STATIC_CACHE,
+        clear_static_cache,
+    )
+
+    with tempfile.TemporaryDirectory() as cache:
+        prior = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = cache
+        try:
+            trace_rows = []
+            static_rows = []
+
+            def run_trace_cold():
+                clear_cache()
+                trace_rows.append(generate_table2())
+
+            def run_static_cold():
+                clear_static_cache()
+                static_rows.append(generate_table2(mode="static"))
+
+            def run_static_steady():
+                _STATIC_CACHE.clear()
+                static_rows.append(generate_table2(mode="static"))
+
+            cold_trace = _time(run_trace_cold)
+            cold_static = _time(run_static_cold)
+            steady_static = _time(run_static_steady)
+            rows_identical = bool(trace_rows) and all(
+                rows == trace_rows[0] for rows in trace_rows + static_rows
+            )
+            summary["static"] = {
+                "table2_trace_cold_wall_sec": round(cold_trace, 3),
+                "table2_static_cold_wall_sec": round(cold_static, 3),
+                "table2_static_steady_wall_sec": round(steady_static, 3),
+                "cold_speedup_vs_cold_tracegen": round(
+                    cold_trace / cold_static, 2
+                ),
+                "steady_speedup_vs_cold_tracegen": round(
+                    cold_trace / steady_static, 2
+                ),
+                "rows_identical": rows_identical,
+            }
+        finally:
+            clear_cache(disk=False)
+            clear_static_cache(disk=False)
+            if prior is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = prior
+
     clear_cache(disk=False)
     with open(path, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)

@@ -1,0 +1,130 @@
+"""Closed-form page-visit structure of one affine loop binding.
+
+A recipe-tier nest references ``n_sites`` array cells per iteration in
+statement order; site ``s`` touches page ``first[s] + (lin0[s] +
+dlin[s]·t) // epp`` at iteration ``t``.  Everything the run detector
+needs about the materialized page string can be computed directly from
+those arithmetic progressions:
+
+* the page of any reference position ``p = t·n_sites + s`` is a gather
+  plus a floor division (:meth:`ClosedFormPages.pages_at`);
+* ``pages[p] != pages[p + n_sites]`` holds exactly when iteration ``t``
+  is a *page crossing* of site ``s`` — and the crossing iterations of a
+  monotone arithmetic progression have a closed form
+  (:func:`ap_crossings`): for each page boundary the progression
+  passes, one integer ceiling division.
+
+Feeding those mismatch positions to the very same greedy claimer the
+trace-backed detector uses (:func:`~repro.analysis.symbolic.collapse.
+_runs_between`) reproduces its run journal *by construction* — the two
+paths share the algorithm and differ only in how the mismatch set is
+obtained, O(pages visited) here versus O(references) there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.symbolic.collapse import MIN_REPEATS, _runs_between, kept_mask
+from repro.analysis.symbolic.runtrace import Run
+
+__all__ = ["ap_crossings", "ClosedFormPages"]
+
+
+def ap_crossings(lin0: int, dlin: int, trips: int, epp: int) -> np.ndarray:
+    """Iterations ``t`` (``0 <= t < trips - 1``) where the page of the
+    progression ``offset(t) = lin0 + dlin·t`` changes between ``t`` and
+    ``t + 1``, with ``page(t) = offset(t) // epp``.
+
+    The offsets of a bound site are in-bounds, hence non-negative, so
+    plain floor/ceiling arithmetic applies.  Cost is O(pages visited),
+    independent of ``trips``.
+    """
+    if trips < 2 or dlin == 0:
+        return np.empty(0, dtype=np.int64)
+    lin0, dlin, epp = int(lin0), int(dlin), int(epp)
+    q0 = lin0 // epp
+    qn = (lin0 + dlin * (trips - 1)) // epp
+    if qn == q0:
+        return np.empty(0, dtype=np.int64)
+    if dlin > 0:
+        # first t on page >= v is ceil((v·epp − lin0) / dlin); the
+        # crossing sits one iteration earlier
+        v = np.arange(q0 + 1, qn + 1, dtype=np.int64)
+        t = -((lin0 - v * epp) // dlin) - 1
+    else:
+        # descending: first t on page <= v is
+        # ceil((lin0 − (v+1)·epp + 1) / −dlin)
+        m = -dlin
+        v = np.arange(qn, q0, dtype=np.int64)
+        t = -((-(lin0 - (v + 1) * epp + 1)) // m) - 1
+    # a step larger than a page crosses several boundaries at the same
+    # iteration — one mismatch position, not several
+    return np.unique(t)
+
+
+class ClosedFormPages:
+    """The page list of one recipe binding, as arithmetic instead of a
+    list: ``len()`` and closed-form structure with no per-reference
+    materialization.  Reference position ``p = t·n_sites + s`` (sites in
+    statement order within one iteration).
+    """
+
+    __slots__ = ("first", "lin0", "dlin", "epp", "trips", "n_sites")
+
+    def __init__(self, first, lin0, dlin, epp: int, trips: int) -> None:
+        self.first = np.asarray(first, dtype=np.int64)
+        self.lin0 = np.asarray(lin0, dtype=np.int64)
+        self.dlin = np.asarray(dlin, dtype=np.int64)
+        self.epp = int(epp)
+        self.trips = int(trips)
+        self.n_sites = len(self.first)
+
+    def __len__(self) -> int:
+        return self.n_sites * self.trips
+
+    def pages_at(self, pos) -> np.ndarray:
+        """Pages at (segment-relative) reference positions ``pos``."""
+        pos = np.asarray(pos, dtype=np.int64)
+        t, s = np.divmod(pos, self.n_sites)
+        page = self.first[s] + (self.lin0[s] + self.dlin[s] * t) // self.epp
+        return page.astype(np.int32)
+
+    def materialize(self) -> np.ndarray:
+        """The full page string (tests and truncation only)."""
+        return self.pages_at(np.arange(len(self), dtype=np.int64))
+
+    def mismatches(self) -> np.ndarray:
+        """Sorted positions ``p`` in ``[0, len − n_sites)`` with
+        ``page(p) != page(p + n_sites)`` — the exact mismatch set the
+        run detector derives by comparing the materialized string with
+        a shifted copy of itself."""
+        b = self.n_sites
+        parts: List[np.ndarray] = []
+        for s in range(b):
+            t = ap_crossings(
+                int(self.lin0[s]), int(self.dlin[s]), self.trips, self.epp
+            )
+            if len(t):
+                parts.append(t * b + s)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def structure(
+        self, min_repeats: int = MIN_REPEATS
+    ) -> Tuple[List[Run], np.ndarray, np.ndarray]:
+        """``(runs, kept_pos, kept_pages)``, all segment-relative —
+        identical to detecting runs of period ``n_sites`` over the
+        materialized pages and applying the surrogate's kept mask."""
+        n = len(self)
+        b = self.n_sites
+        if b < 1 or n < b * min_repeats:
+            kept = np.arange(n, dtype=np.int64)
+            return [], kept, self.pages_at(kept) if n else np.empty(0, np.int32)
+        mis = self.mismatches()
+        runs = _runs_between(mis, 0, len(mis), 0, n, b, min_repeats)
+        kept = np.flatnonzero(kept_mask(n, runs)).astype(np.int64)
+        return runs, kept, self.pages_at(kept)

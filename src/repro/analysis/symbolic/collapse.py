@@ -132,6 +132,19 @@ def detect_runs(
     return runs
 
 
+def kept_mask(n: int, runs: Sequence[Run]) -> np.ndarray:
+    """Boolean mask over ``n`` positions: True where the surrogate keeps
+    the reference.  Each collapsible run keeps block copies 0, 1 and
+    k−1; copies 2 … k−2 are dropped (their weight moves onto copy 1)."""
+    mask = np.ones(n, dtype=bool)
+    for r in runs:
+        if r.repeats >= MIN_REPEATS:
+            mask[r.start + 2 * r.block : r.start + (r.repeats - 1) * r.block] = (
+                False
+            )
+    return mask
+
+
 class Surrogate:
     """The weighted kept-reference view of a run-structured trace.
 
@@ -146,19 +159,48 @@ class Surrogate:
     def __init__(self, pages: np.ndarray, runs: Sequence[Run]) -> None:
         pages = np.asarray(pages, dtype=np.int32)
         n = len(pages)
+        mask = kept_mask(n, runs)
+        kept_pos = np.flatnonzero(mask).astype(np.int64)
+        self._init_from_parts(n, kept_pos, pages[kept_pos], runs)
+
+    @classmethod
+    def from_parts(
+        cls,
+        n_orig: int,
+        kept_pos: np.ndarray,
+        kept_pages: np.ndarray,
+        runs: Sequence[Run],
+    ) -> "Surrogate":
+        """Build the surrogate without the flat page string.
+
+        Contract: ``kept_pos`` must be exactly the positions
+        :func:`kept_mask` keeps for ``runs`` (ascending), and
+        ``kept_pages[i]`` the page referenced at ``kept_pos[i]`` — the
+        static engine produces both in closed form.  The result is
+        indistinguishable from ``Surrogate(pages, runs)``.
+        """
+        self = cls.__new__(cls)
+        self._init_from_parts(
+            n_orig,
+            np.asarray(kept_pos, dtype=np.int64),
+            np.asarray(kept_pages, dtype=np.int32),
+            runs,
+        )
+        return self
+
+    def _init_from_parts(
+        self,
+        n: int,
+        kept_pos: np.ndarray,
+        kept_pages: np.ndarray,
+        runs: Sequence[Run],
+    ) -> None:
         self.n_orig = n
         collapsed = [r for r in runs if r.repeats >= MIN_REPEATS]
-        mask = np.ones(n, dtype=bool)
-        for r in collapsed:
-            mask[r.start + 2 * r.block : r.start + (r.repeats - 1) * r.block] = (
-                False
-            )
-        self.kept_pos = np.flatnonzero(mask).astype(np.int64)
-        self.kept_pages = pages[self.kept_pos]
+        self.kept_pos = kept_pos
+        self.kept_pages = kept_pages
         m = len(self.kept_pos)
         self.weights = np.ones(m, dtype=np.int64)
-        # kept index of each still-kept position
-        idx_map = np.cumsum(mask, dtype=np.int64) - 1
         nr = len(collapsed)
         self.r_start = np.empty(nr, dtype=np.int64)
         self.r_block = np.empty(nr, dtype=np.int64)
@@ -167,13 +209,23 @@ class Surrogate:
         self.r_olo = np.empty(nr, dtype=np.int64)
         self.r_ohi = np.empty(nr, dtype=np.int64)
         self.r_c1off = np.empty(nr, dtype=np.int64)
+        # kept index of each run's copy-1 start (position r.start + b is
+        # always kept, so a left bisect lands exactly on it)
+        c1ki_all = (
+            np.searchsorted(
+                self.kept_pos,
+                np.array([r.start + r.block for r in collapsed], dtype=np.int64),
+            )
+            if nr
+            else np.empty(0, dtype=np.int64)
+        )
         off = 0
         for i, r in enumerate(collapsed):
             b, omega = r.block, r.repeats - 3
             self.r_start[i] = r.start
             self.r_block[i] = b
             self.r_omega[i] = omega
-            c1ki = int(idx_map[r.start + b])
+            c1ki = int(c1ki_all[i])
             self.r_c1ki[i] = c1ki
             self.r_olo[i] = r.start + 2 * b
             self.r_ohi[i] = r.start + (r.repeats - 1) * b

@@ -218,6 +218,8 @@ class Recipe:
         self.period_hints = [self.n_sites] if self.n_sites else []
         #: (trips, site APs) -> (pages list, offsets per site)
         self._page_memo: Dict[tuple, tuple] = {}
+        #: (trips, site APs) -> offsets per site (static binds skip pages)
+        self._offset_memo: Dict[tuple, list] = {}
 
     def bind(self, it) -> Optional[_Batch]:
         """One execution of the loop as a fully materialized batch, or
@@ -227,9 +229,20 @@ class Recipe:
         except _Decline:
             return None
 
+    def bind_static(self, it) -> Optional[_Batch]:
+        """Like :meth:`bind`, but the batch's pages are a
+        :class:`~repro.analysis.staticloc.affine.ClosedFormPages`
+        placeholder — length and run structure in closed form, no
+        per-reference list.  A truncating binding still materializes
+        its capped prefix (truncation is terminal and happens once)."""
+        try:
+            return self._bind(it, materialize=False)
+        except _Decline:
+            return None
+
     # -- bind-time ----------------------------------------------------------
 
-    def _bind(self, it) -> _Batch:
+    def _bind(self, it, materialize: bool = True) -> _Batch:
         loop = self.loop
         try:
             start = _int_like(it._eval(loop.start))
@@ -285,7 +298,11 @@ class Recipe:
                 dlin = 0
             aps.append((lin0, dlin))
 
-        pages_list, offsets = self._pages_for(it, trips, aps)
+        if materialize:
+            pages_list, offsets = self._pages_for(it, trips, aps)
+        else:
+            offsets = self._offsets_for(trips, aps)
+            pages_list = self._closed_pages(it, trips, aps)
         env, writer_vals = self._run_values(it, trips, aps, offsets)
 
         base = len(it._refs)
@@ -307,6 +324,8 @@ class Recipe:
                     site=loop.loop_id, lock_pages=(),
                 ))
         if truncated:
+            if not materialize:
+                pages_list = pages_list.materialize().tolist()
             return _Batch(pages_list[:cap], events, True, nest_ops, {}, [])
 
         scalars_out: Dict[str, object] = {}
@@ -343,13 +362,37 @@ class Recipe:
     def _tainted(self, it):
         return it._compiler.tainted
 
+    def _offsets_for(self, trips: int, aps: List[Tuple[int, int]]):
+        """Per-site element-offset vectors (the value engine's index
+        space) — shared by the materializing and static binds."""
+        key = (trips, tuple(aps))
+        hit = self._offset_memo.get(key)
+        if hit is not None:
+            return hit
+        t = np.arange(trips, dtype=np.int64)
+        offsets = [np.int64(lin0) + np.int64(dlin) * t for lin0, dlin in aps]
+        if len(self._offset_memo) > 128:
+            self._offset_memo.clear()
+        self._offset_memo[key] = offsets
+        return offsets
+
+    def _closed_pages(self, it, trips: int, aps: List[Tuple[int, int]]):
+        from repro.analysis.staticloc.affine import ClosedFormPages
+
+        return ClosedFormPages(
+            [it.layout.placements[ref.name].first_page for ref in self.sites],
+            [lin0 for lin0, _dlin in aps],
+            [dlin for _lin0, dlin in aps],
+            it.page_config.elements_per_page,
+            trips,
+        )
+
     def _pages_for(self, it, trips: int, aps: List[Tuple[int, int]]):
         key = (trips, tuple(aps))
         hit = self._page_memo.get(key)
         if hit is not None:
             return hit
-        t = np.arange(trips, dtype=np.int64)
-        offsets = [np.int64(lin0) + np.int64(dlin) * t for lin0, dlin in aps]
+        offsets = self._offsets_for(trips, aps)
         epp = it.page_config.elements_per_page
         if self.n_sites:
             mat = np.empty((self.n_sites, trips), dtype=np.int64)

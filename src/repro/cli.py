@@ -429,14 +429,14 @@ def _cmd_table(args) -> int:
     which = args.which.lower()
     if which not in TABLE_RENDERERS:
         raise SystemExit(f"error: unknown table {args.which!r}")
-    if args.mode == "symbolic":
+    if args.mode in ("symbolic", "static"):
         if which != "2":
             raise SystemExit(
-                "error: --mode symbolic currently supports table 2 only"
+                f"error: --mode {args.mode} currently supports table 2 only"
             )
         from repro.experiments.table2 import render_table2
 
-        print(render_table2(mode="symbolic"))
+        print(render_table2(mode=args.mode))
         if args.stats:
             wall = time.perf_counter() - t0
             print(f"[stats] wall {wall:.2f}s · {STATS.describe()}", file=sys.stderr)
@@ -761,10 +761,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=["trace", "symbolic"],
+        choices=["trace", "symbolic", "static"],
         default="trace",
         help="symbolic: derive the table from the run-structured trace "
-        "via the weighted analyzers (identical rows, no full replay)",
+        "via the weighted analyzers (identical rows, no full replay); "
+        "static: derive it from the closed-form static string without "
+        "materializing a trace at all",
     )
     p.set_defaults(func=_cmd_table)
 

@@ -415,7 +415,13 @@ def clear_cache(disk: bool = True) -> None:
     cdir = cache_dir()
     if cdir is None or not cdir.is_dir():
         return
-    for pattern in ("trace-*.npz", "sweeps-*.npz", "runs-*.npz", "*.npz.corrupt"):
+    for pattern in (
+        "trace-*.npz",
+        "sweeps-*.npz",
+        "runs-*.npz",
+        "static-*.npz",
+        "*.npz.corrupt",
+    ):
         for path in cdir.glob(pattern):
             path.unlink(missing_ok=True)
 

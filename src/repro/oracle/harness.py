@@ -59,6 +59,7 @@ __all__ = [
     "check_case",
     "check_lint",
     "check_program",
+    "check_static",
     "check_symbolic",
 ]
 
@@ -1317,6 +1318,359 @@ def check_symbolic(
     return out
 
 
+def check_static(
+    program: ast.Program,
+    plan,
+    trace: Optional[ReferenceTrace],
+    label: str,
+    max_references: int = _MAX_REFERENCES,
+) -> List[Divergence]:
+    """The ``static-*`` battery: the closed-form static engine against
+    the exact interpreter/analyzers, integer for integer — with no flat
+    page string ever materialized on the static side.
+
+    * ``static-string``   — :func:`generate_static_string` ≡ the
+      interpreter's trace (length, truncation, directives, layout,
+      every kept reference, and the full string reconstructed from the
+      run journal; matching errors when the interpreter raises);
+    * ``static-runs``     — the journal re-verified element-wise
+      against the exact pages and :meth:`Surrogate.from_parts` ≡ the
+      flat-construction surrogate, weights accounted;
+    * ``static-lru`` / ``static-ws`` — the weighted analyzers over the
+      parts-built surrogate ≡ the exact sweeps at the shared samples;
+    * ``static-cd``       — the structure-walk CD replay over the
+      virtual string ≡ the closed-form fast path wherever it applies;
+    * ``static-min-st``   — both minimum-space-time searches agree,
+      chosen parameter included;
+    * ``static-recovery`` — when the FORAY-GEN pass rewrites anything,
+      the rewritten program compiles to the identical reference trace
+      (pages, directives, truncation) — recovery soundness.
+    """
+    from repro.analysis.staticloc import generate_static_string
+    from repro.analysis.symbolic import (
+        Surrogate,
+        SymbolicLRU,
+        SymbolicWS,
+        simulate_cd_symbolic,
+    )
+    from repro.analysis.symbolic.runtrace import RunTrace
+    from repro.staticcheck.recovery import recover_program
+
+    out: List[Divergence] = []
+    try:
+        string = generate_static_string(
+            program, plan=plan, max_references=max_references
+        )
+    except Exception as err:
+        string = None
+        static_error = f"{type(err).__name__}: {err}"
+    if trace is None:
+        # The interpreter raised; the static tier must raise identically.
+        try:
+            generate_trace(
+                program,
+                plan=plan,
+                compile_nests=False,
+                max_references=max_references,
+            )
+            return out  # caller-side mismatch, already reported
+        except Exception as err:
+            slow_error = f"{type(err).__name__}: {err}"
+        if string is not None:
+            out.append(
+                Divergence(
+                    "static-string",
+                    f"{label}: interpreter raised {slow_error!r} but the "
+                    "static tier produced a string",
+                )
+            )
+        elif static_error != slow_error:
+            out.append(
+                Divergence(
+                    "static-string",
+                    f"{label}: error mismatch: interpreter {slow_error!r} "
+                    f"vs static {static_error!r}",
+                )
+            )
+        return out
+    if string is None:
+        out.append(
+            Divergence(
+                "static-string",
+                f"{label}: static tier raised {static_error!r} but the "
+                "interpreter produced a trace",
+            )
+        )
+        return out
+
+    n = len(trace.pages)
+    if string.truncated != trace.truncated:
+        out.append(
+            Divergence(
+                "static-string",
+                f"{label}: truncated {trace.truncated} vs {string.truncated}",
+            )
+        )
+    if string.n_references != n or len(string.pages) != n:
+        out.append(
+            Divergence(
+                "static-string",
+                f"{label}: length {n} vs {string.n_references}",
+            )
+        )
+        return out  # everything below compares different strings
+    if string.array_pages != trace.array_pages:
+        out.append(Divergence("static-string", f"{label}: array layouts differ"))
+    if [
+        (d.position, d.kind, d.site, tuple(d.requests), d.lock_pages)
+        for d in string.directives
+    ] != [
+        (d.position, d.kind, d.site, tuple(d.requests), d.lock_pages)
+        for d in trace.directives
+    ]:
+        out.append(
+            Divergence("static-string", f"{label}: directive events differ")
+        )
+    kept_pos = string.kept_pos
+    if len(kept_pos) and (
+        kept_pos[0] < 0
+        or kept_pos[-1] >= n
+        or (np.diff(kept_pos) <= 0).any()
+    ):
+        out.append(
+            Divergence(
+                "static-string", f"{label}: kept positions not sorted/bounded"
+            )
+        )
+        return out
+    mismatch = np.nonzero(string.kept_pages != trace.pages[kept_pos])[0]
+    if len(mismatch):
+        i = int(mismatch[0])
+        out.append(
+            Divergence(
+                "static-string",
+                f"{label}: kept page mismatch at position "
+                f"{int(kept_pos[i])}: exact {int(trace.pages[kept_pos[i]])} "
+                f"vs static {int(string.kept_pages[i])} "
+                f"({len(mismatch)} total)",
+            )
+        )
+        return out
+
+    # -- the run journal, re-verified against the exact pages ----------------
+    boundaries = sorted({d.position for d in string.directives})
+    before_runs = len(out)
+    covered = np.zeros(n, dtype=bool)
+    covered[kept_pos] = True
+    prev_end = 0
+    for r in string.runs:
+        end = r.start + r.block * r.repeats
+        if r.block < 1 or r.repeats < 2 or r.start < 0 or end > n:
+            out.append(
+                Divergence(
+                    "static-runs", f"{label}: malformed run {r} (n={n})"
+                )
+            )
+            break
+        if r.start < prev_end:
+            out.append(
+                Divergence(
+                    "static-runs",
+                    f"{label}: run {r} overlaps the previous run "
+                    f"(ends at {prev_end})",
+                )
+            )
+            break
+        prev_end = end
+        body = trace.pages[r.start : end - r.block]
+        shifted = trace.pages[r.start + r.block : end]
+        if len(body) != len(shifted) or (body != shifted).any():
+            out.append(
+                Divergence(
+                    "static-runs",
+                    f"{label}: run {r} is not {r.block}-periodic in the "
+                    "exact page string",
+                )
+            )
+            break
+        straddled = [b for b in boundaries if r.start < b < end]
+        if straddled:
+            out.append(
+                Divergence(
+                    "static-runs",
+                    f"{label}: run {r} straddles directive position(s) "
+                    f"{straddled}",
+                )
+            )
+            break
+        covered[r.start : end] = True
+    if len(out) > before_runs:
+        return out
+    if not covered.all():
+        hole = int(np.nonzero(~covered)[0][0])
+        out.append(
+            Divergence(
+                "static-runs",
+                f"{label}: reference {hole} neither kept nor inside a run",
+            )
+        )
+        return out
+    surrogate = string.surrogate()
+    if not surrogate.verify_weights():
+        out.append(
+            Divergence(
+                "static-runs",
+                f"{label}: kept weights sum to "
+                f"{int(surrogate.weights.sum())}, not {n}",
+            )
+        )
+    # from_parts must equal the flat construction on the same journal
+    reference = Surrogate(trace.pages, string.runs)
+    for attr in ("kept_pos", "kept_pages", "weights"):
+        a = getattr(surrogate, attr)
+        b = getattr(reference, attr)
+        if len(a) != len(b) or (np.asarray(a) != np.asarray(b)).any():
+            out.append(
+                Divergence(
+                    "static-runs",
+                    f"{label}: from_parts surrogate differs from flat "
+                    f"construction in {attr}",
+                )
+            )
+            return out
+
+    # -- weighted analyzers vs the exact sweeps ------------------------------
+    exact_lru = LRUSweep(trace)
+    static_lru = SymbolicLRU(surrogate, program=trace.program_name)
+    for frames in _frames_samples(max(exact_lru.max_useful_frames, 1)):
+        fast = static_lru.result(frames)
+        slow = exact_lru.result(frames)
+        if _result_fields(fast) != _result_fields(slow):
+            out.append(
+                Divergence(
+                    "static-lru",
+                    f"{label}: frames={frames}: static "
+                    f"{_result_fields(fast)} vs sweep {_result_fields(slow)}",
+                )
+            )
+    exact_ws = WSSweep(trace)
+    static_ws = SymbolicWS(surrogate, program=trace.program_name)
+    for tau in _tau_samples(max(n, 1)):
+        fast = static_ws.result(tau)
+        slow = exact_ws.result(tau)
+        if _result_fields(fast) != _result_fields(slow):
+            out.append(
+                Divergence(
+                    "static-ws",
+                    f"{label}: tau={tau}: static "
+                    f"{_result_fields(fast)} vs sweep {_result_fields(slow)}",
+                )
+            )
+
+    # -- CD structure walk over the virtual string vs the fast path ----------
+    runtrace = RunTrace(string, string.runs)
+    for config in (
+        CDConfig(),
+        CDConfig(pi_cap=1),
+        CDConfig(pi_cap=2),
+        CDConfig(min_allocation=3),
+        CDConfig(honor_locks=False),
+    ):
+        if not fastsim.cd_fast_applicable(trace, config):
+            continue
+        slow = fastsim.simulate_cd_fast(
+            trace, config, distances=exact_lru._distances
+        )
+        try:
+            fast = simulate_cd_symbolic(
+                runtrace,
+                config,
+                surrogate=surrogate,
+                kept_distances=static_lru._distances,
+            )
+        except ValueError as err:
+            out.append(
+                Divergence(
+                    "static-cd",
+                    f"{label}: {config.label()}: walk rejected a "
+                    f"static-built journal: {err}",
+                )
+            )
+            continue
+        if _result_fields(fast) != _result_fields(slow):
+            out.append(
+                Divergence(
+                    "static-cd",
+                    f"{label}: {config.label()}: static "
+                    f"{_result_fields(fast)} vs fast {_result_fields(slow)}",
+                )
+            )
+
+    # -- full minimum-ST searches --------------------------------------------
+    for check, fast, slow in (
+        ("LRU", static_lru.min_space_time(), exact_lru.min_space_time()),
+        ("WS", static_ws.min_space_time(), exact_ws.min_space_time()),
+    ):
+        if (
+            _result_fields(fast) != _result_fields(slow)
+            or fast.parameter != slow.parameter
+        ):
+            out.append(
+                Divergence(
+                    "static-min-st",
+                    f"{label}: {check} min-ST: static "
+                    f"{_result_fields(fast)} @ {fast.parameter} vs exact "
+                    f"{_result_fields(slow)} @ {slow.parameter}",
+                )
+            )
+
+    # -- affine-recovery soundness: rewrite ⇒ identical trace ----------------
+    try:
+        recovery = recover_program(program)
+    except Exception as err:
+        out.append(
+            Divergence(
+                "static-recovery",
+                f"{label}: recovery pass raised {type(err).__name__}: {err}",
+            )
+        )
+        return out
+    if recovery.sites:
+        try:
+            recovered_trace = generate_trace(
+                recovery.program, plan=plan, max_references=max_references
+            )
+        except Exception as err:
+            out.append(
+                Divergence(
+                    "static-recovery",
+                    f"{label}: recovered program raised "
+                    f"{type(err).__name__}: {err} but the original ran",
+                )
+            )
+            return out
+        if len(recovered_trace.pages) != n or (
+            recovered_trace.pages != trace.pages
+        ).any():
+            out.append(
+                Divergence(
+                    "static-recovery",
+                    f"{label}: rewritten program is not trace-equivalent "
+                    f"({len(recovery.sites)} recovered site(s))",
+                )
+            )
+        elif [
+            (d.position, d.kind) for d in recovered_trace.directives
+        ] != [(d.position, d.kind) for d in trace.directives]:
+            out.append(
+                Divergence(
+                    "static-recovery",
+                    f"{label}: rewritten program shifts directive events",
+                )
+            )
+    return out
+
+
 # -- the full battery --------------------------------------------------------
 
 
@@ -1355,6 +1709,11 @@ def check_program(
             out.extend(check_metrics(trace, label))
         out.extend(
             check_symbolic(
+                program, plan, trace, label, max_references=max_references
+            )
+        )
+        out.extend(
+            check_static(
                 program, plan, trace, label, max_references=max_references
             )
         )

@@ -1,0 +1,448 @@
+"""FORAY-GEN-style affine recovery for non-affine subscripts.
+
+The CD301 rule flags subscripts the affine classifier cannot express as
+``sum(coeff * var) + const``.  Many of those sites are *recoverably*
+affine: the obstruction is an idiom, not genuine irregularity.  This
+pass rewrites two such idioms into closed affine form so the static
+locality engine (:mod:`repro.analysis.staticloc`) and the bounds checker
+can reason about them:
+
+``constant-fold``
+    Subscripts that become affine once run-constant scalars are
+    substituted: PARAMETER names and straight-prefix scalars folded in,
+    then the expression re-classified.  Covers ``SRC(NX/2, NY/2)``
+    (division of constants), induction products of loop invariants
+    (``A(I*N)`` with N a parameter), and linearized 2-D index
+    arithmetic (``A((J-1)*N + I)``).
+
+``induction-pointer``
+    Strength-reduced pointers: a scalar initialized to a run constant
+    immediately before a DO loop and bumped by a constant exactly once
+    per iteration.  Its value is an affine function of the loop index,
+    so subscript *reads* are rewritten to that closed form (the scalar's
+    own updates are kept — the rewrite never changes program values,
+    only how subscripts are spelled).
+
+Soundness contract: ``recover_program`` returns a deep copy — the input
+AST is never mutated — and the copy is reference-trace-equivalent to the
+original by construction (every rewritten subscript evaluates to the
+same integer at every execution).  The oracle battery re-proves this per
+program by compiling both traces and comparing them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.reference_order import normalize_expression
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.symbols import SymbolTable, eval_const_expr
+from repro.frontend.unparse import unparse_expr
+
+
+@dataclass(frozen=True)
+class RecoveredSite:
+    """One subscript rewritten into affine form."""
+
+    array: str
+    line: int
+    position: int  # 1-based subscript position
+    original: str  # source text of the non-affine subscript
+    replacement: str  # source text of the affine rewrite
+    pattern: str  # "constant-fold" | "induction-pointer"
+
+    @property
+    def key(self) -> Tuple[int, str, str]:
+        """Matches the CD301 dedup key (line, array, normalized text)."""
+        return (self.line, self.array, self.original)
+
+
+@dataclass
+class RecoveryResult:
+    """The rewritten program plus every recovered site."""
+
+    program: ast.Program
+    sites: List[RecoveredSite] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.sites)
+
+    def site_map(self) -> Dict[Tuple[int, str, str], RecoveredSite]:
+        return {site.key: site for site in self.sites}
+
+
+# --------------------------------------------------------------------------
+# Affine expression (re)construction
+# --------------------------------------------------------------------------
+
+
+def _affine_ast(coeffs: Dict[str, int], const: int, line: int) -> ast.Expr:
+    """Canonical AST for ``sum(coeff * var) + const`` (vars sorted)."""
+    expr: Optional[ast.Expr] = None
+    for name in sorted(coeffs):
+        c = coeffs[name]
+        if c == 0:
+            continue
+        var = ast.Var(name=name, line=line)
+        term: ast.Expr
+        if abs(c) == 1:
+            term = var
+        else:
+            term = ast.BinOp(
+                op="*",
+                left=ast.Num(value=abs(c), line=line),
+                right=var,
+                line=line,
+            )
+        if expr is None:
+            expr = (
+                term
+                if c > 0
+                else ast.UnaryOp(op="-", operand=term, line=line)
+            )
+        else:
+            expr = ast.BinOp(
+                op="+" if c > 0 else "-", left=expr, right=term, line=line
+            )
+    if expr is None:
+        return ast.Num(value=const, line=line)
+    if const != 0:
+        expr = ast.BinOp(
+            op="+" if const > 0 else "-",
+            left=expr,
+            right=ast.Num(value=abs(const), line=line),
+            line=line,
+        )
+    return expr
+
+
+def _substitute_env(expr: ast.Expr, env: Dict[str, int]) -> ast.Expr:
+    """A copy of ``expr`` with every environment scalar replaced by its
+    literal value (array names are untouched — only ``Var`` nodes)."""
+    if isinstance(expr, ast.Var) and expr.name in env:
+        return ast.Num(value=env[expr.name], line=expr.line)
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            op=expr.op,
+            left=_substitute_env(expr.left, env),
+            right=_substitute_env(expr.right, env),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            op=expr.op,
+            operand=_substitute_env(expr.operand, env),
+            line=expr.line,
+        )
+    return expr
+
+
+# --------------------------------------------------------------------------
+# Pattern: constant-fold
+# --------------------------------------------------------------------------
+
+
+def _recover_constant(
+    subscript: ast.Expr, env: Dict[str, int]
+) -> Optional[ast.Expr]:
+    """Affine rewrite via environment substitution, or ``None``."""
+    from repro.staticcheck.rules import _affine
+
+    if _affine(subscript) is not None:
+        return None  # nothing to recover
+    substituted = _substitute_env(subscript, env)
+    affine = _affine(substituted)
+    if affine is None:
+        return None
+    coeffs, const = affine
+    return _affine_ast(coeffs, const, subscript.line)
+
+
+def _fold_constant_sites(
+    program: ast.Program, env: Dict[str, int], sites: List[RecoveredSite]
+) -> None:
+    seen = set()
+    for stmt in program.walk_statements():
+        for expr in ast.walk_expressions(stmt):
+            if not isinstance(expr, ast.ArrayRef):
+                continue
+            for position, subscript in enumerate(expr.indices):
+                rewritten = _recover_constant(subscript, env)
+                if rewritten is None:
+                    continue
+                key = (
+                    expr.line,
+                    expr.name,
+                    normalize_expression(subscript),
+                )
+                expr.indices[position] = rewritten
+                if key in seen:
+                    continue
+                seen.add(key)
+                sites.append(
+                    RecoveredSite(
+                        array=expr.name,
+                        line=expr.line,
+                        position=position + 1,
+                        original=key[2],
+                        replacement=unparse_expr(rewritten),
+                        pattern="constant-fold",
+                    )
+                )
+
+
+# --------------------------------------------------------------------------
+# Pattern: induction-pointer (strength-reduced subscripts)
+# --------------------------------------------------------------------------
+
+
+def _const_int(expr: ast.Expr, env: Dict[str, int]) -> Optional[int]:
+    try:
+        value = eval_const_expr(expr, env)
+    except SemanticError:
+        return None
+    return value if isinstance(value, int) else None
+
+
+def _pointer_increment(
+    stmt: ast.Stmt, name: str, env: Dict[str, int]
+) -> Optional[int]:
+    """Signed step of ``name = name ± c`` / ``name = c + name``."""
+    if not (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.target, ast.Var)
+        and stmt.target.name == name
+        and isinstance(stmt.expr, ast.BinOp)
+        and stmt.expr.op in ("+", "-")
+    ):
+        return None
+    left, right = stmt.expr.left, stmt.expr.right
+    if isinstance(left, ast.Var) and left.name == name:
+        c = _const_int(right, env)
+        if c is None:
+            return None
+        return c if stmt.expr.op == "+" else -c
+    if (
+        stmt.expr.op == "+"
+        and isinstance(right, ast.Var)
+        and right.name == name
+    ):
+        return _const_int(left, env)
+    return None
+
+
+def _rewrite_pointer_reads(
+    stmt: ast.Stmt,
+    name: str,
+    closed: Tuple[Dict[str, int], int],
+    sites: List[RecoveredSite],
+    seen: set,
+) -> None:
+    """Replace subscript reads of ``name`` under ``stmt`` with its affine
+    closed form, recursing through nested statements."""
+    from repro.staticcheck.rules import _affine
+
+    for node in _statements_under(stmt):
+        for expr in ast.walk_expressions(node):
+            if not isinstance(expr, ast.ArrayRef):
+                continue
+            for position, subscript in enumerate(expr.indices):
+                if not _mentions_var(subscript, name):
+                    continue
+                replacement_sub = _substitute_var(
+                    subscript, name, closed, subscript.line
+                )
+                affine = _affine(replacement_sub)
+                if affine is None:
+                    continue  # still irregular — leave it alone
+                rewritten = _affine_ast(*affine, subscript.line)
+                key = (
+                    expr.line,
+                    expr.name,
+                    normalize_expression(subscript),
+                )
+                expr.indices[position] = rewritten
+                if key in seen:
+                    continue
+                seen.add(key)
+                sites.append(
+                    RecoveredSite(
+                        array=expr.name,
+                        line=expr.line,
+                        position=position + 1,
+                        original=key[2],
+                        replacement=unparse_expr(rewritten),
+                        pattern="induction-pointer",
+                    )
+                )
+
+
+def _statements_under(stmt: ast.Stmt):
+    yield stmt
+    if isinstance(stmt, (ast.DoLoop, ast.WhileLoop)):
+        for child in stmt.body:
+            yield from _statements_under(child)
+    elif isinstance(stmt, ast.IfBlock):
+        for _cond, body in stmt.branches:
+            for child in body:
+                yield from _statements_under(child)
+    elif isinstance(stmt, ast.LogicalIf):
+        yield from _statements_under(stmt.stmt)
+
+
+def _mentions_var(expr: ast.Expr, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Var) and node.name == name
+        for node in ast.walk_expressions(expr)
+    )
+
+
+def _substitute_var(
+    expr: ast.Expr,
+    name: str,
+    closed: Tuple[Dict[str, int], int],
+    line: int,
+) -> ast.Expr:
+    if isinstance(expr, ast.Var) and expr.name == name:
+        return _affine_ast(closed[0], closed[1], line)
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            op=expr.op,
+            left=_substitute_var(expr.left, name, closed, line),
+            right=_substitute_var(expr.right, name, closed, line),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            op=expr.op,
+            operand=_substitute_var(expr.operand, name, closed, line),
+            line=expr.line,
+        )
+    return expr
+
+
+def _recover_pointer_loop(
+    loop: ast.DoLoop,
+    local_consts: Dict[str, int],
+    env: Dict[str, int],
+    loop_vars: set,
+    assign_counts: Dict[str, int],
+    sites: List[RecoveredSite],
+) -> None:
+    from repro.staticcheck.rules import _contains_exit
+
+    start = _const_int(loop.start, env)
+    step = _const_int(loop.step, env) if loop.step is not None else 1
+    if start is None or step is None or step == 0:
+        return
+    if _contains_exit(loop.body):
+        return  # an EXIT breaks the one-bump-per-iteration invariant
+    for index, stmt in enumerate(loop.body):
+        if not (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.target, ast.Var)
+        ):
+            continue
+        name = stmt.target.name
+        if (
+            name == loop.var
+            or name in loop_vars
+            or name not in local_consts
+            # Exactly two writes program-wide: the init we tracked plus
+            # this bump.  Any other writer voids the closed form.
+            or assign_counts.get(name, 0) != 2
+        ):
+            continue
+        bump = _pointer_increment(stmt, name, env)
+        if bump is None or bump % step != 0:
+            continue
+        coeff = bump // step
+        base = local_consts[name]
+        # Value before the bump in the iteration where the index is I:
+        #   base + coeff*(I - start); after the bump: one more ``bump``.
+        before = ({loop.var: coeff}, base - coeff * start)
+        after = ({loop.var: coeff}, base + bump - coeff * start)
+        seen: set = set()
+        for j, body_stmt in enumerate(loop.body):
+            if j == index:
+                continue
+            closed = before if j < index else after
+            _rewrite_pointer_reads(body_stmt, name, closed, sites, seen)
+        return  # one pointer per loop keeps positions unambiguous
+
+
+def _recover_pointer_sites(
+    program: ast.Program, env: Dict[str, int], sites: List[RecoveredSite]
+) -> None:
+    assign_counts: Dict[str, int] = {}
+    loop_vars: set = set()
+    for stmt in program.walk_statements():
+        if isinstance(stmt, ast.DoLoop):
+            loop_vars.add(stmt.var)
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.target, ast.Var
+        ):
+            name = stmt.target.name
+            assign_counts[name] = assign_counts.get(name, 0) + 1
+
+    def scan(stmts: List[ast.Stmt]) -> None:
+        local_consts: Dict[str, int] = {}
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.target, ast.Var
+            ):
+                value = _const_int(stmt.expr, env)
+                if value is None:
+                    local_consts.pop(stmt.target.name, None)
+                else:
+                    local_consts[stmt.target.name] = value
+            elif isinstance(stmt, ast.DoLoop):
+                _recover_pointer_loop(
+                    stmt,
+                    local_consts,
+                    env,
+                    loop_vars,
+                    assign_counts,
+                    sites,
+                )
+                scan(stmt.body)
+            elif isinstance(stmt, ast.WhileLoop):
+                scan(stmt.body)
+            elif isinstance(stmt, ast.IfBlock):
+                for _cond, body in stmt.branches:
+                    scan(body)
+            elif isinstance(stmt, ast.LogicalIf):
+                scan([stmt.stmt])
+
+    scan(program.body)
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+
+def recover_program(
+    program: ast.Program, symbols: Optional[SymbolTable] = None
+) -> RecoveryResult:
+    """Rewrite every recoverable subscript of ``program`` (on a copy).
+
+    Returns the rewritten program and the list of recovered sites; when
+    nothing is recoverable the copy is structurally identical to the
+    input.  Induction pointers run first (their closed forms may expose
+    further constant folding), then constant substitution.
+    """
+    from repro.staticcheck.rules import constant_env
+
+    if symbols is None:
+        symbols = SymbolTable.from_program(program)
+    env = constant_env(program, symbols)
+    rewritten = copy.deepcopy(program)
+    sites: List[RecoveredSite] = []
+    _recover_pointer_sites(rewritten, env, sites)
+    _fold_constant_sites(rewritten, env, sites)
+    return RecoveryResult(program=rewritten, sites=sites)

@@ -27,12 +27,14 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.locality import SizingStrategy
 from repro.analysis.looptree import LoopNode
+from repro.analysis.parameters import PageConfig
 from repro.analysis.reference_order import (
     ReferenceOrder,
     classify_references,
     expression_variables,
     normalize_expression,
 )
+from repro.directives.model import AllocateDirective, AllocateRequest
 from repro.frontend import ast
 from repro.frontend.errors import SemanticError
 from repro.frontend.symbols import eval_const_expr
@@ -65,16 +67,35 @@ def _loop_label(node: LoopNode) -> str:
     return "DO WHILE"
 
 
+def _literal_int(expr: ast.Expr) -> Optional[int]:
+    """``expr`` folded as a pure-literal integer constant (no names at
+    all), or ``None``.  This is what lets ``A(2**2+I)`` classify as
+    affine: the ``2**2`` subtree is a constant even though ``**`` is
+    not an affine operator."""
+    try:
+        value = eval_const_expr(expr, {})
+    except SemanticError:
+        return None
+    return value if isinstance(value, int) else None
+
+
 def _affine(expr: ast.Expr) -> Optional[Tuple[Dict[str, int], int]]:
     """``expr`` as ``sum(coeff[v] * v) + const`` with integer
     coefficients, or ``None`` when not affine (calls, nested array
-    references, variable products, divisions, float literals)."""
+    references, variable products, divisions, float literals).
+
+    Pure-literal subtrees are constant-folded first, so operators that
+    are non-affine in general (``/``, ``**``) still classify when every
+    operand is a literal."""
     if isinstance(expr, ast.Num):
         if isinstance(expr.value, int):
             return {}, expr.value
         return None
     if isinstance(expr, ast.Var):
         return {expr.name: 1}, 0
+    folded = _literal_int(expr)
+    if folded is not None:
+        return {}, folded
     if isinstance(expr, ast.UnaryOp) and expr.op == "-":
         inner = _affine(expr.operand)
         if inner is None:
@@ -124,25 +145,25 @@ def _substitute_constants(
     return remaining, const
 
 
-def _constant_env(context: LintContext) -> Dict[str, int]:
+def constant_env(program: ast.Program, symbols) -> Dict[str, int]:
     """PARAMETER bindings plus top-level scalars that are constant for
     the whole run: assigned exactly once program-wide, in the straight
     prefix of the body (before any loop or branch), to a compile-time
     constant expression."""
     env: Dict[str, int] = {
         name: value
-        for name, value in context.symbols.params.items()
+        for name, value in symbols.params.items()
         if isinstance(value, int)
     }
     assign_counts: Dict[str, int] = {}
     loop_vars: Set[str] = set()
-    for stmt in context.program.walk_statements():
+    for stmt in program.walk_statements():
         if isinstance(stmt, ast.DoLoop):
             loop_vars.add(stmt.var)
         if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
             name = stmt.target.name
             assign_counts[name] = assign_counts.get(name, 0) + 1
-    for stmt in context.program.body:
+    for stmt in program.body:
         if isinstance(
             stmt, (ast.DoLoop, ast.WhileLoop, ast.IfBlock, ast.LogicalIf)
         ):
@@ -158,6 +179,10 @@ def _constant_env(context: LintContext) -> Dict[str, int]:
             if isinstance(value, int):
                 env[name] = value
     return env
+
+
+def _constant_env(context: LintContext) -> Dict[str, int]:
+    return constant_env(context.program, context.symbols)
 
 
 def _contains_exit(stmts: List[ast.Stmt]) -> bool:
@@ -557,6 +582,13 @@ class _BoundsWalker:
         self.zero_trip: List[Diagnostic] = []
         self._nonaffine_seen: Set[Tuple[int, str, str]] = set()
         self._oob_seen: Set[Tuple[int, str, int]] = set()
+        # Affine-recovery pass: sites the FORAY-GEN rewrite can repair
+        # get a fix-it attached to their CD301 diagnostic.
+        from repro.staticcheck.recovery import recover_program
+
+        self._recovered = recover_program(
+            context.program, symbols=context.symbols
+        ).site_map()
 
     def run(self) -> None:
         self._walk(self.context.program.body, ranges={}, guards=set())
@@ -701,17 +733,42 @@ class _BoundsWalker:
         if key in self._nonaffine_seen:
             return
         self._nonaffine_seen.add(key)
+        site = self._recovered.get(key)
+        message = (
+            f"subscript {position + 1} of {ref.name} at line {ref.line} "
+            f"({unparse_expr(subscript)}) is not affine in the loop "
+            "variables; locality classification and bounds checking "
+            "treat it conservatively"
+        )
+        payload = {"array": ref.name, "position": position + 1}
+        fixits: List[FixIt] = []
+        if site is not None:
+            message += (
+                f" — recoverable: equal to the affine form "
+                f"{site.replacement} ({site.pattern} recovery)"
+            )
+            payload["recovered"] = True
+            payload["replacement"] = site.replacement
+            fixits.append(
+                FixIt(
+                    description=(
+                        f"rewrite subscript {position + 1} of {ref.name} "
+                        f"to the equivalent affine form "
+                        f"({site.pattern} recovery)"
+                    ),
+                    span=SourceSpan(line=ref.line),
+                    replacement=site.replacement,
+                )
+            )
         self.nonaffine.append(
             make_diagnostic(
                 "CD301",
                 "nonaffine-subscript",
                 Severity.INFO,
-                f"subscript {position + 1} of {ref.name} at line {ref.line} "
-                f"({unparse_expr(subscript)}) is not affine in the loop "
-                "variables; locality classification and bounds checking "
-                "treat it conservatively",
+                message,
                 line=ref.line,
-                payload={"array": ref.name, "position": position + 1},
+                payload=payload,
+                fixits=fixits,
             )
         )
 
@@ -880,3 +937,434 @@ def _row_major_diagnostic(node: LoopNode, group) -> Diagnostic:
         payload=payload,
         fixits=fixits,
     )
+
+
+# --------------------------------------------------------------------------
+# CD305/CD306 — closed-form working sets vs ALLOCATE sizing (warning)
+# --------------------------------------------------------------------------
+
+#: evaluation budget (array references) per closed-form footprint; nests
+#: larger than this stay silent rather than slow the lint run down
+_FOOTPRINT_BUDGET = 50_000
+
+
+def _nest_footprint(
+    stmts: List[ast.Stmt],
+    values: Dict[str, int],
+    env: Dict[str, int],
+    arrays,
+    epp: int,
+    state: List[int],
+) -> Optional[Set[Tuple[str, int]]]:
+    """The exact set of ``(array, page)`` pairs touched by ``stmts`` with
+    the outer loop variables pinned to ``values`` — derived by closed-form
+    subscript evaluation (no interpretation, no values, no trace), or
+    ``None`` when some bound/subscript is not statically evaluable or the
+    budget runs out.  IF branches contribute their union (may-touch)."""
+    pages: Set[Tuple[str, int]] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.DoLoop):
+            scope = {**env, **values}
+            try:
+                start = eval_const_expr(stmt.start, scope)
+                end = eval_const_expr(stmt.end, scope)
+                step = (
+                    eval_const_expr(stmt.step, scope)
+                    if stmt.step is not None
+                    else 1
+                )
+            except SemanticError:
+                return None
+            if (
+                not all(isinstance(v, int) for v in (start, end, step))
+                or step == 0
+            ):
+                return None
+            trips = max(0, (end - start) // step + 1)
+            inner_values = dict(values)
+            for trip in range(trips):
+                inner_values[stmt.var] = start + trip * step
+                sub = _nest_footprint(
+                    stmt.body, inner_values, env, arrays, epp, state
+                )
+                if sub is None:
+                    return None
+                pages |= sub
+        elif isinstance(stmt, (ast.WhileLoop, ast.ExitLoop)):
+            return None  # trip counts are not closed-form
+        elif isinstance(stmt, ast.IfBlock):
+            for cond, body in stmt.branches:
+                if cond is not None and not _collect_refs(
+                    cond, values, env, arrays, epp, state, pages
+                ):
+                    return None
+                sub = _nest_footprint(
+                    body, values, env, arrays, epp, state
+                )
+                if sub is None:
+                    return None
+                pages |= sub
+        elif isinstance(stmt, ast.LogicalIf):
+            if not _collect_refs(
+                stmt.cond, values, env, arrays, epp, state, pages
+            ):
+                return None
+            sub = _nest_footprint(
+                [stmt.stmt], values, env, arrays, epp, state
+            )
+            if sub is None:
+                return None
+            pages |= sub
+        else:
+            for expr in ast.walk_expressions(stmt):
+                if isinstance(expr, ast.ArrayRef) and not _collect_refs(
+                    expr, values, env, arrays, epp, state, pages
+                ):
+                    return None
+    return pages
+
+
+def _collect_refs(
+    expr: ast.Expr,
+    values: Dict[str, int],
+    env: Dict[str, int],
+    arrays,
+    epp: int,
+    state: List[int],
+    pages: Set[Tuple[str, int]],
+) -> bool:
+    """Add the pages of every array reference in ``expr``; False when a
+    subscript is not statically evaluable or the budget is exhausted."""
+    scope = {**env, **values}
+    for node in ast.walk_expressions(expr):
+        if not isinstance(node, ast.ArrayRef):
+            continue
+        state[0] -= 1
+        if state[0] < 0:
+            return False
+        info = arrays.get(node.name)
+        if info is None or len(node.indices) != len(info.dims):
+            return False
+        try:
+            subscripts = [
+                eval_const_expr(ix, scope) for ix in node.indices
+            ]
+        except SemanticError:
+            return False
+        if not all(isinstance(s, int) for s in subscripts):
+            return False
+        linear = subscripts[0] - 1
+        if len(subscripts) == 2:
+            linear += info.rows * (subscripts[1] - 1)
+        pages.add((node.name, linear // epp))
+    return True
+
+
+def _has_invariant_ref(loop: ast.DoLoop) -> bool:
+    """Some array reference in the body avoids the loop index entirely —
+    its pages are re-touched identically on every iteration."""
+    for stmt in ast._walk(loop.body):
+        for expr in ast.walk_expressions(stmt):
+            if isinstance(expr, ast.ArrayRef) and all(
+                loop.var not in expression_variables(ix)
+                for ix in expr.indices
+            ):
+                return True
+    return False
+
+
+def _allocate_lines(context: LintContext) -> Dict[int, int]:
+    """Source line of each ALLOCATE statement, for instrumented inputs
+    (self-instrumented plans fall back to the loop header line)."""
+    return {
+        stmt.loop_id: stmt.line
+        for stmt in context.program.walk_statements()
+        if isinstance(stmt, ast.AllocateStmt)
+        and getattr(stmt, "loop_id", None) is not None
+    }
+
+
+@rule(
+    "CD305",
+    "predicted-thrash",
+    "warning",
+    "Closed-form reuse distance exceeds every ALLOCATE arm",
+)
+def check_predicted_thrash(context: LintContext) -> Iterator[Diagnostic]:
+    """One iteration of the governed loop touches more pages than even
+    the largest ALLOCATE arm grants, while some references are loop
+    invariant: those pages are always evicted before their reuse (the
+    minimum reuse distance exceeds every arm), so every revisit faults."""
+    env = _constant_env(context)
+    epp = PageConfig().elements_per_page
+    arrays = context.symbols.arrays
+    lines = _allocate_lines(context)
+    for loop_id, directive in sorted(context.plan.allocates.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None or node.is_while:
+            continue
+        loop = node.loop
+        span = _loop_range(loop, env)
+        if span is None or span[2] < 2:
+            continue  # no repetition, no cross-iteration reuse
+        if not _has_invariant_ref(loop):
+            continue
+        state = [_FOOTPRINT_BUDGET]
+        footprint = _nest_footprint(
+            loop.body, {loop.var: span[0]}, env, arrays, epp, state
+        )
+        if footprint is None:
+            continue
+        distance = len(footprint)
+        largest = max(r.pages for r in directive.requests)
+        if distance <= largest:
+            continue
+        yield make_diagnostic(
+            "CD305",
+            "predicted-thrash",
+            Severity.WARNING,
+            f"one iteration of DO {loop.var} at line {loop.line} touches "
+            f"{distance} pages but the largest ALLOCATE arm grants only "
+            f"{largest}: the loop-invariant pages re-referenced each "
+            f"iteration (minimum reuse distance {distance}) are evicted "
+            "before every reuse — statically predicted thrash",
+            line=lines.get(loop_id, loop.line),
+            payload={
+                "loop_id": loop_id,
+                "reuse_distance": distance,
+                "largest_arm": largest,
+            },
+        )
+
+
+@rule(
+    "CD306",
+    "undersized-allocate",
+    "warning",
+    "ALLOCATE sized below the nest's closed-form working set",
+)
+def check_undersized_allocate(
+    context: LintContext,
+) -> Iterator[Diagnostic]:
+    """Even the largest ALLOCATE arm is smaller than the frames one pass
+    of the nest's innermost loop needs to hit its own *within-pass*
+    reuses (the maximum LRU stack position among reused pages) — the
+    directive under-provisions the locality it is supposed to cover.
+    A pure streaming pass (no within-pass reuse) never fires: its cold
+    faults are unavoidable at any size."""
+    env = _constant_env(context)
+    epp = PageConfig().elements_per_page
+    arrays = context.symbols.arrays
+    lines = _allocate_lines(context)
+    for loop_id, directive in sorted(context.plan.allocates.items()):
+        node = context.tree.by_id.get(loop_id)
+        if node is None or node.is_while:
+            continue
+        worst: Optional[Tuple[int, LoopNode]] = None
+        for leaf in _innermost_leaves(node):
+            frames = _innermost_pass_frames(leaf, env, arrays, epp)
+            if frames is None:
+                continue
+            if worst is None or frames > worst[0]:
+                worst = (frames, leaf)
+        if worst is None or worst[0] == 0:
+            continue
+        working_set, leaf = worst
+        largest = max(r.pages for r in directive.requests)
+        if working_set <= largest:
+            continue
+        bumped = AllocateDirective(
+            loop_id=directive.loop_id,
+            requests=tuple(
+                AllocateRequest(
+                    priority_index=r.priority_index,
+                    pages=max(r.pages, working_set),
+                )
+                for r in directive.requests
+            ),
+        )
+        leaf_loop = leaf.loop
+        fixits = [
+            FixIt(
+                description=(
+                    f"size every arm to the {working_set}-frame closed-"
+                    "form working set of the innermost pass"
+                ),
+                span=SourceSpan(line=lines.get(loop_id, node.loop.line)),
+                replacement=bumped.render(),
+            ),
+            FixIt(
+                description=(
+                    f"or restructure the nest (tile or interchange DO "
+                    f"{leaf.var} at line {leaf_loop.line}) so one "
+                    f"innermost pass reuses pages within {largest} frames"
+                ),
+                span=SourceSpan(line=leaf_loop.line),
+            ),
+        ]
+        yield make_diagnostic(
+            "CD306",
+            "undersized-allocate",
+            Severity.WARNING,
+            f"ALLOCATE for DO {node.var} at line {node.loop.line} grants "
+            f"at most {largest} pages but one pass of the innermost DO "
+            f"{leaf.var} (line {leaf_loop.line}) needs {working_set} "
+            "frames to hit its own within-pass page reuses — the "
+            "directive is sized below the nest's closed-form working set",
+            line=lines.get(loop_id, node.loop.line),
+            payload={
+                "loop_id": loop_id,
+                "working_set": working_set,
+                "largest_arm": largest,
+                "innermost_loop_id": leaf.loop_id,
+            },
+            fixits=fixits,
+        )
+
+
+def _innermost_leaves(node: LoopNode) -> Iterator[LoopNode]:
+    if node.is_innermost:
+        yield node
+        return
+    for child in node.children:
+        yield from _innermost_leaves(child)
+
+
+def _innermost_pass_frames(
+    leaf: LoopNode, env: Dict[str, int], arrays, epp: int
+) -> Optional[int]:
+    """LRU frames one full pass of ``leaf`` needs to hit every one of
+    its *within-pass* page reuses (the maximum stack position among
+    reused pages), with every enclosing loop variable pinned to its
+    first value.  0 for a pure streaming pass; ``None`` if not static."""
+    if leaf.is_while:
+        return None
+    values: Dict[str, int] = {}
+    # Outermost first: inner bounds may reference outer indices.
+    for ancestor in reversed(list(leaf.ancestors())):
+        if ancestor.is_while:
+            return None
+        span = _loop_range(ancestor.loop, {**env, **values})
+        if span is None:
+            return None
+        values[ancestor.var] = span[0]
+    state = [_FOOTPRINT_BUDGET]
+    sequence: List[Tuple[str, int]] = []
+    if not _page_sequence(
+        [leaf.loop], values, env, arrays, epp, state, sequence
+    ):
+        return None
+    stack: List[Tuple[str, int]] = []
+    frames = 0
+    for page in sequence:
+        try:
+            position = stack.index(page) + 1
+        except ValueError:
+            position = 0  # cold touch
+        if position:
+            stack.remove(page)
+            frames = max(frames, position)
+        stack.insert(0, page)
+    return frames
+
+
+def _page_sequence(
+    stmts: List[ast.Stmt],
+    values: Dict[str, int],
+    env: Dict[str, int],
+    arrays,
+    epp: int,
+    state: List[int],
+    out: List[Tuple[str, int]],
+) -> bool:
+    """Append the ordered ``(array, page)`` touches of ``stmts`` (source
+    order within a statement; both IF branches contribute); False when
+    not statically enumerable."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.DoLoop):
+            scope = {**env, **values}
+            try:
+                start = eval_const_expr(stmt.start, scope)
+                end = eval_const_expr(stmt.end, scope)
+                step = (
+                    eval_const_expr(stmt.step, scope)
+                    if stmt.step is not None
+                    else 1
+                )
+            except SemanticError:
+                return False
+            if (
+                not all(isinstance(v, int) for v in (start, end, step))
+                or step == 0
+            ):
+                return False
+            trips = max(0, (end - start) // step + 1)
+            inner_values = dict(values)
+            for trip in range(trips):
+                inner_values[stmt.var] = start + trip * step
+                if not _page_sequence(
+                    stmt.body, inner_values, env, arrays, epp, state, out
+                ):
+                    return False
+        elif isinstance(stmt, (ast.WhileLoop, ast.ExitLoop)):
+            return False
+        elif isinstance(stmt, ast.IfBlock):
+            for cond, body in stmt.branches:
+                if cond is not None and not _append_refs(
+                    cond, values, env, arrays, epp, state, out
+                ):
+                    return False
+                if not _page_sequence(
+                    body, values, env, arrays, epp, state, out
+                ):
+                    return False
+        elif isinstance(stmt, ast.LogicalIf):
+            if not _append_refs(
+                stmt.cond, values, env, arrays, epp, state, out
+            ):
+                return False
+            if not _page_sequence(
+                [stmt.stmt], values, env, arrays, epp, state, out
+            ):
+                return False
+        else:
+            for expr in ast.walk_expressions(stmt):
+                if isinstance(expr, ast.ArrayRef) and not _append_refs(
+                    expr, values, env, arrays, epp, state, out
+                ):
+                    return False
+    return True
+
+
+def _append_refs(
+    expr: ast.Expr,
+    values: Dict[str, int],
+    env: Dict[str, int],
+    arrays,
+    epp: int,
+    state: List[int],
+    out: List[Tuple[str, int]],
+) -> bool:
+    scope = {**env, **values}
+    for node in ast.walk_expressions(expr):
+        if not isinstance(node, ast.ArrayRef):
+            continue
+        state[0] -= 1
+        if state[0] < 0:
+            return False
+        info = arrays.get(node.name)
+        if info is None or len(node.indices) != len(info.dims):
+            return False
+        try:
+            subscripts = [
+                eval_const_expr(ix, scope) for ix in node.indices
+            ]
+        except SemanticError:
+            return False
+        if not all(isinstance(s, int) for s in subscripts):
+            return False
+        linear = subscripts[0] - 1
+        if len(subscripts) == 2:
+            linear += info.rows * (subscripts[1] - 1)
+        out.append((node.name, linear // epp))
+    return True

@@ -1,0 +1,101 @@
+"""Deliberately broken static kernels must be caught by the
+``static-*`` battery — the end-to-end acceptance test for the
+closed-form engine's oracle.
+
+Two injection points, matching the tier's two structuring paths:
+
+* the closed-form crossing formula (recipe bindings) — only bundled
+  workloads reach it, so the fault is driven through
+  :func:`check_static` on a recipe-tier workload;
+* the per-batch run detector (binder bindings) — fuzzer cases reach it,
+  so the fault goes through the full ``verify`` runner, which must
+  catch it, attribute it to the static tier, shrink it, and write the
+  reproducer pair.
+"""
+
+import json
+
+import numpy as np
+
+from repro.analysis.staticloc import affine
+from repro.analysis.staticloc import string as staticloc_string
+from repro.analysis.symbolic.runtrace import Run
+from repro.directives import instrument_program
+from repro.oracle.harness import check_static
+from repro.oracle.runner import verify
+from repro.tracegen.interpreter import generate_trace
+from repro.workloads import get_workload
+
+
+def test_shifted_crossing_formula_is_caught(monkeypatch):
+    # Shift every page-crossing iteration by one: the closed-form
+    # mismatch set no longer matches the materialized string, so the
+    # claimed runs stop being b-periodic in the exact pages.
+    real = affine.ap_crossings
+
+    def shifted(lin0, dlin, trips, epp):
+        t = real(lin0, dlin, trips, epp)
+        return t + 1 if len(t) else t
+
+    monkeypatch.setattr(affine, "ap_crossings", shifted)
+    program = get_workload("TQL").program()
+    plan = instrument_program(program, with_locks=False)
+    trace = generate_trace(program, plan=plan)
+    divs = check_static(program, plan, trace, "TQL/alloc")
+    assert divs
+    assert all(d.check.startswith("static-") for d in divs)
+    assert any(d.check == "static-runs" for d in divs)
+
+
+def test_dropped_crossing_is_caught(monkeypatch):
+    # Losing one crossing merges two genuinely different segments into
+    # one over-long run.
+    real = affine.ap_crossings
+
+    def dropped(lin0, dlin, trips, epp):
+        t = real(lin0, dlin, trips, epp)
+        return t[1:] if len(t) else t
+
+    monkeypatch.setattr(affine, "ap_crossings", dropped)
+    program = get_workload("HYBRJ").program()
+    plan = instrument_program(program, with_locks=False)
+    trace = generate_trace(program, plan=plan)
+    divs = check_static(program, plan, trace, "HYBRJ/alloc")
+    assert any(d.check == "static-runs" for d in divs)
+
+
+def test_overclaimed_binder_batch_is_caught_and_shrunk(tmp_path, monkeypatch):
+    # One extra trailing repeat per binder-batch run: the journal claims
+    # an iteration that is not in the string.  Only the static tier
+    # imports this binding of the detector, so the verify runner must
+    # attribute the failure to ``static-*`` (not ``symbolic-*``),
+    # shrink it, and write the reproducer pair.
+    real = staticloc_string.detect_runs
+
+    def overclaim(pages, segments, boundaries=(), **kwargs):
+        return [
+            Run(r.start, r.block, r.repeats + 1)
+            for r in real(pages, segments, boundaries, **kwargs)
+        ]
+
+    monkeypatch.setattr(staticloc_string, "detect_runs", overclaim)
+    report = verify(seeds=6, out_dir=tmp_path, deep=False)
+    assert not report.ok
+    assert all(f.check.startswith("static-") for f in report.failures)
+    failure = report.failures[0]
+    src = tmp_path / f"seed{failure.seed:06d}-{failure.check.split('-')[0]}.f"
+    meta = src.with_suffix(".json")
+    assert src.exists() and meta.exists()
+    payload = json.loads(meta.read_text())
+    assert payload["seed"] == failure.seed
+    # shrinking can only remove text, never add it
+    assert len(failure.shrunk_source) <= len(failure.source)
+    assert src.read_text() == failure.shrunk_source
+
+
+def test_clean_engine_passes_the_battery():
+    # Control: with nothing injected the same drivers find nothing.
+    program = get_workload("TQL").program()
+    plan = instrument_program(program, with_locks=False)
+    trace = generate_trace(program, plan=plan)
+    assert check_static(program, plan, trace, "TQL/alloc") == []

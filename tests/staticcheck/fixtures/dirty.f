@@ -1,6 +1,6 @@
 PROGRAM DIRTY
 PARAMETER (N = 6)
-DIMENSION A(6, 6), B(6), C(6), D(4)
+DIMENSION A(6, 6), B(6), C(6), D(4), E(256), G(257), T(256)
 ALLOCATE ((3,3))
 DO I = 1, N
   B(I) = C(I + 1)
@@ -25,6 +25,12 @@ DO I = 1, N
     DO K = 1, N
       B(K) = B(K) + 1.0
     ENDDO
+  ENDDO
+ENDDO
+ALLOCATE ((2,2))
+DO M = 1, 10
+  DO L = 1, 256
+    T(L) = E(L) + E(257 - L) + G(N / 6 + L)
   ENDDO
 ENDDO
 END

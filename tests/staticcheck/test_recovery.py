@@ -1,0 +1,242 @@
+"""Unit tests for the affine-recovery pass (FORAY-GEN style).
+
+Each recoverable pattern is exercised on a minimal program, with
+trace-equivalence as the soundness bar: the rewritten program must
+compile to the identical reference trace.  Clean programs must pass
+through unchanged, and the recovered sites must surface through the
+CD301 diagnostics as downgraded, fix-it-carrying info messages.
+"""
+
+import numpy as np
+
+from repro.frontend.parser import parse_source
+from repro.frontend.unparse import unparse_program
+from repro.staticcheck import lint_program
+from repro.staticcheck.recovery import recover_program
+from repro.tracegen.interpreter import generate_trace
+
+
+def trace_equivalent(program, recovered):
+    a = generate_trace(program)
+    b = generate_trace(recovered)
+    return len(a.pages) == len(b.pages) and (a.pages == b.pages).all()
+
+
+class TestConstantFold:
+    def test_linearized_2d_index(self):
+        # (J-1)*N + I with N a PARAMETER is affine after substitution
+        program = parse_source(
+            "PARAMETER (N = 8)\n"
+            "DIMENSION A(64)\n"
+            "DO J = 1, 8\n"
+            "DO I = 1, 8\n"
+            "A((J - 1) * N + I) = 0.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        result = recover_program(program)
+        (site,) = result.sites
+        assert site.pattern == "constant-fold"
+        assert site.array == "A"
+        assert trace_equivalent(program, result.program)
+
+    def test_once_assigned_scalar_counts_as_constant(self):
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "M = 4\n"
+            "DO I = 1, 8\n"
+            "A(I * M) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        result = recover_program(program)
+        (site,) = result.sites
+        assert "4" in site.replacement or "*" in site.replacement
+        assert trace_equivalent(program, result.program)
+
+    def test_already_affine_is_untouched(self):
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "DO I = 1, 8\n"
+            "A(2 * I + 1) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        result = recover_program(program)
+        assert not result.changed
+        assert unparse_program(result.program) == unparse_program(program)
+
+    def test_truly_nonaffine_is_left_alone(self):
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "DO I = 1, 8\n"
+            "A(MOD(I, 4) + 1) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert not recover_program(program).changed
+
+    def test_reassigned_scalar_is_not_a_constant(self):
+        # M changes inside the loop — substituting its first value
+        # would be unsound, so the site must stay unrecovered
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "M = 4\n"
+            "DO I = 1, 8\n"
+            "A(I * M) = 0.0\n"
+            "M = M + 1\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert not recover_program(program).changed
+
+
+class TestInductionPointer:
+    SRC = (
+        "DIMENSION A(64)\n"
+        "K = 0\n"
+        "DO I = 1, 30\n"
+        "K = K + 2\n"
+        "A(K) = 0.0\n"
+        "ENDDO\n"
+        "END\n"
+    )
+
+    def test_strength_reduced_pointer(self):
+        program = parse_source(self.SRC)
+        result = recover_program(program)
+        (site,) = result.sites
+        assert site.pattern == "induction-pointer"
+        assert site.replacement == "2 * I"
+        assert trace_equivalent(program, result.program)
+
+    def test_read_before_bump_uses_pre_increment_form(self):
+        src = self.SRC.replace(
+            "K = K + 2\nA(K) = 0.0\n", "A(K + 1) = 0.0\nK = K + 2\n"
+        )
+        program = parse_source(src)
+        result = recover_program(program)
+        (site,) = result.sites
+        assert trace_equivalent(program, result.program)
+
+    def test_pointer_with_conditional_exit_is_unsafe(self):
+        src = self.SRC.replace(
+            "A(K) = 0.0\n", "IF (I == 9) EXIT\nA(K) = 0.0\n"
+        )
+        assert not recover_program(parse_source(src)).changed
+
+    def test_pointer_bumped_twice_is_unsafe(self):
+        src = self.SRC.replace("ENDDO\n", "K = K + 1\nENDDO\n")
+        assert not recover_program(parse_source(src)).changed
+
+    def test_nonconstant_start_is_unsafe(self):
+        program = parse_source(
+            "DIMENSION A(64), B(8)\n"
+            "K = B(1)\n"
+            "DO I = 1, 30\n"
+            "K = K + 2\n"
+            "A(K) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert not recover_program(program).changed
+
+
+class TestDiagnosticsIntegration:
+    def test_recovered_site_downgrades_cd301_with_fixit(self):
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "M = 4\n"
+            "DO I = 1, 8\n"
+            "A(I * M) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        (d,) = [x for x in lint_program(program) if x.rule == "CD301"]
+        assert "recoverable" in d.message
+        payload = dict(d.payload)
+        assert payload.get("recovered") is True
+        (fix,) = d.fixits
+        assert fix.replacement == payload["replacement"]
+
+    def test_unrecoverable_site_has_no_fixit(self):
+        program = parse_source(
+            "DIMENSION A(64)\n"
+            "DO I = 1, 8\n"
+            "A(MOD(I, 4) + 1) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        (d,) = [x for x in lint_program(program) if x.rule == "CD301"]
+        assert "recoverable" not in d.message
+        assert not d.fixits
+
+
+class TestEndToEnd:
+    def test_mixed_patterns_one_program(self):
+        program = parse_source(
+            "PARAMETER (N = 8)\n"
+            "DIMENSION A(64), B(64)\n"
+            "KP = 0\n"
+            "DO I = 1, 30\n"
+            "KP = KP + 2\n"
+            "B(KP) = 0.0\n"
+            "ENDDO\n"
+            "DO J = 1, 8\n"
+            "DO I = 1, 8\n"
+            "A((J - 1) * N + I) = 0.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        result = recover_program(program)
+        patterns = {s.pattern for s in result.sites}
+        assert "constant-fold" in patterns
+        assert "induction-pointer" in patterns
+        assert trace_equivalent(program, result.program)
+
+    def test_pointer_carried_across_outer_iterations_is_unsafe(self):
+        # KP is not reset per outer iteration, so the inner loop's
+        # closed form would only be right on the first outer pass
+        program = parse_source(
+            "DIMENSION B(64)\n"
+            "KP = 0\n"
+            "DO J = 1, 8\n"
+            "DO I = 1, 8\n"
+            "KP = KP + 1\n"
+            "B(KP) = 0.0\n"
+            "ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert not recover_program(program).changed
+
+    def test_original_program_is_never_mutated(self):
+        src = (
+            "DIMENSION A(64)\n"
+            "M = 4\n"
+            "DO I = 1, 8\n"
+            "A(I * M) = 0.0\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        program = parse_source(src)
+        before = unparse_program(program)
+        result = recover_program(program)
+        assert result.changed
+        assert unparse_program(program) == before
+
+    def test_field_workload_sites_recover_and_stay_equivalent(self):
+        from repro.workloads import get_workload
+
+        program = get_workload("FIELD").program()
+        result = recover_program(program)
+        assert len(result.sites) >= 1
+        a = generate_trace(program)
+        b = generate_trace(result.program)
+        assert (a.pages == b.pages).all()
+        assert np.array_equal(
+            [d.position for d in a.directives],
+            [d.position for d in b.directives],
+        )

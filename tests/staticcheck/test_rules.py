@@ -31,12 +31,13 @@ def errors_of(diagnostics):
 
 
 class TestCatalog:
-    def test_ten_rules_registered(self):
+    def test_twelve_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
         assert ids == sorted(ids)
         assert ids == [
             "CD101", "CD102", "CD103", "CD104", "CD201",
             "CD202", "CD301", "CD302", "CD303", "CD304",
+            "CD305", "CD306",
         ]
 
     def test_severities(self):
