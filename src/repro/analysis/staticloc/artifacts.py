@@ -26,7 +26,6 @@ import hashlib
 import json
 import os
 import time
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -43,7 +42,12 @@ from repro.analysis.symbolic.locality import SymbolicLRU, SymbolicWS
 from repro.analysis.symbolic.runtrace import Run, RunTrace
 from repro.directives import instrument_program
 from repro.directives.model import InstrumentationPlan
-from repro.experiments.runner import STATS, cache_dir
+from repro.experiments.runner import (
+    STATS,
+    cache_dir,
+    quarantine_paths,
+    stat_fingerprint,
+)
 from repro.tracegen import io as trace_io
 from repro.tracegen.events import ReferenceTrace
 from repro.tracegen.interpreter import generate_trace
@@ -179,6 +183,7 @@ def _load_entry(
     path = _entry_path(cdir, key)
     if not path.exists():
         return None
+    observed = {path: stat_fingerprint(path)}
     try:
         with np.load(path) as arrays:
             header = json.loads(arrays["header"].tobytes().decode("utf-8"))
@@ -216,19 +221,12 @@ def _load_entry(
             }
         return string, sweeps
     except Exception as err:
-        renamed = []
-        try:
-            if path.exists():
-                os.replace(path, path.with_name(path.name + ".corrupt"))
-                renamed.append(path.name)
-        except OSError:
-            pass
-        warnings.warn(
-            f"static cache entry {key} unreadable "
-            f"({type(err).__name__}: {err}); quarantined "
-            f"{renamed or 'nothing'} and recomputing",
-            RuntimeWarning,
-            stacklevel=3,
+        quarantine_paths(
+            (path,),
+            "static",
+            key,
+            f"{type(err).__name__}: {err}",
+            observed=observed,
         )
         return None
 
@@ -398,6 +396,6 @@ def clear_static_cache(disk: bool = True) -> None:
     cdir = cache_dir()
     if cdir is None or not cdir.is_dir():
         return
-    for pattern in ("static-*.npz", "static-*.npz.corrupt"):
+    for pattern in ("static-*.npz", "static-*.corrupt"):
         for path in cdir.glob(pattern):
             path.unlink(missing_ok=True)

@@ -23,7 +23,6 @@ import hashlib
 import json
 import os
 import time
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -39,7 +38,12 @@ from repro.analysis.symbolic.locality import SymbolicLRU, SymbolicWS
 from repro.analysis.symbolic.runtrace import Run, RunTrace
 from repro.directives import instrument_program
 from repro.directives.model import InstrumentationPlan
-from repro.experiments.runner import STATS, cache_dir
+from repro.experiments.runner import (
+    STATS,
+    cache_dir,
+    quarantine_paths,
+    stat_fingerprint,
+)
 from repro.tracegen import io as trace_io
 from repro.vm.analyzers import LRUSweep
 from repro.vm.fastsim import cd_fast_applicable, simulate_cd_fast
@@ -155,6 +159,9 @@ def _load_entry(
     trace_path, runs_path = _entry_paths(cdir, key)
     if not (trace_path.exists() and runs_path.exists()):
         return None
+    observed = {
+        path: stat_fingerprint(path) for path in (trace_path, runs_path)
+    }
     try:
         trace = trace_io.load_trace(trace_path)
         with np.load(runs_path) as arrays:
@@ -171,20 +178,12 @@ def _load_entry(
             }
         return RunTrace(trace, runs), sweeps
     except Exception as err:
-        renamed = []
-        for path in (trace_path, runs_path):
-            try:
-                if path.exists():
-                    os.replace(path, path.with_name(path.name + ".corrupt"))
-                    renamed.append(path.name)
-            except OSError:
-                pass
-        warnings.warn(
-            f"symbolic cache entry {key} unreadable "
-            f"({type(err).__name__}: {err}); quarantined "
-            f"{renamed or 'nothing'} and recomputing",
-            RuntimeWarning,
-            stacklevel=3,
+        quarantine_paths(
+            (trace_path, runs_path),
+            "symbolic",
+            key,
+            f"{type(err).__name__}: {err}",
+            observed=observed,
         )
         return None
 
@@ -333,6 +332,6 @@ def clear_symbolic_cache(disk: bool = True) -> None:
     cdir = cache_dir()
     if cdir is None or not cdir.is_dir():
         return
-    for pattern in ("runs-*.npz", "runs-*.npz.corrupt"):
+    for pattern in ("runs-*.npz", "runs-*.corrupt"):
         for path in cdir.glob(pattern):
             path.unlink(missing_ok=True)

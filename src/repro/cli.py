@@ -39,6 +39,16 @@ Subcommands
     compiled/interpreted trace paths, the fast/slow metric paths, and
     the policy invariants.  Divergences are shrunk and written to
     ``results/oracle_failures/``.
+
+``serve [--dir D] [--jobs N] [--resume] [--quota T=BYTES …]``
+    Run the persistent sweep daemon on a UNIX socket; clients drive it
+    with the subcommands below.  SIGTERM drains in-flight attempts and
+    exits 143; ``--resume`` picks the journaled queue back up.
+
+``submit / status / results / watch / cancel / shutdown``
+    Talk to a running daemon: enqueue sweep targets under a tenant and
+    priority, inspect the queue, fetch settled payloads, stream a
+    job's live events, cancel, or ask the daemon to drain.
 """
 
 from __future__ import annotations
@@ -463,7 +473,7 @@ def _cmd_cache(args) -> int:
         print(f"disk entries: {info['disk_entries']}")
         print(f"disk bytes:   {info['disk_bytes']}")
         if info["quarantined"]:
-            print(f"quarantined:  {info['quarantined']} (*.npz.corrupt)")
+            print(f"quarantined:  {info['quarantined']} (*.corrupt)")
     elif action == "clear":
         before = cache_info()["disk_entries"]
         clear_cache()
@@ -604,6 +614,199 @@ def _cmd_verify(args) -> int:
         for path in failure.paths:
             print(f"    {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: the persistent sweep daemon."""
+    from repro.engine import EngineConfig
+    from repro.service import ServeDaemon, TenantQuotas
+
+    limits = {}
+    for spec in args.quota or []:
+        tenant, _, raw = spec.partition("=")
+        if not tenant or not raw.isdigit():
+            raise SystemExit(f"error: bad --quota {spec!r} (want TENANT=BYTES)")
+        limits[tenant] = int(raw)
+    quotas = TenantQuotas(limits, default_limit=args.default_quota)
+    config = EngineConfig(
+        max_workers=max(1, args.jobs),
+        max_retries=args.max_retries,
+        timeout=args.timeout,
+    )
+    daemon = ServeDaemon(args.dir, config=config, quotas=quotas)
+    try:
+        return daemon.serve(
+            resume=args.resume, announce=lambda msg: print(msg, flush=True)
+        )
+    except RuntimeError as err:
+        raise SystemExit(f"error: {err}") from None
+
+
+def _client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.dir)
+
+
+def _service_fail(err) -> int:
+    print(f"error: {err}", file=sys.stderr)
+    return 1
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            reply = client.submit(
+                args.targets, tenant=args.tenant, priority=args.priority
+            )
+            job = reply["job"]
+            if args.json:
+                print(json.dumps(reply, sort_keys=True))
+            else:
+                warm = f" ({len(reply['warm'])} warm)" if reply.get("warm") else ""
+                print(f"{job}: {len(reply['specs'])} spec(s) queued{warm}")
+            if not args.wait:
+                return 0
+            state = client.wait(job)
+            if not args.json:
+                print(f"{job}: {state}")
+            return 0 if state == "done" else 1
+    except ServiceError as err:
+        return _service_fail(err)
+
+
+def _render_job(record: dict) -> str:
+    states = record.get("spec_states", {})
+    done = sum(1 for s in states.values() if s.get("state") == "done")
+    warm = sum(
+        1
+        for s in states.values()
+        if s.get("state") == "done" and s.get("attempts", 0) == 0
+    )
+    line = (
+        f"{record['job']}  {record['tenant']:10s} prio {record['priority']:>3d}  "
+        f"{record['state']:9s} {done}/{len(states)} specs"
+        + (f" ({warm} warm)" if warm else "")
+    )
+    if record.get("error"):
+        line += f"  [{record['error']}]"
+    return line
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            reply = client.status(args.job)
+    except ServiceError as err:
+        return _service_fail(err)
+    if args.json:
+        print(json.dumps(reply, sort_keys=True))
+        return 0
+    records = [reply["job"]] if args.job else reply.get("jobs", [])
+    if not records:
+        print("no jobs")
+    for record in records:
+        print(_render_job(record))
+        if args.job:
+            for spec_id, s in record.get("spec_states", {}).items():
+                detail = f"    {spec_id:24s} {s.get('state', '?'):8s}"
+                detail += f" attempts={s.get('attempts', 0)}"
+                if s.get("error"):
+                    detail += f"  [{s['error']}]"
+                print(detail)
+    tenants = reply.get("tenants") or {}
+    for tenant, usage in tenants.items():
+        limit = usage.get("limit_bytes")
+        print(
+            f"tenant {tenant}: {usage.get('used_bytes', 0)} bytes charged"
+            + (f" / {limit}" if limit is not None else "")
+        )
+    return 0
+
+
+def _cmd_results(args) -> int:
+    import json
+
+    from repro.engine.sweeps import _output_name
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            reply = client.results(args.job)
+    except ServiceError as err:
+        return _service_fail(err)
+    payloads = reply.get("payloads", {})
+    if args.output:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for payload in payloads.values():
+            if isinstance(payload, dict) and "text" in payload and "which" in payload:
+                path = out_dir / _output_name(payload["which"])
+                path.write_text(payload["text"] + "\n")
+                print(f"wrote {path}")
+        return 0
+    if args.json:
+        print(json.dumps(reply, sort_keys=True))
+        return 0
+    for spec_id, payload in payloads.items():
+        if isinstance(payload, dict) and "text" in payload:
+            print(payload["text"])
+        else:
+            print(f"{spec_id}: {json.dumps(payload, sort_keys=True)}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            final = "unknown"
+            for frame in client.watch(args.job):
+                if "done" in frame:
+                    final = str(frame.get("state", "unknown"))
+                    print(f"{args.job}: {final}")
+                else:
+                    print(json.dumps(frame.get("event", {}), sort_keys=True))
+            return 0 if final == "done" else 1
+    except ServiceError as err:
+        return _service_fail(err)
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            reply = client.cancel(args.job)
+    except ServiceError as err:
+        return _service_fail(err)
+    cancelled = reply.get("cancelled", [])
+    shared = "" if cancelled else " (all specs shared or settled)"
+    print(f"{reply['job']}: {reply['state']}, {len(cancelled)} spec(s) stopped{shared}")
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        with _client(args) as client:
+            client.shutdown()
+    except ServiceError as err:
+        return _service_fail(err)
+    print("daemon draining")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -971,6 +1174,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="results", help="output directory")
     p.add_argument("--show", action="store_true", help="also print each table")
     p.set_defaults(func=_cmd_reproduce)
+
+    default_dir = "results/service"
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent sweep daemon on a UNIX socket",
+    )
+    p.add_argument(
+        "--dir",
+        default=default_dir,
+        help=f"service directory: socket, queue journal, ledgers "
+        f"(default {default_dir})",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=2, help="supervised worker processes"
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="pick up an existing queue journal (required if one exists)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, dest="max_retries",
+        help="extra attempts per job after the first (default 2)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-attempt timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--quota",
+        action="append",
+        metavar="TENANT=BYTES",
+        help="artifact-cache byte quota for one tenant (repeatable)",
+    )
+    p.add_argument(
+        "--default-quota",
+        type=int,
+        default=None,
+        dest="default_quota",
+        help="quota for tenants without an explicit --quota (default: none)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="enqueue sweep targets on the daemon")
+    p.add_argument(
+        "targets",
+        nargs="+",
+        help="tables/ablations and/or verify[:seeds[:batch]], as for 'run'",
+    )
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.add_argument("--tenant", default="default", help="tenant id")
+    p.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority (higher launches first)",
+    )
+    p.add_argument(
+        "--wait", action="store_true",
+        help="block until the job settles (exit 1 unless it completes)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", help="one job's record, or the whole queue")
+    p.add_argument("job", nargs="?", default=None, help="service job id")
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("results", help="fetch a settled job's payloads")
+    p.add_argument("job", help="service job id")
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write table payloads as files into this directory",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_results)
+
+    p = sub.add_parser("watch", help="stream a job's engine events live")
+    p.add_argument("job", help="service job id")
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job", help="service job id")
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.set_defaults(func=_cmd_cancel)
+
+    p = sub.add_parser("shutdown", help="ask the daemon to drain and exit")
+    p.add_argument("--dir", default=default_dir, help="service directory")
+    p.set_defaults(func=_cmd_shutdown)
     return parser
 
 
@@ -988,6 +1283,15 @@ def main(argv: Optional[list] = None) -> int:
     except FrontendError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    except BaseException as err:
+        # SIGTERM surfaces as GracefulExit from the engine/daemon after
+        # workers are reaped and the ledger is flushed; exit 128+SIGTERM.
+        from repro.engine import GracefulExit
+
+        if isinstance(err, GracefulExit):
+            print("\nterminated — partial results checkpointed", file=sys.stderr)
+            return GracefulExit.exit_code
+        raise
 
 
 if __name__ == "__main__":

@@ -22,7 +22,14 @@ jobs:
 from repro.engine.chaos import CHAOS_MODES, ChaosError, ChaosPlan
 from repro.engine.jobs import JOB_KINDS, JobSpec, render_table, run_job
 from repro.engine.ledger import LedgerState, RunLedger
-from repro.engine.supervisor import Engine, EngineConfig, RunReport
+from repro.engine.supervisor import (
+    Engine,
+    EngineConfig,
+    GracefulExit,
+    RunReport,
+    Wakeup,
+    with_priority,
+)
 from repro.engine.sweeps import SweepResult, build_sweep, new_run_id, run_sweep
 
 __all__ = [
@@ -31,15 +38,18 @@ __all__ = [
     "ChaosPlan",
     "Engine",
     "EngineConfig",
+    "GracefulExit",
     "JOB_KINDS",
     "JobSpec",
     "LedgerState",
     "RunLedger",
     "RunReport",
     "SweepResult",
+    "Wakeup",
     "build_sweep",
     "new_run_id",
     "render_table",
     "run_job",
     "run_sweep",
+    "with_priority",
 ]

@@ -51,7 +51,10 @@ class JobSpec:
 
     ``id`` must be unique within a run; ``deps`` name jobs that must
     complete first.  ``timeout``/``max_retries`` override the engine
-    defaults for this job only (``None`` means inherit).
+    defaults for this job only (``None`` means inherit).  ``priority``
+    orders ready-job launches (higher first; ties keep submission
+    order) without affecting the fingerprint — the same work submitted
+    at a different priority still resumes from its checkpoint.
     """
 
     id: str
@@ -60,6 +63,7 @@ class JobSpec:
     deps: Tuple[str, ...] = ()
     timeout: Optional[float] = None
     max_retries: Optional[int] = None
+    priority: int = 0
 
     def fingerprint(self) -> str:
         """Content hash of what determines the job's result — resume

@@ -6,7 +6,8 @@ raises, hangs past its timeout, or dies to SIGKILL takes down exactly
 one attempt of one job.  The supervisor:
 
 * schedules a DAG of :class:`~repro.engine.jobs.JobSpec` (a job launches
-  only after every dependency's payload exists);
+  only after every dependency's payload exists), launching ready jobs
+  highest ``priority`` first (ties broken by submission order);
 * retries failures with exponential backoff plus deterministic jitter,
   up to ``max_retries`` extra attempts per job;
 * kills attempts that outlive their timeout;
@@ -15,27 +16,104 @@ one attempt of one job.  The supervisor:
 * narrates everything (JobStart/JobRetry/JobFail/JobDone plus worker
   heartbeats) through an :class:`~repro.obs.Tracer`.
 
-On Ctrl-C the engine kills its workers, records the interruption in
-the ledger, flushes, and re-raises — the CLI maps that to exit 130.
+The scheduler loop does not poll: it blocks in
+:func:`multiprocessing.connection.wait` on the live worker pipes (and
+an optional :class:`Wakeup` channel), with the timeout bounded by the
+nearest real deadline — a worker timeout, a heartbeat, or a backoff
+expiry.  An idle engine therefore wakes at most a couple of times per
+second instead of burning a 20 ms busy-poll.
+
+``run`` can also *serve*: given an ``intake`` callable it keeps running
+after the initial specs settle, admitting externally submitted jobs as
+they arrive (the ``repro serve`` daemon feeds it through a thread-safe
+queue plus a :class:`Wakeup` pipe).  A spec resubmitted with an id and
+fingerprint that already completed replays its payload instantly — the
+scheduler-level warm-cache hit overlapping service submissions rely on.
+
+On Ctrl-C *or SIGTERM* the engine kills its workers, records the
+interruption (and which signal caused it) in the ledger, flushes, and
+re-raises — the CLI maps SIGINT to exit 130 and SIGTERM to exit 143.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
+import os
 import random
+import signal
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.engine.chaos import ChaosPlan, apply_in_worker, corrupt_one_cache_entry
 from repro.engine.jobs import JobSpec, run_job
 from repro.engine.ledger import LedgerState, RunLedger
 from repro.obs.events import JobDone, JobFail, JobRetry, JobStart, WorkerHeartbeat
 
-__all__ = ["Engine", "EngineConfig", "RunReport"]
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "GracefulExit",
+    "RunReport",
+    "Wakeup",
+    "with_priority",
+]
 
-#: scheduler poll granularity (seconds); bounds shutdown/timeout latency
-_POLL_INTERVAL = 0.02
+#: upper bound on one blocking wait (seconds); an *idle* serving engine
+#: wakes at most this often, so "no more than a handful per second"
+_MAX_WAIT = 0.5
+
+
+class GracefulExit(BaseException):
+    """Raised inside :meth:`Engine.run` when SIGTERM arrives.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    intermediate ``except Exception`` can swallow a shutdown request.
+    The CLI maps it to the conventional exit code 128+SIGTERM = 143.
+    """
+
+    exit_code = 143
+
+
+class Wakeup:
+    """A self-pipe another thread can poke to wake the engine loop.
+
+    The read end participates in :func:`multiprocessing.connection.wait`
+    alongside the worker pipes, so a submission, cancellation, or drain
+    request interrupts an idle engine immediately instead of waiting
+    out the current timeout.
+    """
+
+    def __init__(self) -> None:
+        self._read_fd, self._write_fd = os.pipe()
+        os.set_blocking(self._read_fd, False)
+
+    def fileno(self) -> int:
+        return self._read_fd
+
+    def set(self) -> None:
+        """Poke the engine (safe from any thread or signal handler)."""
+        try:
+            os.write(self._write_fd, b"x")
+        except OSError:  # pragma: no cover - pipe full or closed: moot
+            pass
+
+    def clear(self) -> None:
+        """Drain pending pokes (called by the engine after waking)."""
+        try:
+            while os.read(self._read_fd, 4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def close(self) -> None:
+        for fd in (self._read_fd, self._write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
 
 
 def _mp_context():
@@ -74,6 +152,9 @@ class EngineConfig:
     heartbeat_interval: float = 1.0
     chaos: Optional[ChaosPlan] = None
     seed: str = "run"  # jitter/chaos determinism scope
+    #: install a SIGTERM handler for the duration of ``run`` (the serve
+    #: daemon sets this False and installs its own drain handler)
+    install_sigterm: bool = True
 
 
 @dataclass
@@ -130,6 +211,9 @@ class Engine:
         self._seq = 0
         self._chaos_uses = 0
         self._ctx = _mp_context()
+        #: scheduler loop iterations in the most recent ``run`` — the
+        #: idle-CPU regression test pins this to "a handful per second"
+        self.wakeups = 0
 
     # -- event plumbing --------------------------------------------------------
 
@@ -173,25 +257,105 @@ class Engine:
         self,
         specs: Sequence[JobSpec],
         resume: Optional[LedgerState] = None,
+        *,
+        intake: Optional[Callable[[], Iterable[JobSpec]]] = None,
+        cancels: Optional[Callable[[], Iterable[str]]] = None,
+        stop: Optional[Callable[[], bool]] = None,
+        wakeup: Optional[Wakeup] = None,
     ) -> RunReport:
+        """Supervise ``specs`` (and, when serving, whatever ``intake``
+        delivers later) until everything settles.
+
+        ``intake`` turns the call into a long-running service loop: the
+        engine stays alive when idle and admits the specs the callable
+        returns each iteration.  ``cancels`` yields job ids to abort
+        (pending jobs are dropped, live attempts killed).  ``stop``
+        requests a graceful drain: no new launches, return once live
+        attempts settle.  ``wakeup`` is waited on alongside the worker
+        pipes so another thread can interrupt an idle engine.
+        """
         self._validate(specs)
         config = self.config
         report = RunReport()
+        self.wakeups = 0
         pending: Dict[str, JobSpec] = {s.id: s for s in specs}
-        order: List[str] = [s.id for s in specs]  # stable launch order
+        submit_seq: Dict[str, int] = {s.id: i for i, s in enumerate(specs)}
+        known: Dict[str, JobSpec] = dict(pending)
+        fingerprints: Dict[str, str] = {}
         live: Dict[str, _Worker] = {}
         next_eligible: Dict[str, float] = {}
+        serving = intake is not None
+        interrupted_by: Optional[str] = None
         t0 = time.monotonic()
 
-        if resume is not None:
-            for spec in specs:
-                payload = resume.payload_for(spec.id, spec.fingerprint())
-                if payload is not None:
-                    report.results[spec.id] = payload
-                    report.attempts[spec.id] = 0
-                    del pending[spec.id]
+        def settle_from_ledger(spec: JobSpec) -> bool:
+            if resume is None:
+                return False
+            payload = resume.payload_for(spec.id, spec.fingerprint())
+            if payload is None:
+                return False
+            report.results[spec.id] = payload
+            report.attempts[spec.id] = 0
+            fingerprints[spec.id] = spec.fingerprint()
+            pending.pop(spec.id, None)
+            report.resumed += 1
+            self._emit(JobDone, job=spec.id, attempts=0, seconds=0.0)
+            return True
+
+        for spec in specs:
+            settle_from_ledger(spec)
+
+        def admit(spec: JobSpec) -> None:
+            """Admit one externally submitted spec into the DAG.
+
+            A spec whose id already completed with the same fingerprint
+            replays instantly (the scheduler-level warm-cache hit); the
+            same id with *different* params is rejected as a conflict.
+            A previously failed id is given a fresh chance.
+            """
+            existing = known.get(spec.id)
+            if existing is not None:
+                if existing.fingerprint() != spec.fingerprint():
+                    report.failed[spec.id] = (
+                        "job id conflict: resubmitted with different params"
+                    )
+                    self._emit(
+                        JobFail,
+                        job=spec.id,
+                        attempts=0,
+                        error=report.failed[spec.id],
+                    )
+                    return
+                if spec.id in report.results:
+                    # Identical job already done: replay, don't re-run.
                     report.resumed += 1
                     self._emit(JobDone, job=spec.id, attempts=0, seconds=0.0)
+                    return
+                if spec.id in pending or spec.id in live:
+                    return  # already queued: the new submission shares it
+                # Previously failed (or cancelled): retry from scratch.
+                report.failed.pop(spec.id, None)
+            unknown = [d for d in spec.deps if d not in known and d != spec.id]
+            if unknown or spec.id in spec.deps:
+                report.failed[spec.id] = (
+                    f"invalid submission: unknown dependencies {unknown}"
+                    if unknown
+                    else "invalid submission: depends on itself"
+                )
+                self._emit(
+                    JobFail, job=spec.id, attempts=0, error=report.failed[spec.id]
+                )
+                return
+            failed_deps = [d for d in spec.deps if d in report.failed]
+            known[spec.id] = spec
+            submit_seq.setdefault(spec.id, len(submit_seq))
+            if failed_deps:
+                fail_job(spec, 0, f"dependency {failed_deps[0]!r} failed")
+                return
+            pending[spec.id] = spec
+            report.attempts.pop(spec.id, None)
+            if settle_from_ledger(spec):
+                return
 
         def retries_for(spec: JobSpec) -> int:
             return (
@@ -214,9 +378,12 @@ class Engine:
             report.failed[spec.id] = error
             report.attempts[spec.id] = attempts
             pending.pop(spec.id, None)
-            self._emit(JobFail, job=spec.id, attempts=attempts, error=error)
+            # Ledger before event: an observer that reacts to JobFail
+            # (the serve daemon's settlement sink) must find the record
+            # already durable.
             if self.ledger is not None:
                 self.ledger.job_fail(spec.id, attempts, error)
+            self._emit(JobFail, job=spec.id, attempts=attempts, error=error)
             # Cascade: dependents can never run now.
             for other_id in list(pending):
                 other = pending.get(other_id)
@@ -227,22 +394,37 @@ class Engine:
                 ):
                     fail_job(other, 0, f"dependency {spec.id!r} failed")
 
+        def cancel_job(job_id: str) -> None:
+            worker = live.pop(job_id, None)
+            if worker is not None:
+                reap(worker)
+                fail_job(worker.spec, worker.attempt, "cancelled")
+                return
+            spec = pending.get(job_id)
+            if spec is not None:
+                next_eligible.pop(job_id, None)
+                fail_job(spec, report.attempts.get(job_id, 0), "cancelled")
+
         def finish_job(worker: _Worker, payload: dict) -> None:
             spec = worker.spec
             seconds = time.monotonic() - worker.started
             report.results[spec.id] = payload
             report.attempts[spec.id] = worker.attempt
+            fingerprints[spec.id] = spec.fingerprint()
             pending.pop(spec.id, None)
+            # Ledger before event: JobDone is the commit signal for
+            # observers (watchers, the daemon), so the payload must be
+            # stored by the time they see it.
+            if self.ledger is not None:
+                self.ledger.job_done(
+                    spec.id, spec.fingerprint(), worker.attempt, payload
+                )
             self._emit(
                 JobDone,
                 job=spec.id,
                 attempts=worker.attempt,
                 seconds=round(seconds, 6),
             )
-            if self.ledger is not None:
-                self.ledger.job_done(
-                    spec.id, spec.fingerprint(), worker.attempt, payload
-                )
 
         def attempt_failed(worker: _Worker, error: str) -> None:
             spec = worker.spec
@@ -261,6 +443,7 @@ class Engine:
                 fail_job(spec, worker.attempt, error)
 
         def launch(spec: JobSpec) -> None:
+            next_eligible.pop(spec.id, None)
             attempt = report.attempts.get(spec.id, 0) + 1
             report.attempts[spec.id] = attempt
             chaos_action = None
@@ -293,26 +476,86 @@ class Engine:
             worker.proc.join()
             worker.conn.close()
 
+        def wait_timeout(now: float, draining: bool) -> Optional[float]:
+            """Seconds until the nearest deadline the loop must act on.
+
+            Worker timeouts and heartbeat emissions always count; a
+            backoff expiry only counts while a worker slot is free
+            (otherwise the launch it would enable cannot happen until a
+            pipe becomes readable anyway, which wakes us by itself).
+            """
+            deadlines: List[float] = []
+            for worker in live.values():
+                if worker.deadline is not None:
+                    deadlines.append(worker.deadline)
+                deadlines.append(worker.last_beat + config.heartbeat_interval)
+            if not draining and len(live) < config.max_workers:
+                for job_id, eligible in next_eligible.items():
+                    if job_id in pending and job_id not in live:
+                        deadlines.append(eligible)
+            if not deadlines:
+                return _MAX_WAIT
+            return max(0.0, min(min(deadlines) - now, _MAX_WAIT))
+
+        previous_sigterm = None
+        sigterm_installed = False
+        if (
+            config.install_sigterm
+            and threading.current_thread() is threading.main_thread()
+        ):
+
+            def _on_sigterm(_signum, _frame):
+                raise GracefulExit()
+
+            try:
+                previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+                sigterm_installed = True
+            except ValueError:  # pragma: no cover - exotic embedding
+                pass
+
         try:
-            while pending or live:
+            while True:
+                self.wakeups += 1
+                if intake is not None:
+                    for spec in intake():
+                        admit(spec)
+                if cancels is not None:
+                    for job_id in cancels():
+                        cancel_job(job_id)
+                draining = bool(stop is not None and stop())
+                if draining and not live:
+                    break
+                if not serving and not pending and not live:
+                    break
                 now = time.monotonic()
-                # Launch everything launchable, in submission order.
-                for job_id in order:
-                    if len(live) >= config.max_workers:
-                        break
-                    spec = pending.get(job_id)
-                    if spec is None or job_id in live:
-                        continue
-                    if any(dep not in report.results for dep in spec.deps):
-                        continue
-                    if now < next_eligible.get(job_id, 0.0):
-                        continue
-                    launch(spec)
-                if not live:
-                    # Everything pending is waiting out a backoff.
-                    time.sleep(_POLL_INTERVAL)
-                    continue
-                time.sleep(_POLL_INTERVAL)
+                if not draining:
+                    # Launch everything launchable: highest priority
+                    # first, submission order within a priority.
+                    ready = sorted(
+                        pending.values(),
+                        key=lambda s: (-s.priority, submit_seq[s.id]),
+                    )
+                    for spec in ready:
+                        if len(live) >= config.max_workers:
+                            break
+                        if spec.id in live:
+                            continue
+                        if any(dep not in report.results for dep in spec.deps):
+                            continue
+                        if now < next_eligible.get(spec.id, 0.0):
+                            continue
+                        launch(spec)
+                now = time.monotonic()
+                waitables: List[object] = [w.conn for w in live.values()]
+                if wakeup is not None:
+                    waitables.append(wakeup)
+                timeout = wait_timeout(now, draining)
+                if waitables:
+                    multiprocessing.connection.wait(waitables, timeout=timeout)
+                elif timeout and timeout > 0:
+                    time.sleep(timeout)
+                if wakeup is not None:
+                    wakeup.clear()
                 now = time.monotonic()
                 for job_id, worker in list(live.items()):
                     message = None
@@ -357,14 +600,37 @@ class Engine:
                             worker=worker.proc.pid or 0,
                             job=job_id,
                         )
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, GracefulExit) as err:
+            # SIGINT and SIGTERM share one shutdown path: kill workers,
+            # record the interruption, flush the ledger, re-raise (the
+            # CLI maps them to exit 130 / 143).
+            interrupted_by = (
+                "SIGTERM" if isinstance(err, GracefulExit) else "SIGINT"
+            )
             for worker in live.values():
                 reap(worker)
             if self.ledger is not None:
                 self.ledger.append(
-                    {"kind": "interrupt", "live": sorted(live)}
+                    {
+                        "kind": "interrupt",
+                        "signal": interrupted_by,
+                        "live": sorted(live),
+                    }
                 )
                 self.ledger.close()
             raise
+        finally:
+            if sigterm_installed:
+                signal.signal(
+                    signal.SIGTERM,
+                    signal.SIG_DFL if previous_sigterm is None else previous_sigterm,
+                )
         report.elapsed = time.monotonic() - t0
         return report
+
+
+def with_priority(spec: JobSpec, priority: int) -> JobSpec:
+    """A copy of ``spec`` scheduled at ``priority`` (fingerprint-neutral)."""
+    if spec.priority == priority:
+        return spec
+    return replace(spec, priority=priority)

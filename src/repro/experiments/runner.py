@@ -22,6 +22,7 @@ event-driven simulator for memory ceilings and LOCK pinning.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -231,26 +232,67 @@ def _entry_paths(cdir: Path, key: str) -> Tuple[Path, Path]:
     return cdir / f"trace-{key}.npz", cdir / f"sweeps-{key}.npz"
 
 
-def _quarantine_entry(cdir: Path, key: str, reason: str) -> None:
-    """Move a bad cache entry aside as ``*.corrupt`` instead of leaving
-    it to crash (or silently poison) every future load.  The rename is
-    best-effort — a read-only cache just stays unreadable and is treated
-    as a miss each time."""
+#: per-process counter making quarantine names unique within one pid
+_QUARANTINE_SEQ = itertools.count(1)
+
+
+def stat_fingerprint(path: Path) -> Optional[Tuple[int, int, int]]:
+    """A cheap identity for the bytes currently at ``path``.
+
+    Entries are only ever replaced atomically (write-then-``os.replace``),
+    so a rebuild changes the inode — (inode, size, mtime_ns) pins the
+    exact file a failed load actually read.
+    """
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+
+def quarantine_paths(
+    paths,
+    label: str,
+    key: str,
+    reason: str,
+    observed: Optional[Dict[Path, Optional[Tuple[int, int, int]]]] = None,
+    stacklevel: int = 4,
+) -> List[str]:
+    """Move bad cache files aside as uniquely named ``*.corrupt``.
+
+    Cross-process safe: the quarantine name carries a pid/sequence
+    suffix so two processes quarantining concurrently never overwrite
+    each other's evidence, and when ``observed`` carries the
+    :func:`stat_fingerprint` of the bytes the failed load actually
+    read, a path whose fingerprint has since changed is left alone — a
+    freshly rebuilt good entry must never be clobbered into
+    ``*.corrupt`` by a process that raced with the rebuild.  The rename
+    is best-effort — a read-only cache just stays unreadable and is
+    treated as a miss each time.
+    """
     renamed = []
-    for path in _entry_paths(cdir, key):
+    for path in paths:
         if not path.exists():
             continue
+        if observed is not None:
+            expected = observed.get(path)
+            if expected is not None and stat_fingerprint(path) != expected:
+                continue  # rebuilt under us: the new bytes are not ours to judge
+        unique = path.with_name(
+            f"{path.name}.{os.getpid()}-{next(_QUARANTINE_SEQ)}.corrupt"
+        )
         try:
-            os.replace(path, path.with_name(path.name + ".corrupt"))
-            renamed.append(path.name)
+            os.replace(path, unique)
+            renamed.append(unique.name)
         except OSError:
             pass
     warnings.warn(
-        f"artifact cache entry {key} unreadable ({reason}); "
+        f"{label} cache entry {key} unreadable ({reason}); "
         f"quarantined {renamed or 'nothing'} and recomputing",
         RuntimeWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
+    return renamed
 
 
 def _load_entry(
@@ -259,6 +301,9 @@ def _load_entry(
     trace_path, sweeps_path = _entry_paths(cdir, key)
     if not (trace_path.exists() and sweeps_path.exists()):
         return None
+    observed = {
+        path: stat_fingerprint(path) for path in (trace_path, sweeps_path)
+    }
     try:
         trace = trace_io.load_trace(trace_path)
         arrays = trace_io.load_sweeps(sweeps_path)
@@ -297,7 +342,13 @@ def _load_entry(
         # as anything from json/zlib/numpy — every one of them is a
         # cache miss, never a crash.  Quarantine so the bad bytes are
         # kept for inspection but never re-read.
-        _quarantine_entry(cdir, key, f"{type(err).__name__}: {err}")
+        quarantine_paths(
+            (trace_path, sweeps_path),
+            "artifact",
+            key,
+            f"{type(err).__name__}: {err}",
+            observed=observed,
+        )
         return None
     return trace, lru, ws
 
@@ -420,7 +471,7 @@ def clear_cache(disk: bool = True) -> None:
         "sweeps-*.npz",
         "runs-*.npz",
         "static-*.npz",
-        "*.npz.corrupt",
+        "*.corrupt",
     ):
         for path in cdir.glob(pattern):
             path.unlink(missing_ok=True)
@@ -440,8 +491,49 @@ def cache_info() -> Dict[str, object]:
         files = list(cdir.glob("trace-*.npz")) + list(cdir.glob("sweeps-*.npz"))
         info["disk_entries"] = len(files)
         info["disk_bytes"] = sum(f.stat().st_size for f in files)
-        info["quarantined"] = len(list(cdir.glob("*.npz.corrupt")))
+        info["quarantined"] = len(list(cdir.glob("*.corrupt")))
     return info
+
+
+def cache_entry_key(
+    name: str,
+    page_config: Optional[PageConfig] = None,
+    strategy: SizingStrategy = SizingStrategy.ACTIVE_PAGE,
+    with_locks: bool = False,
+) -> str:
+    """The disk-cache key one (workload, geometry, locks) spec maps to.
+
+    The service daemon uses this for per-tenant byte accounting: a
+    submission is charged for exactly the entries its warm jobs were
+    first to materialize (see :func:`cache_entry_bytes`).
+    """
+    page_config = page_config or PageConfig()
+    return _cache_key(
+        get_workload(name).source, page_config, strategy, with_locks
+    )
+
+
+def cache_entry_exists(key: str) -> bool:
+    """True when both archives of entry ``key`` are on disk."""
+    cdir = cache_dir()
+    if cdir is None:
+        return False
+    trace_path, sweeps_path = _entry_paths(cdir, key)
+    return trace_path.exists() and sweeps_path.exists()
+
+
+def cache_entry_bytes(key: str) -> int:
+    """On-disk size of entry ``key`` (0 when absent or cache disabled)."""
+    cdir = cache_dir()
+    if cdir is None:
+        return 0
+    total = 0
+    for path in _entry_paths(cdir, key):
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass
+    return total
 
 
 # -- parallel warm-up ----------------------------------------------------------

@@ -38,7 +38,14 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import Profile, build_profile, load_events
 from repro.obs.report import render_profile
-from repro.obs.sinks import JsonlSink, RingBufferSink, Sink, SummarySink
+from repro.obs.sinks import (
+    BroadcastSink,
+    JsonlSink,
+    QueueSink,
+    RingBufferSink,
+    Sink,
+    SummarySink,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -70,7 +77,9 @@ __all__ = [
     "build_profile",
     "load_events",
     "render_profile",
+    "BroadcastSink",
     "JsonlSink",
+    "QueueSink",
     "RingBufferSink",
     "Sink",
     "SummarySink",

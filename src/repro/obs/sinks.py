@@ -5,12 +5,18 @@
 * :class:`JsonlSink` — persist one JSON object per line, the on-disk
   timeline format under ``results/timelines/``;
 * :class:`SummarySink` — constant-space aggregation (event counts, PF,
-  peak residency) for cheap always-on accounting.
+  peak residency) for cheap always-on accounting;
+* :class:`BroadcastSink` — thread-safe fan-out to a mutable set of
+  downstream sinks (the service daemon's live event feed);
+* :class:`QueueSink` — push events onto a ``queue.Queue`` so another
+  thread (a connection handler) can drain them at its own pace.
 """
 
 from __future__ import annotations
 
 import json
+import queue
+import threading
 from collections import Counter, deque
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -109,3 +115,76 @@ class SummarySink(Sink):
             "peak_resident": self.peak_resident,
             "last_time": self.last_time,
         }
+
+
+class BroadcastSink(Sink):
+    """Fan one event stream out to many downstream sinks.
+
+    Subscribers come and go while events flow — the daemon keeps one
+    broadcast per engine loop and each ``watch`` connection subscribes
+    its own :class:`QueueSink` — so membership changes are guarded by a
+    lock and delivery snapshots the member list (a subscriber added
+    mid-event sees the *next* event).  A subscriber that raises is
+    dropped rather than poisoning the stream for everyone else.
+
+    Closing the broadcast does **not** close subscribers: their owners
+    (connection handlers) close them when the connection ends.
+    """
+
+    def __init__(self, *sinks: Sink):
+        self._lock = threading.Lock()
+        self._sinks: List[Sink] = list(sinks)
+
+    def subscribe(self, sink: Sink) -> None:
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def unsubscribe(self, sink: Sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sinks)
+
+    def handle(self, event: Event) -> None:
+        with self._lock:
+            members = list(self._sinks)
+        dead = []
+        for sink in members:
+            try:
+                sink.handle(event)
+            except Exception:
+                dead.append(sink)
+        for sink in dead:
+            self.unsubscribe(sink)
+
+
+class QueueSink(Sink):
+    """Bridge the event stream to another thread via ``queue.Queue``.
+
+    ``close()`` enqueues a ``None`` sentinel so the consumer's blocking
+    ``get`` loop terminates.  A bounded queue drops the *oldest* events
+    on overflow (a slow watcher lags, it does not stall the engine).
+    """
+
+    def __init__(self, maxsize: int = 0):
+        self.queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
+        self.dropped = 0
+
+    def handle(self, event: Event) -> None:
+        while True:
+            try:
+                self.queue.put_nowait(event)
+                return
+            except queue.Full:
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                except queue.Empty:  # racing consumer drained it
+                    continue
+
+    def close(self) -> None:
+        self.queue.put(None)

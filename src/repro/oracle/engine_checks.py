@@ -17,7 +17,7 @@ with :mod:`repro.engine.chaos` and asserting the engine's contract
   changed;
 * ``engine-heal`` — corrupting a persisted artifact-cache archive is
   repaired transparently: the bad entry is quarantined as
-  ``*.npz.corrupt``, a warning is logged, and the rebuilt artifacts
+  ``*.npz.<pid>-<seq>.corrupt``, a warning is logged, and the rebuilt artifacts
   produce identical CD results.
 
 Everything runs on ``selftest`` jobs (pure arithmetic) except the
@@ -262,12 +262,12 @@ def check_engine_heal() -> List[Divergence]:
                         "corrupt cache entry rebuilt without a warning",
                     )
                 )
-            quarantined = list(Path(tmp).glob("*.npz.corrupt"))
+            quarantined = list(Path(tmp).glob("*.corrupt"))
             if not quarantined:
                 out.append(
                     Divergence(
                         "engine-heal",
-                        "corrupt archive was not quarantined as *.npz.corrupt",
+                        "corrupt archive was not quarantined as *.corrupt",
                     )
                 )
             if (

@@ -1,0 +1,45 @@
+"""The paging-policy service: a persistent sweep daemon.
+
+``repro serve`` wraps the supervised engine (:mod:`repro.engine`) in a
+long-running job-queue daemon listening on a UNIX domain socket.
+Clients (``repro submit / status / results / watch / cancel``) speak
+newline-delimited JSON; each submission is a list of sweep targets
+(exactly what ``repro run`` accepts) tagged with a tenant id and a
+scheduling priority.
+
+* :mod:`repro.service.protocol` — NDJSON framing over the socket plus
+  the default socket/runtime-directory layout;
+* :mod:`repro.service.quota` — per-tenant artifact-cache byte quotas,
+  charged once per cache entry to the tenant that materialized it;
+* :mod:`repro.service.queue` — service jobs and the fsynced queue
+  journal that lets a restarted daemon resume exactly;
+* :mod:`repro.service.daemon` — the daemon: listener + engine loop,
+  live event fan-out to watchers, SIGTERM drain;
+* :mod:`repro.service.client` — the client used by the CLI
+  subcommands (and anything else that wants to drive the daemon).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServeDaemon
+from repro.service.protocol import (
+    DEFAULT_SERVICE_DIR,
+    recv_message,
+    send_message,
+    socket_path,
+)
+from repro.service.queue import JobQueue, ServiceJob
+from repro.service.quota import QuotaError, TenantQuotas
+
+__all__ = [
+    "DEFAULT_SERVICE_DIR",
+    "JobQueue",
+    "QuotaError",
+    "ServeDaemon",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJob",
+    "TenantQuotas",
+    "recv_message",
+    "send_message",
+    "socket_path",
+]

@@ -1,0 +1,121 @@
+"""The service client: what the CLI subcommands drive.
+
+One :class:`ServiceClient` wraps one connection to a running daemon.
+Every method is a single request/response exchange except
+:meth:`watch`, which yields the streamed event frames until the job
+settles.  Errors the daemon reports come back as :class:`ServiceError`
+so the CLI can print them without a traceback.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.service.protocol import recv_message, send_message, socket_path
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request (or is unreachable)."""
+
+
+class ServiceClient:
+    """A connection to a ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        service_dir: Union[str, Path, None] = None,
+        timeout: Optional[float] = None,
+    ):
+        self.sock_path = socket_path(service_dir)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(str(self.sock_path))
+        except OSError as err:
+            self._sock.close()
+            raise ServiceError(
+                f"no daemon on {self.sock_path} ({err}); start one with "
+                "'repro serve'"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _exchange(self, request: dict) -> dict:
+        send_message(self._sock, request)
+        reply = recv_message(self._reader)
+        if reply is None:
+            raise ServiceError("daemon closed the connection")
+        if not reply.get("ok", False):
+            raise ServiceError(reply.get("error", "request failed"))
+        return reply
+
+    # -- ops -------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._exchange({"op": "ping"})
+
+    def submit(
+        self,
+        targets: List[str],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> dict:
+        return self._exchange(
+            {
+                "op": "submit",
+                "targets": list(targets),
+                "tenant": tenant,
+                "priority": priority,
+            }
+        )
+
+    def status(self, job: Optional[str] = None) -> dict:
+        request = {"op": "status"}
+        if job is not None:
+            request["job"] = job
+        return self._exchange(request)
+
+    def results(self, job: str) -> dict:
+        return self._exchange({"op": "results", "job": job})
+
+    def cancel(self, job: str) -> dict:
+        return self._exchange({"op": "cancel", "job": job})
+
+    def shutdown(self) -> dict:
+        return self._exchange({"op": "shutdown"})
+
+    def watch(self, job: str) -> Iterator[dict]:
+        """Yield ``{"event": ...}`` frames, then the ``{"done": ...}``
+        terminator (yielded last so callers see the final state)."""
+        self._exchange({"op": "watch", "job": job})
+        while True:
+            frame = recv_message(self._reader)
+            if frame is None:
+                raise ServiceError("daemon closed the stream")
+            yield frame
+            if "done" in frame:
+                return
+
+    def wait(self, job: str) -> str:
+        """Block until the job settles; returns its final state."""
+        final = "unknown"
+        for frame in self.watch(job):
+            if "done" in frame:
+                final = str(frame.get("state", "unknown"))
+        return final

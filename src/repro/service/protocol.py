@@ -1,0 +1,100 @@
+"""Wire protocol: newline-delimited JSON over a UNIX domain socket.
+
+Every request and response is one JSON object on one line, UTF-8,
+``\\n``-terminated — the same framing as the run ledger and the event
+logs, so the whole stack stays greppable with standard tools.
+
+Requests carry an ``op`` plus op-specific fields::
+
+    {"op": "submit", "targets": ["1"], "tenant": "alice", "priority": 5}
+
+Responses carry ``ok`` plus either the result fields or an ``error``::
+
+    {"ok": true, "job": "j0001", "specs": ["warm:field", "table:1"]}
+    {"ok": false, "error": "tenant alice over quota ..."}
+
+``watch`` is the one streaming op: after the initial ``ok`` the server
+keeps writing ``{"event": {...}}`` lines (engine lifecycle events for
+the watched job's specs, in :mod:`repro.obs.events` dict form) and
+finishes with ``{"done": true, "state": "..."}``.
+
+Ops
+---
+
+``ping``
+    Liveness check; returns the daemon's pid and queue depth.
+``submit``
+    Enqueue sweep targets as one service job.
+``status``
+    One job's record, or every job the daemon knows.
+``results``
+    A settled job's per-spec payloads (table text, oracle reports…).
+``watch``
+    Stream the job's engine events until it settles.
+``cancel``
+    Cancel a job; specs shared with other live jobs keep running.
+``shutdown``
+    Drain in-flight attempts and exit cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "DEFAULT_SERVICE_DIR",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+    "socket_path",
+]
+
+#: default daemon runtime directory (socket, queue journal, ledgers)
+DEFAULT_SERVICE_DIR = Path("results") / "service"
+
+#: socket filename inside the service directory
+SOCKET_NAME = "serve.sock"
+
+#: generous per-line cap — a table payload is ~2 KB, oracle reports a
+#: few hundred KB at worst; anything past this is a protocol bug
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad JSON, oversized line, truncated stream)."""
+
+
+def socket_path(service_dir: Union[str, Path, None] = None) -> Path:
+    """The daemon's socket path for a service directory."""
+    return Path(service_dir or DEFAULT_SERVICE_DIR) / SOCKET_NAME
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one JSON object as one line (atomic enough for AF_UNIX)."""
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    sock.sendall(data.encode("utf-8") + b"\n")
+
+
+def recv_message(fh) -> Optional[dict]:
+    """Read one frame from a file-like reader; ``None`` on EOF.
+
+    ``fh`` is a buffered reader over the socket (``sock.makefile("rb")``)
+    so partial reads are reassembled into full lines for us.
+    """
+    line = fh.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+    if not line.endswith(b"\n"):
+        raise ProtocolError("truncated frame (connection died mid-line)")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ProtocolError(f"bad frame: {err}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message

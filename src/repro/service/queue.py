@@ -1,0 +1,209 @@
+"""Service jobs and the fsynced queue journal.
+
+A *service job* is one submission: a tenant, a priority, the sweep
+targets, and the engine spec ids they expanded to.  The daemon
+journals every submission and every state change to ``queue.jsonl``
+with the same fsync-per-append discipline as the run ledger
+(:class:`repro.engine.ledger.RunLedger` *is* the writer), so a daemon
+killed at any instant restarts with at most the line being written
+lost, and ``repro serve --resume`` re-enqueues exactly the jobs that
+had not settled.
+
+Record kinds
+------------
+
+``submit``
+    One accepted submission: job id, tenant, priority, targets, and
+    the expanded engine spec ids.
+
+``job-state``
+    A terminal transition: ``done``, ``failed`` (with the first spec
+    error), or ``cancelled``.  Jobs without one are pending on resume.
+
+``charge``
+    A quota charge: tenant, cache key, bytes.  Replayed on resume so
+    accounting survives restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.ledger import RunLedger
+
+__all__ = ["JobQueue", "ServiceJob"]
+
+#: states a service job can be in (terminal: done/failed/cancelled)
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class ServiceJob:
+    """One submission's bookkeeping."""
+
+    id: str
+    tenant: str
+    priority: int
+    targets: List[str]
+    specs: Tuple[str, ...]
+    state: str = "queued"
+    error: Optional[str] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "targets": list(self.targets),
+            "specs": list(self.specs),
+            "state": self.state,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """The daemon's job table plus its crash-safe journal.
+
+    Not thread-safe by itself; the daemon serializes access (handler
+    threads submit, the engine thread settles) under its state lock.
+    """
+
+    def __init__(self, journal_path: Union[str, Path]):
+        self.journal = RunLedger(journal_path)
+        self.jobs: Dict[str, ServiceJob] = {}
+        self._next = 1
+
+    # -- journal replay --------------------------------------------------------
+
+    @staticmethod
+    def load_records(journal_path: Union[str, Path]) -> List[dict]:
+        """Parse the journal, skipping a torn tail like the run ledger."""
+        import json
+
+        records: List[dict] = []
+        path = Path(journal_path)
+        if not path.exists():
+            return records
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # crash mid-append: don't trust the line
+        return records
+
+    @classmethod
+    def resume(
+        cls, journal_path: Union[str, Path]
+    ) -> Tuple["JobQueue", List[dict]]:
+        """Rebuild the job table from the journal.
+
+        Returns the queue plus the ``charge`` records (the daemon
+        replays those into its :class:`~repro.service.quota.TenantQuotas`).
+        """
+        queue = cls(journal_path)
+        charges: List[dict] = []
+        for record in cls.load_records(journal_path):
+            kind = record.get("kind")
+            if kind == "submit":
+                job = ServiceJob(
+                    id=record["job"],
+                    tenant=record.get("tenant", "default"),
+                    priority=int(record.get("priority", 0)),
+                    targets=list(record.get("targets", [])),
+                    specs=tuple(record.get("specs", [])),
+                )
+                queue.jobs[job.id] = job
+                number = _job_number(job.id)
+                if number is not None and number >= queue._next:
+                    queue._next = number + 1
+            elif kind == "job-state":
+                job = queue.jobs.get(record.get("job", ""))
+                if job is not None and record.get("state") in JOB_STATES:
+                    job.state = record["state"]
+                    job.error = record.get("error")
+            elif kind == "charge":
+                charges.append(record)
+        return queue, charges
+
+    # -- mutation (journal + table together) -----------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        priority: int,
+        targets: List[str],
+        specs: Tuple[str, ...],
+    ) -> ServiceJob:
+        job = ServiceJob(
+            id=f"j{self._next:04d}",
+            tenant=tenant,
+            priority=priority,
+            targets=list(targets),
+            specs=specs,
+        )
+        self._next += 1
+        self.jobs[job.id] = job
+        self.journal.append(
+            {
+                "kind": "submit",
+                "job": job.id,
+                "tenant": job.tenant,
+                "priority": job.priority,
+                "targets": job.targets,
+                "specs": list(job.specs),
+            }
+        )
+        return job
+
+    def set_state(
+        self, job: ServiceJob, state: str, error: Optional[str] = None
+    ) -> None:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        if job.state == state:
+            return
+        job.state = state
+        job.error = error
+        if job.settled or state == "running":
+            record = {"kind": "job-state", "job": job.id, "state": state}
+            if error:
+                record["error"] = error
+            self.journal.append(record)
+
+    def record_charge(self, tenant: str, key: str, nbytes: int) -> None:
+        self.journal.append(
+            {"kind": "charge", "tenant": tenant, "key": key, "bytes": nbytes}
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def pending(self) -> List[ServiceJob]:
+        """Jobs that have not settled, in submission order."""
+        return [job for job in self.jobs.values() if not job.settled]
+
+    def spec_refs(self, spec_id: str) -> List[ServiceJob]:
+        """Live jobs referencing a spec (cancel keeps shared specs)."""
+        return [
+            job
+            for job in self.jobs.values()
+            if not job.settled and spec_id in job.specs
+        ]
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+def _job_number(job_id: str) -> Optional[int]:
+    if job_id.startswith("j") and job_id[1:].isdigit():
+        return int(job_id[1:])
+    return None

@@ -1,0 +1,95 @@
+"""Per-tenant artifact-cache quotas.
+
+The daemon shares one content-hash artifact cache across every tenant:
+the second tenant to ask for Table 1 gets a scheduler-level warm hit
+and pays nothing.  What a quota bounds is how much *new* cache a
+tenant can materialize.  Each cache entry (a ``warm`` artifact key) is
+charged exactly once — to the tenant whose job first built it — at its
+actual on-disk size; entries that already exist at submission time are
+free for everyone.
+
+Enforcement happens at admission: a submission from a tenant whose
+charged bytes already meet its limit is rejected before anything is
+enqueued.  A job admitted under the limit may still push the tenant
+over it when its artifacts land (sizes are only known after the
+build); the overrun is recorded and the *next* submission is denied —
+the classic disk-quota soft edge, documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["QuotaError", "TenantQuotas"]
+
+
+class QuotaError(RuntimeError):
+    """A submission was denied at admission for being over quota."""
+
+
+class TenantQuotas:
+    """Charge-once-per-key byte accounting with per-tenant limits.
+
+    Not thread-safe by itself — the daemon serializes all access under
+    its state lock (charges come from the engine thread, admission
+    checks from connection handler threads).
+    """
+
+    def __init__(
+        self,
+        limits: Optional[Dict[str, int]] = None,
+        default_limit: Optional[int] = None,
+    ):
+        #: tenant -> byte limit; missing tenants use ``default_limit``
+        self.limits = dict(limits or {})
+        #: limit for tenants not in ``limits`` (None: unlimited)
+        self.default_limit = default_limit
+        #: cache key -> (tenant, bytes) for every charged entry
+        self.charged: Dict[str, tuple] = {}
+        #: tenant -> total charged bytes
+        self.used: Dict[str, int] = {}
+
+    def limit_for(self, tenant: str) -> Optional[int]:
+        return self.limits.get(tenant, self.default_limit)
+
+    def used_by(self, tenant: str) -> int:
+        return self.used.get(tenant, 0)
+
+    def check_admission(self, tenant: str) -> None:
+        """Raise :class:`QuotaError` when the tenant is at/over limit."""
+        limit = self.limit_for(tenant)
+        if limit is None:
+            return
+        used = self.used_by(tenant)
+        if used >= limit:
+            raise QuotaError(
+                f"tenant {tenant!r} over quota: {used} of {limit} "
+                "bytes charged; cancel jobs or clear cache entries"
+            )
+
+    def mark_free(self, key: str) -> None:
+        """Record that ``key`` pre-existed: nobody pays for it, ever."""
+        self.charged.setdefault(key, (None, 0))
+
+    def charge(self, tenant: str, key: str, nbytes: int) -> bool:
+        """Charge ``key`` to ``tenant`` unless some tenant already paid.
+
+        Returns True when a new charge was recorded (the caller
+        journals it); False when the key was already charged.
+        """
+        if key in self.charged or nbytes <= 0:
+            return False
+        self.charged[key] = (tenant, nbytes)
+        self.used[tenant] = self.used_by(tenant) + nbytes
+        return True
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-tenant usage for ``status`` responses."""
+        tenants = set(self.used) | set(self.limits)
+        return {
+            tenant: {
+                "used_bytes": self.used_by(tenant),
+                "limit_bytes": self.limit_for(tenant),
+            }
+            for tenant in sorted(tenants)
+        }

@@ -1,6 +1,7 @@
 """The run ledger: durable checkpoints, torn tails, resume semantics."""
 
 import json
+import threading
 
 from repro.engine import Engine, EngineConfig, JobSpec, LedgerState, RunLedger
 
@@ -62,6 +63,64 @@ class TestRoundTrip:
         assert len(lines) == 2
         for line in lines:
             json.loads(line)
+
+
+class TestConcurrentReader:
+    """The serve daemon reads ledgers other processes are appending to
+    (``--resume`` races the dying daemon's last fsync; status tools
+    tail live runs).  A reader must only ever see whole records — a
+    half-appended line is skipped, never half-parsed."""
+
+    def test_reader_never_sees_a_torn_record(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writes = 300
+        stop = threading.Event()
+        seen = []
+        errors = []
+
+        def read_loop():
+            while not stop.is_set():
+                try:
+                    state = LedgerState.load(path)
+                except Exception as err:  # pragma: no cover - the failure mode
+                    errors.append(err)
+                    return
+                # Every payload a reader observes must be internally
+                # consistent: a torn line that parsed would break this.
+                for job, (fingerprint, payload) in state.completed.items():
+                    if (
+                        fingerprint != f"fp-{job}"
+                        or payload.get("echo") != job
+                        or payload.get("filler") != "x" * 64
+                    ):
+                        errors.append(
+                            AssertionError(f"mangled record for {job}")
+                        )
+                        return
+                seen.append(len(state.completed))
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        with RunLedger(path) as ledger:
+            for i in range(writes):
+                job = f"job-{i:04d}"
+                ledger.job_done(
+                    job, f"fp-{job}", 1, {"echo": job, "filler": "x" * 64}
+                )
+        stop.set()
+        reader.join()
+        assert not errors
+        assert seen and max(seen) > 0  # the reader actually raced the writer
+        assert all(a <= b for a, b in zip(seen, seen[1:]))  # append-only
+
+        # A crash mid-append leaves a torn tail; a concurrent-style
+        # reload skips exactly that line and keeps every whole record.
+        with path.open("a") as fh:
+            fh.write('{"kind":"job-done","job":"torn","fingerprint":"fp-t')
+        state = LedgerState.load(path)
+        assert state.skipped_lines == 1
+        assert len(state.completed) == writes
+        assert "torn" not in state.completed
 
 
 class TestEngineCheckpointResume:

@@ -1,0 +1,295 @@
+"""The engine's serving mode: intake, priorities, cancel, idle cost,
+SIGTERM.
+
+These drive :meth:`Engine.run` with the ``intake``/``cancels``/
+``stop``/``wakeup`` hooks the daemon uses, without any sockets — the
+service package's own tests cover the wire.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from collections import deque
+
+from repro.engine import Engine, EngineConfig, JobSpec, LedgerState, Wakeup
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.events import JobDone, JobFail, JobStart
+
+
+def selftest(job_id, value, **kwargs):
+    return JobSpec(job_id, "selftest", {"value": value}, **kwargs)
+
+
+class _Feeder:
+    """A daemon-shaped harness: thread-safe intake/cancel queues plus a
+    wakeup pipe, driven from the test thread while run() serves."""
+
+    def __init__(self):
+        self.intake = deque()
+        self.cancels = deque()
+        self.wakeup = Wakeup()
+        self._stop = False
+
+    def submit(self, *specs):
+        self.intake.extend(specs)
+        self.wakeup.set()
+
+    def cancel(self, job_id):
+        self.cancels.append(job_id)
+        self.wakeup.set()
+
+    def stop(self):
+        self._stop = True
+        self.wakeup.set()
+
+    def hooks(self):
+        def drain(queue):
+            items = []
+            while True:
+                try:
+                    items.append(queue.popleft())
+                except IndexError:
+                    return items
+
+        return {
+            "intake": lambda: drain(self.intake),
+            "cancels": lambda: drain(self.cancels),
+            "stop": lambda: self._stop,
+            "wakeup": self.wakeup,
+        }
+
+
+def serve_engine(feeder, config=None, resume=None, ledger=None):
+    ring = RingBufferSink()
+    engine = Engine(
+        config or EngineConfig(max_workers=2, backoff_base=0.01),
+        tracer=Tracer(ring),
+        ledger=ledger,
+    )
+    report = engine.run([], resume=resume, **feeder.hooks())
+    return engine, report, ring.events
+
+
+class TestServing:
+    def test_submissions_arrive_while_running(self):
+        feeder = _Feeder()
+        done = {}
+
+        def drive():
+            feeder.submit(selftest("a", 2))
+            time.sleep(0.05)
+            feeder.submit(selftest("b", 3))
+            time.sleep(0.2)
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, _events = serve_engine(feeder)
+        thread.join()
+        done.update(report.results)
+        assert done["a"] == {"value": 2, "square": 4}
+        assert done["b"] == {"value": 3, "square": 9}
+
+    def test_resubmitted_job_replays_as_warm_hit(self):
+        feeder = _Feeder()
+
+        def drive():
+            feeder.submit(selftest("a", 4))
+            time.sleep(0.3)
+            feeder.submit(selftest("a", 4))  # identical: warm hit
+            time.sleep(0.2)
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, events = serve_engine(feeder)
+        thread.join()
+        assert report.results["a"] == {"value": 4, "square": 16}
+        assert report.resumed == 1  # the replay
+        dones = [e for e in events if isinstance(e, JobDone) and e.job == "a"]
+        assert len(dones) == 2
+        assert dones[1].attempts == 0  # replayed without a worker
+        starts = [e for e in events if isinstance(e, JobStart)]
+        assert len(starts) == 1  # ran exactly once
+
+    def test_conflicting_resubmission_is_rejected(self):
+        feeder = _Feeder()
+
+        def drive():
+            feeder.submit(selftest("a", 4))
+            time.sleep(0.3)
+            feeder.submit(selftest("a", 5))  # same id, different params
+            time.sleep(0.2)
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, _events = serve_engine(feeder)
+        thread.join()
+        assert report.results["a"] == {"value": 4, "square": 16}
+        assert "job id conflict" in report.failed["a"]
+
+    def test_priority_orders_ready_launches(self):
+        feeder = _Feeder()
+        # One worker; submit everything before serving starts so the
+        # queue is contended from the first launch decision.
+        feeder.submit(
+            selftest("low", 1, priority=0),
+            selftest("high", 2, priority=10),
+            selftest("mid", 3, priority=5),
+        )
+        threading.Timer(0.6, feeder.stop).start()
+        _engine, report, events = serve_engine(
+            feeder, config=EngineConfig(max_workers=1, backoff_base=0.01)
+        )
+        assert report.ok
+        order = [e.job for e in events if isinstance(e, JobStart)]
+        assert order == ["high", "mid", "low"]
+
+    def test_cancel_pending_job(self):
+        feeder = _Feeder()
+
+        def drive():
+            feeder.submit(
+                JobSpec("hog", "selftest", {"value": 1, "sleep": 0.4}),
+                selftest("victim", 2),
+            )
+            time.sleep(0.1)  # hog occupies the only worker
+            feeder.cancel("victim")
+            time.sleep(0.6)
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, events = serve_engine(
+            feeder, config=EngineConfig(max_workers=1, backoff_base=0.01)
+        )
+        thread.join()
+        assert report.failed["victim"] == "cancelled"
+        assert "hog" in report.results
+        fails = [e for e in events if isinstance(e, JobFail)]
+        assert [e.job for e in fails] == ["victim"]
+
+    def test_cancel_live_job_kills_worker(self):
+        feeder = _Feeder()
+
+        def drive():
+            feeder.submit(JobSpec("hung", "selftest", {"value": 1, "sleep": 30}))
+            time.sleep(0.2)
+            feeder.cancel("hung")
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        t0 = time.monotonic()
+        _engine, report, _events = serve_engine(feeder)
+        thread.join()
+        assert report.failed["hung"] == "cancelled"
+        assert time.monotonic() - t0 < 10  # killed, not waited out
+
+    def test_drain_finishes_live_and_keeps_queue(self):
+        feeder = _Feeder()
+
+        def drive():
+            feeder.submit(
+                JobSpec("inflight", "selftest", {"value": 1, "sleep": 0.3}),
+                selftest("queued", 2),
+            )
+            time.sleep(0.1)
+            feeder.stop()  # drain: inflight finishes, queued never starts
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, events = serve_engine(
+            feeder, config=EngineConfig(max_workers=1, backoff_base=0.01)
+        )
+        thread.join()
+        assert "inflight" in report.results
+        assert "queued" not in report.results
+        assert "queued" not in report.failed  # still pending, not lost
+        assert all(
+            e.job == "inflight" for e in events if isinstance(e, JobStart)
+        )
+
+
+class TestIdleCost:
+    def test_idle_serving_engine_barely_wakes(self):
+        """The busy-wait regression: an idle engine used to spin its
+        20 ms poll ~50 times per second.  Blocking in wait() with a
+        0.5 s cap must keep an idle second to a handful of wakeups."""
+        feeder = _Feeder()
+        threading.Timer(1.0, feeder.stop).start()
+        engine, report, _events = serve_engine(feeder)
+        assert report.ok
+        # 1 s idle at a 0.5 s cap is ~2-3 iterations; the stop poke and
+        # scheduling slop allow a couple more.  50+/s must fail.
+        assert engine.wakeups <= 8
+
+    def test_busy_engine_still_makes_progress(self):
+        feeder = _Feeder()
+
+        def drive():
+            for i in range(6):
+                feeder.submit(selftest(f"s{i}", i))
+                time.sleep(0.02)
+            time.sleep(0.4)
+            feeder.stop()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        _engine, report, _events = serve_engine(feeder)
+        thread.join()
+        assert len(report.results) == 6
+
+
+class TestSigterm:
+    def test_sigterm_exits_143_and_records_interrupt(self, tmp_path):
+        """SIGTERM goes through the same kill/record/flush path as
+        Ctrl-C: exit 128+15, an ``interrupt`` ledger record naming the
+        signal, and a resumable ledger."""
+        script = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, sys.argv[1])
+            from repro.engine import (
+                Engine, EngineConfig, GracefulExit, JobSpec, RunLedger,
+            )
+
+            ledger = RunLedger(sys.argv[2])
+            ledger.append({"kind": "run-start", "run_id": "sigterm-test"})
+            engine = Engine(EngineConfig(max_workers=1), ledger=ledger)
+            print("READY", flush=True)
+            try:
+                engine.run(
+                    [JobSpec("hang", "selftest", {"value": 1, "sleep": 60})]
+                )
+            except GracefulExit as err:
+                # what the CLI's main() does with it
+                raise SystemExit(err.exit_code)
+            """
+        )
+        ledger_path = tmp_path / "ledger.jsonl"
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, src, str(ledger_path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        assert proc.stdout.readline().strip() == "READY"
+        time.sleep(0.5)  # let the worker launch
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=15)
+        assert proc.returncode == 143
+        records = [
+            __import__("json").loads(line)
+            for line in ledger_path.read_text().splitlines()
+        ]
+        interrupts = [r for r in records if r.get("kind") == "interrupt"]
+        assert interrupts and interrupts[-1]["signal"] == "SIGTERM"
+        state = LedgerState.load(ledger_path)  # and the ledger still loads
+        assert state.run_info["run_id"] == "sigterm-test"

@@ -122,7 +122,7 @@ class TestCacheSelfHealing:
         with pytest.warns(RuntimeWarning, match="quarantined"):
             healed = artifacts_for("FIELD")
         assert STATS.cache_misses == 1  # rebuilt, not crashed
-        corrupt = sorted(fresh_cache.glob("*.npz.corrupt"))
+        corrupt = sorted(fresh_cache.glob("*.corrupt"))
         assert corrupt, "bad bytes must be kept aside for inspection"
         assert cache_info()["quarantined"] == len(corrupt)
         healed_cd = healed.best_cd_result()
@@ -150,6 +150,64 @@ class TestCacheSelfHealing:
         assert cache_info()["quarantined"] > 0
         clear_cache()
         assert cache_info()["quarantined"] == 0
+
+
+class TestQuarantineRace:
+    """Concurrent quarantine must neither clobber a rebuilt entry nor
+    overwrite another process's evidence (the regression: a fixed
+    ``.npz.corrupt`` name did both)."""
+
+    def _atomic_rewrite(self, path, data):
+        import os
+
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)  # new inode, like a real rebuild
+
+    def test_two_quarantines_keep_distinct_evidence(self, tmp_path):
+        from repro.experiments.runner import quarantine_paths
+
+        bad = tmp_path / "trace-abc.npz"
+        bad.write_bytes(b"garbage one")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            first = quarantine_paths((bad,), "artifact", "abc", "bad magic")
+        bad.write_bytes(b"garbage two")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            second = quarantine_paths((bad,), "artifact", "abc", "bad magic")
+        assert first and second and first != second
+        corpses = sorted(tmp_path.glob("*.corrupt"))
+        assert len(corpses) == 2  # both generations kept for inspection
+        contents = {p.read_bytes() for p in corpses}
+        assert contents == {b"garbage one", b"garbage two"}
+
+    def test_rebuilt_entry_is_never_clobbered(self, tmp_path):
+        from repro.experiments.runner import quarantine_paths, stat_fingerprint
+
+        path = tmp_path / "trace-abc.npz"
+        path.write_bytes(b"corrupt bytes some reader choked on")
+        observed = {path: stat_fingerprint(path)}
+        # Another process rebuilds the entry before our quarantine runs.
+        self._atomic_rewrite(path, b"freshly rebuilt good entry")
+        with pytest.warns(RuntimeWarning, match="quarantined nothing"):
+            renamed = quarantine_paths(
+                (path,), "artifact", "abc", "bad magic", observed=observed
+            )
+        assert renamed == []
+        assert path.read_bytes() == b"freshly rebuilt good entry"
+        assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_unchanged_entry_still_quarantined(self, tmp_path):
+        from repro.experiments.runner import quarantine_paths, stat_fingerprint
+
+        path = tmp_path / "sweeps-abc.npz"
+        path.write_bytes(b"still the same corrupt bytes")
+        observed = {path: stat_fingerprint(path)}
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            renamed = quarantine_paths(
+                (path,), "artifact", "abc", "bad magic", observed=observed
+            )
+        assert len(renamed) == 1
+        assert not path.exists()
 
 
 class TestWarmArtifacts:

@@ -113,7 +113,7 @@ class TestStaticDiskCache:
         with pytest.warns(RuntimeWarning, match="quarantined"):
             healed = static_artifacts_for("INIT")
         assert STATS.cache_misses == 1
-        assert sorted(fresh_cache.glob("static-*.npz.corrupt"))
+        assert sorted(fresh_cache.glob("static-*.corrupt"))
         assert healed.ws.min_space_time() == built.ws.min_space_time()
 
     def test_format_bump_invalidates(self, fresh_cache, monkeypatch):

@@ -95,7 +95,7 @@ class TestSymbolicDiskCache:
         with pytest.warns(RuntimeWarning, match="quarantined"):
             healed = symbolic_artifacts_for("INIT")
         assert STATS.cache_misses == 1
-        assert sorted(fresh_cache.glob("*.npz.corrupt"))
+        assert sorted(fresh_cache.glob("*.corrupt"))
         assert healed.ws.min_space_time() == built.ws.min_space_time()
 
     def test_format_bump_invalidates(self, fresh_cache, monkeypatch):

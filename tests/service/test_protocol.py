@@ -1,0 +1,74 @@
+"""NDJSON framing over a socketpair: round trips and malformed frames."""
+
+import socket
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+    socket_path,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    reader = b.makefile("rb")
+    yield a, reader
+    reader.close()
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        sock, reader = pair
+        send_message(sock, {"op": "submit", "targets": ["1"], "priority": 3})
+        message = recv_message(reader)
+        assert message == {"op": "submit", "targets": ["1"], "priority": 3}
+
+    def test_multiple_frames_in_order(self, pair):
+        sock, reader = pair
+        for i in range(5):
+            send_message(sock, {"seq": i})
+        assert [recv_message(reader)["seq"] for _ in range(5)] == list(range(5))
+
+    def test_eof_returns_none(self, pair):
+        sock, reader = pair
+        sock.close()
+        assert recv_message(reader) is None
+
+    def test_bad_json_raises(self, pair):
+        sock, reader = pair
+        sock.sendall(b"this is not json\n")
+        with pytest.raises(ProtocolError, match="bad frame"):
+            recv_message(reader)
+
+    def test_non_object_frame_raises(self, pair):
+        sock, reader = pair
+        sock.sendall(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            recv_message(reader)
+
+    def test_truncated_frame_raises(self, pair):
+        sock, reader = pair
+        sock.sendall(b'{"op": "ping"')  # no newline, then the peer dies
+        sock.close()
+        with pytest.raises(ProtocolError, match="truncated"):
+            recv_message(reader)
+
+    def test_unicode_survives(self, pair):
+        sock, reader = pair
+        send_message(sock, {"error": "tenant über quota — denied"})
+        assert "über" in recv_message(reader)["error"]
+
+
+class TestLayout:
+    def test_socket_path_inside_service_dir(self, tmp_path):
+        assert socket_path(tmp_path) == tmp_path / "serve.sock"
+
+    def test_line_cap_is_generous(self):
+        assert MAX_LINE_BYTES >= 1024 * 1024

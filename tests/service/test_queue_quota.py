@@ -1,0 +1,109 @@
+"""The queue journal and the tenant quotas, in isolation."""
+
+import pytest
+
+from repro.service.queue import JobQueue
+from repro.service.quota import QuotaError, TenantQuotas
+
+
+class TestJournalRoundTrip:
+    def test_submit_and_settle_survive_resume(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        a = queue.submit("alice", 5, ["1"], ("warm:x", "table:1"))
+        b = queue.submit("bob", 0, ["verify:2:1"], ("oracle:0-1",))
+        queue.set_state(a, "running")
+        queue.set_state(a, "done")
+        queue.record_charge("alice", "cachekey", 1234)
+        queue.close()
+
+        resumed, charges = JobQueue.resume(path)
+        assert resumed.jobs["j0001"].state == "done"
+        assert resumed.jobs["j0001"].tenant == "alice"
+        assert resumed.jobs["j0001"].specs == ("warm:x", "table:1")
+        assert resumed.jobs["j0002"].state == "queued"
+        assert [j.id for j in resumed.pending()] == ["j0002"]
+        assert charges == [
+            {"kind": "charge", "tenant": "alice", "key": "cachekey", "bytes": 1234}
+        ]
+        # Ids keep counting after the highest journaled submission.
+        c = resumed.submit("carol", 0, ["2"], ("table:2",))
+        assert c.id == "j0003"
+        assert b.id == "j0002"
+
+    def test_running_jobs_resume_as_pending(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        job = queue.submit("t", 0, ["1"], ("table:1",))
+        queue.set_state(job, "running")
+        queue.close()
+        resumed, _charges = JobQueue.resume(path)
+        assert [j.id for j in resumed.pending()] == [job.id]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        queue.submit("t", 0, ["1"], ("table:1",))
+        queue.close()
+        with path.open("a") as fh:
+            fh.write('{"kind":"submit","job":"j0002","ten')  # crash mid-write
+        resumed, _charges = JobQueue.resume(path)
+        assert set(resumed.jobs) == {"j0001"}
+
+    def test_failed_state_records_error(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        job = queue.submit("t", 0, ["1"], ("table:1",))
+        queue.set_state(job, "failed", "table:1: boom")
+        queue.close()
+        resumed, _charges = JobQueue.resume(path)
+        assert resumed.jobs[job.id].state == "failed"
+        assert resumed.jobs[job.id].error == "table:1: boom"
+
+    def test_spec_refs_ignores_settled_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        a = queue.submit("t", 0, ["1"], ("shared", "only-a"))
+        b = queue.submit("t", 0, ["1"], ("shared",))
+        assert {j.id for j in queue.spec_refs("shared")} == {a.id, b.id}
+        queue.set_state(a, "done")
+        assert [j.id for j in queue.spec_refs("shared")] == [b.id]
+        assert queue.spec_refs("only-a") == []
+
+
+class TestQuotas:
+    def test_charge_once_per_key(self):
+        quotas = TenantQuotas()
+        assert quotas.charge("alice", "k1", 100)
+        assert not quotas.charge("bob", "k1", 100)  # alice already paid
+        assert quotas.used_by("alice") == 100
+        assert quotas.used_by("bob") == 0
+
+    def test_admission_denied_at_limit(self):
+        quotas = TenantQuotas({"alice": 150})
+        quotas.charge("alice", "k1", 100)
+        quotas.check_admission("alice")  # 100 < 150: still fine
+        quotas.charge("alice", "k2", 60)
+        with pytest.raises(QuotaError, match="over quota"):
+            quotas.check_admission("alice")
+        quotas.check_admission("bob")  # no limit for bob
+
+    def test_default_limit_applies_to_unlisted_tenants(self):
+        quotas = TenantQuotas({"vip": 10_000}, default_limit=50)
+        quotas.charge("pleb", "k1", 50)
+        with pytest.raises(QuotaError):
+            quotas.check_admission("pleb")
+        quotas.charge("vip", "k2", 5000)
+        quotas.check_admission("vip")
+
+    def test_preexisting_entries_are_free(self):
+        quotas = TenantQuotas({"alice": 100})
+        quotas.mark_free("old-entry")
+        assert not quotas.charge("alice", "old-entry", 999)
+        assert quotas.used_by("alice") == 0
+
+    def test_snapshot_lists_usage_and_limits(self):
+        quotas = TenantQuotas({"alice": 100})
+        quotas.charge("bob", "k", 7)
+        snap = quotas.snapshot()
+        assert snap["alice"] == {"used_bytes": 0, "limit_bytes": 100}
+        assert snap["bob"] == {"used_bytes": 7, "limit_bytes": None}
